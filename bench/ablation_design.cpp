@@ -1,0 +1,102 @@
+// Ablation bench for the design decisions called out in DESIGN.md §5:
+//   A. bias-penalized vs strict (Eq. 5-only) VAWO objective
+//   B. PWT measured-mean warm start on/off
+//   C. variation scope: per-weight (paper §IV) vs per-cell (Fig. 3)
+//   D. offset register width (4/6/8/10 bits)
+// Uses a small MLP so the whole ablation matrix runs in under a minute.
+#include <cstdio>
+
+#include "common.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "quant/act_quant.h"
+
+using namespace rdo;
+using namespace rdo::bench;
+using core::Scheme;
+
+namespace {
+
+struct Fixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+  float ideal = 0.0f;
+
+  Fixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.train_per_class = 60;
+    spec.test_per_class = 20;
+    ds = data::make_synthetic(spec);
+    nn::Rng rng(21);
+    net.emplace<nn::Flatten>();
+    net.emplace<quant::ActQuant>(8);
+    net.emplace<nn::Dense>(28 * 28, 64, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<quant::ActQuant>(8);
+    net.emplace<nn::Dense>(64, 10, rng);
+    nn::SGD opt(net.params(), 0.05f);
+    for (int e = 0; e < 6; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 32, rng);
+    }
+    ideal = nn::evaluate(net, ds.test(), 64).accuracy;
+  }
+
+  float run(core::DeployOptions o) {
+    return core::run_scheme(net, o, ds.train(), ds.test(), kRepeats)
+        .mean_accuracy;
+  }
+};
+
+}  // namespace
+
+int main() {
+  Fixture f;
+  std::printf("=== ablations (MLP, SLC, sigma = 0.5, m = 16) ===\n");
+  std::printf("ideal accuracy: %.2f%%\n", 100 * f.ideal);
+
+  std::printf("\n[A] VAWO objective: bias-penalized vs strict Eq. 5\n");
+  for (bool penalize : {true, false}) {
+    auto o = bench_options(Scheme::VAWOStar, 16, rram::CellKind::SLC, 0.5);
+    o.penalize_bias = penalize;
+    std::printf("  penalize_bias=%-5s  VAWO* accuracy %.1f%%\n",
+                penalize ? "true" : "false", 100 * f.run(o));
+  }
+
+  std::printf("\n[B] PWT warm start: measured group-mean vs gradient-only\n");
+  for (bool mean_init : {true, false}) {
+    auto o =
+        bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
+    o.pwt.mean_init = mean_init;
+    std::printf("  mean_init=%-5s      VAWO*+PWT accuracy %.1f%%\n",
+                mean_init ? "true" : "false", 100 * f.run(o));
+  }
+
+  std::printf("\n[C] variation scope (same total sigma)\n");
+  for (auto scope :
+       {rram::VariationScope::PerWeight, rram::VariationScope::PerCell}) {
+    auto o =
+        bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
+    o.variation.scope = scope;
+    std::printf("  %-22s VAWO*+PWT accuracy %.1f%%\n",
+                scope == rram::VariationScope::PerWeight
+                    ? "per-weight (paper)"
+                    : "per-cell (Fig. 3)",
+                100 * f.run(o));
+  }
+
+  std::printf("\n[D] offset register width\n");
+  for (int bits : {4, 6, 8, 10}) {
+    auto o =
+        bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
+    o.offsets.offset_bits = bits;
+    std::printf("  %2d-bit offsets       VAWO*+PWT accuracy %.1f%%\n", bits,
+                100 * f.run(o));
+  }
+  std::printf(
+      "\nexpected: [A] penalty helps when the unbiased constraint is\n"
+      "unreachable; [B] warm start dominates gradient-only tuning; [C]\n"
+      "both scopes are handled; [D] accuracy saturates around 8 bits —\n"
+      "the paper's register width.\n");
+  return 0;
+}

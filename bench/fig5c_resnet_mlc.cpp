@@ -1,0 +1,42 @@
+// Fig. 5(c): ResNet with VAWO*+PWT on 2-bit MLC crossbars across the
+// variation sweep sigma in [0.2, 1.0].
+//
+// Paper reference (ResNet-18 + CIFAR-10, 2-bit MLC, VAWO*+PWT):
+//   m = 16 stays > 90% up to sigma = 0.7; m = 128 stays ~ 80% even at
+//   sigma = 1.0; accuracy decreases with sigma, finer m degrades slower.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace rdo;
+using namespace rdo::bench;
+
+int main() {
+  const data::SyntheticDataset ds = bench_cifar();
+  float ideal = 0.0f;
+  auto net = cached_resnet(ds, &ideal);
+
+  std::printf(
+      "=== Fig 5(c): ResNet (scaled) + CIFAR-like, 2-bit MLC, VAWO*+PWT "
+      "===\n");
+  std::printf("ideal (float) accuracy: %.2f%%   [paper: 94.14%%]\n",
+              100 * ideal);
+  std::printf("\n%-8s  m=16    m=128\n", "sigma");
+  for (double sigma : {0.2, 0.4, 0.6, 0.8, 1.0}) {
+    std::printf("%-8.1f", sigma);
+    for (int m : {16, 128}) {
+      auto o = bench_options(core::Scheme::VAWOStarPWT, m,
+                             rram::CellKind::MLC2, sigma);
+      o.pwt.max_samples = 300;
+      const auto res =
+          core::run_scheme(*net, o, ds.train(), ds.test(), 2);
+      std::printf("  %5.1f%%", 100 * res.mean_accuracy);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nexpected shape: monotone decrease in sigma; m = 16 degrades\n"
+      "slower than m = 128 (finer offset sharing).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) for the simulation kernels: device
+// programming, crossbar VMM, LUT construction, the VAWO group solver, and
+// conv lowering.
+#include <benchmark/benchmark.h>
+
+#include "core/vawo.h"
+#include "nn/conv2d.h"
+#include "nn/gemm.h"
+#include "rram/crossbar.h"
+#include "rram/rlut.h"
+
+using namespace rdo;
+using rdo::nn::Rng;
+
+namespace {
+
+void BM_WeightProgram(benchmark::State& state) {
+  const rram::CellModel cell{
+      state.range(0) == 1 ? rram::CellKind::SLC : rram::CellKind::MLC2,
+      200.0};
+  rram::WeightProgrammer prog(cell, 8, {0.5, 0.0});
+  Rng rng(1);
+  int v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prog.program(v, rng));
+    v = (v + 37) & 255;
+  }
+}
+BENCHMARK(BM_WeightProgram)->Arg(1)->Arg(2);
+
+void BM_CrossbarProgram(benchmark::State& state) {
+  rram::CrossbarConfig cfg;
+  cfg.cell = {rram::CellKind::MLC2, 200.0};
+  cfg.variation = {0.5, 0.0};
+  rram::Crossbar xb(cfg);
+  Rng rng(2);
+  std::vector<int> states(128 * 128);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = static_cast<int>(i % 4);
+  }
+  for (auto _ : state) {
+    xb.program(states, rng);
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_CrossbarProgram);
+
+void BM_CrossbarVmm(benchmark::State& state) {
+  rram::CrossbarConfig cfg;
+  cfg.cell = {rram::CellKind::MLC2, 200.0};
+  cfg.variation = {0.5, 0.0};
+  cfg.active_wordlines = static_cast<int>(state.range(0));
+  rram::Crossbar xb(cfg);
+  Rng rng(3);
+  std::vector<int> states(128 * 128);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = static_cast<int>((i * 7) % 4);
+  }
+  xb.program(states, rng);
+  std::vector<double> x(128);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xb.vmm(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 128 * 128);
+}
+BENCHMARK(BM_CrossbarVmm)->Arg(16)->Arg(128);
+
+void BM_LutBuild(benchmark::State& state) {
+  rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rram::RLut::build(prog, k, 8, Rng(4)));
+  }
+}
+BENCHMARK(BM_LutBuild)->Arg(4)->Arg(16);
+
+void BM_VawoSolveGroup(benchmark::State& state) {
+  rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
+  const rram::RLut lut = rram::RLut::build_analytic(prog);
+  const int m = static_cast<int>(state.range(0));
+  Rng rng(5);
+  std::vector<int> ntw;
+  std::vector<double> grad;
+  for (int i = 0; i < m; ++i) {
+    ntw.push_back(static_cast<int>(rng.uniform_int(0, 255)));
+    grad.push_back(rng.uniform(0.01, 1.0));
+  }
+  core::VawoOptions opt;
+  opt.use_complement = true;
+  for (auto _ : state) {
+    int b = 0;
+    bool comp = false;
+    std::vector<int> ctw;
+    benchmark::DoNotOptimize(
+        core::vawo_solve_group(ntw, grad, lut, 255, opt, b, comp, ctw));
+  }
+  state.SetItemsProcessed(state.iterations() * m);
+}
+BENCHMARK(BM_VawoSolveGroup)->Arg(16)->Arg(64)->Arg(128);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
+  Rng rng(6);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::gemm(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+
+void BM_Conv2DForward(benchmark::State& state) {
+  Rng rng(7);
+  nn::Conv2D conv(8, 16, 3, 1, 1, rng);
+  nn::Tensor x({4, 8, 16, 16});
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(0, 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.forward(x, false));
+  }
+}
+BENCHMARK(BM_Conv2DForward);
+
+}  // namespace
+
+BENCHMARK_MAIN();

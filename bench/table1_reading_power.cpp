@@ -1,0 +1,48 @@
+// Table I: relative total device reading power of VAWO* vs. the plain
+// scheme.
+//
+// Paper reference:
+//   LeNet + MNIST:     m=16 68.87%,  m=128 79.95%
+//   ResNet + CIFAR-10: m=16 57.61%,  m=128 72.24%
+// Shape: VAWO* < 100% (lower CTWs -> more devices in high-resistance
+// states), finer m saves more, ResNet saves more than LeNet.
+#include <cstdio>
+
+#include "common.h"
+
+using namespace rdo;
+using namespace rdo::bench;
+
+namespace {
+
+double ratio_for(rdo::nn::Sequential& net, const data::SyntheticDataset& ds,
+                 int m) {
+  auto o = bench_options(core::Scheme::VAWOStar, m, rram::CellKind::MLC2,
+                         0.5);
+  core::Deployment dep(net, o);
+  dep.prepare(ds.train());
+  const double r = dep.assigned_read_power() / dep.plain_read_power();
+  dep.restore();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const data::SyntheticDataset mnist = bench_mnist();
+  const data::SyntheticDataset cifar = bench_cifar();
+  auto lenet = cached_lenet(mnist, nullptr);
+  auto resnet = cached_resnet(cifar, nullptr);
+
+  std::printf("=== Table I: relative reading power, VAWO* / plain ===\n\n");
+  std::printf("%-22s %8s %8s   (paper)\n", "workload", "m=16", "m=128");
+  std::printf("%-22s %7.2f%% %7.2f%%   (68.87%% / 79.95%%)\n",
+              "LeNet + MNIST-like", 100 * ratio_for(*lenet, mnist, 16),
+              100 * ratio_for(*lenet, mnist, 128));
+  std::printf("%-22s %7.2f%% %7.2f%%   (57.61%% / 72.24%%)\n",
+              "ResNet + CIFAR-like", 100 * ratio_for(*resnet, cifar, 16),
+              100 * ratio_for(*resnet, cifar, 128));
+  std::printf(
+      "\nexpected shape: all < 100%%; m=16 saves more than m=128.\n");
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Scenario: architect's design-space exploration of the sharing
+// granularity m.
+//
+// m trades three quantities against each other (paper Secs. III-A, IV-B):
+//   * accuracy    — finer m = more offsets = better compensation;
+//   * registers   — H = S*l/m offset registers per crossbar (Eq. 9);
+//   * adder cost  — the m-input Sum adder grows with m while the
+//                   register file shrinks, so area/power are non-monotone.
+// This example sweeps m, prints the hardware accounting from the ISAAC
+// tile cost model, checks the Sum+Multi stage against the 100 ns clock,
+// and measures the deployed accuracy at three representative m values.
+#include <cstdio>
+
+#include "arch/isaac_cost.h"
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "quant/act_quant.h"
+
+using namespace rdo;
+
+int main() {
+  const arch::TileParams tp;
+  const arch::GateCosts g;
+
+  std::printf("=== hardware accounting per crossbar (2-bit MLC, 8-bit "
+              "offsets) ===\n");
+  std::printf("%-6s %-10s %-10s %-12s %-12s %-10s\n", "m", "registers",
+              "adder FAs", "area/um2", "power/uW", "delay/ns");
+  for (int m : {8, 16, 32, 64, 128}) {
+    const arch::OffsetHardware hw = arch::offset_hardware(m, 8, tp);
+    std::printf("%-6d %-10lld %-10d %-12.0f %-12.1f %-10.1f\n", m,
+                hw.register_bits / 8, hw.adder_fa, hw.area_um2(g),
+                hw.power_uw(g), arch::sum_multi_delay_ns(m, g));
+  }
+  std::printf("(all delays must stay below the %.0f ns ISAAC clock)\n",
+              tp.clock_ns);
+
+  // Accuracy side of the trade-off on a small deployed model.
+  data::SyntheticSpec spec = data::mnist_like();
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  const data::SyntheticDataset ds = data::make_synthetic(spec);
+  nn::Rng rng(9);
+  nn::Sequential net;
+  net.emplace<nn::Flatten>();
+  net.emplace<quant::ActQuant>(8);
+  net.emplace<nn::Dense>(28 * 28, 48, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<quant::ActQuant>(8);
+  net.emplace<nn::Dense>(48, 10, rng);
+  nn::SGD opt(net.params(), 0.05f);
+  for (int e = 0; e < 6; ++e) nn::train_epoch(net, opt, ds.train(), 32, rng);
+
+  std::printf("\n=== accuracy vs m (VAWO*+PWT, MLC2, sigma 0.5) ===\n");
+  std::printf("%-6s %-10s %-14s %-14s\n", "m", "accuracy", "tile area ovh",
+              "tile power ovh");
+  for (int m : {16, 64, 128}) {
+    core::DeployOptions o;
+    o.scheme = core::Scheme::VAWOStarPWT;
+    o.offsets.m = m;
+    o.cell = {rram::CellKind::MLC2, 200.0};
+    o.variation.sigma = 0.5;
+    o.seed = 13;
+    const float acc =
+        core::run_scheme(net, o, ds.train(), ds.test(), 2).mean_accuracy;
+
+    core::Deployment dep(net, o);
+    dep.prepare(ds.train());
+    const double ratio = dep.assigned_read_power() / dep.plain_read_power();
+    dep.restore();
+    const arch::TileOverhead ov = arch::tile_overhead(m, 8, ratio, tp, g);
+    std::printf("%-6d %8.1f%% %12.1f%% %12.1f%%\n", m, 100 * acc,
+                ov.area_pct, ov.power_pct);
+  }
+  std::printf(
+      "\ndesign rule of thumb: m = 16 buys the best accuracy at the lowest\n"
+      "power overhead; m = 128 saves area on registers but pays in adders\n"
+      "and accuracy (paper Table II + Fig. 5).\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Scenario: study how the *composition* of resistance variation affects
+// each mitigation strategy.
+//
+// The paper's core critique of prior work is that mapping-based methods
+// assume the deviation of a device is stable across programming cycles —
+// true for device-to-device variation (DDV), false for cycle-to-cycle
+// variation (CCV). This example deploys the same trained model while
+// sweeping the DDV share of a fixed total variance, and contrasts:
+//   * plain            (no mitigation)
+//   * VAWO* only       (a-priori statistics: insensitive to the split)
+//   * VAWO*+PWT        (posteriori measurement: handles any split)
+// It also compares the paper's per-weight variation scope with the
+// per-cell (bit-sliced) scope.
+#include <cstdio>
+
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "quant/act_quant.h"
+
+using namespace rdo;
+
+namespace {
+
+float run(nn::Sequential& net, const data::SyntheticDataset& ds,
+          core::Scheme scheme, double ddv_fraction,
+          rram::VariationScope scope) {
+  core::DeployOptions o;
+  o.scheme = scheme;
+  o.offsets.m = 16;
+  o.cell = {rram::CellKind::SLC, 200.0};
+  o.variation.sigma = 0.4;
+  o.variation.ddv_fraction = ddv_fraction;
+  o.variation.scope = scope;
+  o.seed = 3;
+  return core::run_scheme(net, o, ds.train(), ds.test(), 3).mean_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  data::SyntheticSpec spec = data::mnist_like();
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  const data::SyntheticDataset ds = data::make_synthetic(spec);
+
+  nn::Rng rng(5);
+  nn::Sequential net;
+  net.emplace<nn::Flatten>();
+  net.emplace<quant::ActQuant>(8);
+  net.emplace<nn::Dense>(28 * 28, 64, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<quant::ActQuant>(8);
+  net.emplace<nn::Dense>(64, 10, rng);
+  nn::SGD opt(net.params(), 0.05f);
+  for (int e = 0; e < 6; ++e) nn::train_epoch(net, opt, ds.train(), 32, rng);
+  std::printf("ideal accuracy: %.2f%%\n",
+              100 * nn::evaluate(net, ds.test(), 64).accuracy);
+
+  std::printf("\n-- DDV/CCV split (total sigma fixed at 0.4, per-weight "
+              "scope) --\n");
+  std::printf("%-22s %-9s %-9s %-9s\n", "DDV share of variance", "plain",
+              "VAWO*", "VAWO*+PWT");
+  for (double ddv : {0.0, 0.5, 1.0}) {
+    char label[32];
+    std::snprintf(label, sizeof(label), "%.0f%%", 100 * ddv);
+    std::printf("%-22s %7.1f%% %8.1f%% %8.1f%%\n", label,
+                100 * run(net, ds, core::Scheme::Plain, ddv,
+                          rram::VariationScope::PerWeight),
+                100 * run(net, ds, core::Scheme::VAWOStar, ddv,
+                          rram::VariationScope::PerWeight),
+                100 * run(net, ds, core::Scheme::VAWOStarPWT, ddv,
+                          rram::VariationScope::PerWeight));
+  }
+  std::printf(
+      "\nPWT measures the *actual* post-writing conductances, so the full\n"
+      "method is strong regardless of how variance splits into DDV/CCV —\n"
+      "the property mapping-based methods lack (paper Sec. I).\n");
+
+  std::printf("\n-- variation scope (pure CCV, sigma 0.4) --\n");
+  std::printf("%-22s %-9s %-9s %-9s\n", "scope", "plain", "VAWO*",
+              "VAWO*+PWT");
+  for (auto scope :
+       {rram::VariationScope::PerWeight, rram::VariationScope::PerCell}) {
+    std::printf("%-22s %7.1f%% %8.1f%% %8.1f%%\n",
+                scope == rram::VariationScope::PerWeight
+                    ? "per-weight (paper)"
+                    : "per-cell (Fig. 3)",
+                100 * run(net, ds, core::Scheme::Plain, 0.0, scope),
+                100 * run(net, ds, core::Scheme::VAWOStar, 0.0, scope),
+                100 * run(net, ds, core::Scheme::VAWOStarPWT, 0.0, scope));
+  }
+  return 0;
+}

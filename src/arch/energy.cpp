@@ -1,0 +1,47 @@
+#include "arch/energy.h"
+
+#include <stdexcept>
+
+namespace rdo::arch {
+
+VmmEnergy vmm_energy(const VmmGeometry& g, double mean_state_sum,
+                     const EnergyParams& p) {
+  if (g.rows <= 0 || g.cols <= 0 || g.active_wordlines <= 0 ||
+      g.input_bits <= 0 || g.m <= 0) {
+    throw std::invalid_argument("vmm_energy: bad geometry");
+  }
+  VmmEnergy e;
+  const std::int64_t groups =
+      (g.rows + g.active_wordlines - 1) / g.active_wordlines;
+  const std::int64_t cycles = groups * g.input_bits;
+  // One ADC conversion per column per read cycle.
+  e.adc_pj = static_cast<double>(cycles) * g.cols * p.adc_conversion_pj;
+  // DAC drives the active wordlines every cycle.
+  e.dac_pj = static_cast<double>(cycles) * g.active_wordlines *
+             p.dac_drive_pj;
+  // Device read energy: proportional to the array's total conductance;
+  // each cell is read once per input bit (its group's cycles).
+  e.device_pj = mean_state_sum * g.input_bits * p.cell_read_pj_per_state;
+  // S&H per column per cycle plus shift-add per column per cycle.
+  e.digital_pj = static_cast<double>(cycles) * g.cols *
+                 (p.sample_hold_pj + p.shift_add_pj);
+  if (g.offsets_enabled) {
+    // One Sum+Multi per offset group per cycle group, plus a register
+    // read each.
+    const std::int64_t offset_groups_per_col = (g.rows + g.m - 1) / g.m;
+    const std::int64_t ops = offset_groups_per_col * g.cols * g.input_bits;
+    e.offset_pj =
+        static_cast<double>(ops) * (p.sum_multi_pj + p.register_read_pj);
+  }
+  return e;
+}
+
+double network_energy_pj(std::int64_t crossbars, std::int64_t vmm_count,
+                         const VmmGeometry& g, double mean_state_sum,
+                         const EnergyParams& p) {
+  const VmmEnergy e = vmm_energy(g, mean_state_sum, p);
+  return e.total_pj() * static_cast<double>(crossbars) *
+         static_cast<double>(vmm_count);
+}
+
+}  // namespace rdo::arch

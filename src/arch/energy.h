@@ -1,0 +1,62 @@
+// Per-inference energy model of an ISAAC-style accelerator with digital
+// offset support.
+//
+// Component energies follow the ISAAC paper's budget (ADC dominates,
+// then eDRAM/crossbar reads); each term is configurable so the model can
+// be recalibrated. The device-read term is conductance-proportional and
+// therefore scheme-dependent: VAWO*'s lower CTWs reduce it (Table I), and
+// this model turns that ratio into Joules.
+#pragma once
+
+#include <cstdint>
+
+namespace rdo::arch {
+
+/// Per-event energies (picojoules), first-order 32 nm estimates.
+struct EnergyParams {
+  double adc_conversion_pj = 16.0;  ///< one 8-bit ADC sample
+  double dac_drive_pj = 0.4;        ///< one wordline driven for one cycle
+  double sample_hold_pj = 0.01;     ///< one S&H capture
+  double cell_read_pj_per_state = 0.05;  ///< per cell, per unit conductance
+  double shift_add_pj = 0.2;        ///< one S+A accumulation
+  double sum_multi_pj = 0.9;        ///< one Sum+Multi offset operation
+  double register_read_pj = 0.05;   ///< one offset-register access
+};
+
+/// Geometry of one deployed crossbar read pass.
+struct VmmGeometry {
+  int rows = 128;
+  int cols = 128;
+  int active_wordlines = 16;
+  int input_bits = 16;  ///< bit-serial input streaming
+  int m = 16;           ///< offset sharing granularity
+  bool offsets_enabled = true;
+};
+
+struct VmmEnergy {
+  double adc_pj = 0.0;
+  double dac_pj = 0.0;
+  double device_pj = 0.0;
+  double digital_pj = 0.0;  ///< S&H + S+A
+  double offset_pj = 0.0;   ///< Sum+Multi + register reads
+  [[nodiscard]] double total_pj() const {
+    return adc_pj + dac_pj + device_pj + digital_pj + offset_pj;
+  }
+};
+
+/// Energy of one full VMM on one crossbar.
+///
+/// `mean_state_sum` is the average total conductance of the array in
+/// state units (sum over cells of state + HRS offset) — the quantity
+/// Deployment::assigned_read_power() reports per network; pass the
+/// per-crossbar average.
+VmmEnergy vmm_energy(const VmmGeometry& g, double mean_state_sum,
+                     const EnergyParams& p = {});
+
+/// Total energy (picojoules) for `vmm_count` VMMs across `crossbars`
+/// arrays with the given average state sum per crossbar.
+double network_energy_pj(std::int64_t crossbars, std::int64_t vmm_count,
+                         const VmmGeometry& g, double mean_state_sum,
+                         const EnergyParams& p = {});
+
+}  // namespace rdo::arch

@@ -1,0 +1,31 @@
+#include "arch/pipeline.h"
+
+#include <algorithm>
+
+namespace rdo::arch {
+
+LayerLatency layer_latency(std::int64_t matrix_rows, int m,
+                           const PipelineParams& pp, const GateCosts& g) {
+  LayerLatency out;
+  const std::int64_t rows = std::min<std::int64_t>(
+      matrix_rows, pp.crossbar_rows);  // row tiles run in parallel
+  const std::int64_t groups_per_bit =
+      (rows + pp.active_wordlines - 1) / pp.active_wordlines;
+  out.read_cycles = groups_per_bit * pp.input_bits;
+  out.sum_multi_hidden = sum_multi_delay_ns(m, g) < pp.clock_ns;
+  // The Sum+Multi stage adds one pipeline cycle of latency when hidden;
+  // otherwise it stretches every cycle to its combinational delay.
+  if (out.sum_multi_hidden) {
+    out.latency_ns = static_cast<double>(out.read_cycles + 1) * pp.clock_ns;
+    out.vmm_per_second =
+        1e9 / (static_cast<double>(out.read_cycles) * pp.clock_ns);
+  } else {
+    const double cycle = sum_multi_delay_ns(m, g);
+    out.latency_ns = static_cast<double>(out.read_cycles + 1) * cycle;
+    out.vmm_per_second =
+        1e9 / (static_cast<double>(out.read_cycles) * cycle);
+  }
+  return out;
+}
+
+}  // namespace rdo::arch

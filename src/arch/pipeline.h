@@ -1,0 +1,38 @@
+// ISAAC pipeline timing model with the Sum+Multi stage (paper §III-E).
+//
+// ISAAC streams input bits serially: one VMM needs
+// ceil(rows / active_wordlines) read cycles per input bit, times the
+// input width. Row tiles operate in parallel crossbars, so latency is set
+// by cycles, not tiles. The digital-offset Sum+Multi operation adds one
+// pipeline stage; as long as its combinational delay fits the clock
+// (sum_multi_delay_ns < clock_ns) it costs one cycle of latency and zero
+// throughput (paper §IV-B2).
+#pragma once
+
+#include <cstdint>
+
+#include "arch/isaac_cost.h"
+
+namespace rdo::arch {
+
+struct PipelineParams {
+  double clock_ns = 100.0;
+  int input_bits = 16;  ///< ISAAC's input resolution, streamed bit-serially
+  int crossbar_rows = 128;
+  int active_wordlines = 16;
+};
+
+struct LayerLatency {
+  std::int64_t read_cycles = 0;   ///< cycles for one full VMM
+  double latency_ns = 0.0;        ///< including the Sum+Multi stage
+  double vmm_per_second = 0.0;    ///< pipelined throughput
+  bool sum_multi_hidden = false;  ///< fits inside one clock period
+};
+
+/// Latency/throughput of one matrix layer with `matrix_rows` wordlines at
+/// sharing granularity m.
+LayerLatency layer_latency(std::int64_t matrix_rows, int m,
+                           const PipelineParams& pp = {},
+                           const GateCosts& g = {});
+
+}  // namespace rdo::arch

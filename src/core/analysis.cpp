@@ -1,0 +1,102 @@
+#include "core/analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdo::core {
+
+LayerRisk assignment_risk(const rdo::quant::LayerQuant& lq,
+                          const VawoResult& assign,
+                          const rdo::rram::RLut& lut) {
+  LayerRisk risk;
+  const std::int64_t rows = lq.rows, cols = lq.cols;
+  const int maxw = lq.levels();
+  // Infer the group height from the assignment geometry (ceil division).
+  const std::int64_t m =
+      (rows + assign.groups_per_col - 1) / assign.groups_per_col;
+  double total = 0.0;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const std::int64_t g = r / m;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+      const std::size_t wi = static_cast<std::size_t>(r * cols + c);
+      const int ntw = lq.at(r, c);
+      const double target =
+          assign.complemented[gi] ? maxw - ntw : ntw;
+      const int v = assign.ctw[wi];
+      const double bias =
+          lut.mean(v) + assign.offsets[gi] - target;
+      total += lut.var(v) + bias * bias;
+    }
+  }
+  risk.mean_sq_dev = total / static_cast<double>(rows * cols);
+  risk.rms_relative =
+      std::sqrt(risk.mean_sq_dev) / static_cast<double>(maxw);
+  return risk;
+}
+
+std::vector<LayerRisk> deployment_risk(const Deployment& dep) {
+  std::vector<LayerRisk> risks;
+  risks.reserve(dep.layers().size());
+  for (const DeployedLayer& dl : dep.layers()) {
+    risks.push_back(assignment_risk(dl.lq, dl.assign, dep.lut()));
+  }
+  return risks;
+}
+
+double network_risk(const Deployment& dep) {
+  double total = 0.0;
+  double weights = 0.0;
+  for (const DeployedLayer& dl : dep.layers()) {
+    const LayerRisk r = assignment_risk(dl.lq, dl.assign, dep.lut());
+    const double n = static_cast<double>(dl.lq.rows * dl.lq.cols);
+    total += r.mean_sq_dev * n;
+    weights += n;
+  }
+  const int maxw = dep.layers().front().lq.levels();
+  return std::sqrt(total / weights) / static_cast<double>(maxw);
+}
+
+GranularityChoice choose_granularity(rdo::nn::Layer& net,
+                                     DeployOptions base,
+                                     const rdo::nn::DataView& train,
+                                     const std::vector<int>& candidate_ms,
+                                     double max_risk) {
+  GranularityChoice choice;
+  if (candidate_ms.empty()) {
+    throw std::invalid_argument("choose_granularity: no candidates");
+  }
+  double best_risk = -1.0;
+  int best_m = candidate_ms.front();
+  int coarsest_ok = -1;
+  double coarsest_ok_risk = 0.0;
+  for (int m : candidate_ms) {
+    DeployOptions o = base;
+    o.offsets.m = m;
+    Deployment dep(net, o);
+    dep.prepare(train);
+    const double r = network_risk(dep);
+    dep.restore();
+    choice.candidates.emplace_back(m, r);
+    if (best_risk < 0.0 || r < best_risk) {
+      best_risk = r;
+      best_m = m;
+    }
+    if (r <= max_risk && m > coarsest_ok) {
+      coarsest_ok = m;
+      coarsest_ok_risk = r;
+    }
+  }
+  if (coarsest_ok > 0) {
+    choice.m = coarsest_ok;
+    choice.risk = coarsest_ok_risk;
+    choice.within_budget = true;
+  } else {
+    choice.m = best_m;
+    choice.risk = best_risk;
+    choice.within_budget = false;
+  }
+  return choice;
+}
+
+}  // namespace rdo::core

@@ -1,0 +1,294 @@
+#include "core/deploy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "rram/tiler.h"
+
+namespace rdo::core {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::Plain: return "plain";
+    case Scheme::VAWO: return "VAWO";
+    case Scheme::VAWOStar: return "VAWO*";
+    case Scheme::PWT: return "PWT";
+    case Scheme::VAWOStarPWT: return "VAWO*+PWT";
+  }
+  return "?";
+}
+
+Deployment::Deployment(rdo::nn::Layer& net, DeployOptions opt)
+    : net_(net),
+      opt_(opt),
+      prog_(opt.cell, opt.weight_bits, opt.variation, opt.faults),
+      lut_(rdo::rram::RLut::build(prog_, opt.lut_k_sets, opt.lut_j_cycles,
+                                  rdo::nn::Rng(opt.seed).split(0x11A7))) {
+  std::vector<rdo::nn::Layer*> all;
+  collect_layers(&net_, all);
+  for (rdo::nn::Layer* l : all) {
+    if (auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l)) {
+      DeployedLayer dl;
+      dl.op = op;
+      layers_.push_back(std::move(dl));
+    }
+    if (auto* aq = dynamic_cast<rdo::quant::ActQuant*>(l)) {
+      act_quants_.push_back(aq);
+    }
+  }
+  if (layers_.empty()) {
+    throw std::invalid_argument("Deployment: network has no crossbar layers");
+  }
+  // Snapshot float weights for restore().
+  float_backup_.reserve(layers_.size());
+  for (DeployedLayer& dl : layers_) {
+    std::vector<float> w(static_cast<std::size_t>(dl.op->fan_in() *
+                                                  dl.op->fan_out()));
+    for (std::int64_t r = 0; r < dl.op->fan_in(); ++r) {
+      for (std::int64_t c = 0; c < dl.op->fan_out(); ++c) {
+        w[static_cast<std::size_t>(r * dl.op->fan_out() + c)] =
+            dl.op->weight_at(r, c);
+      }
+    }
+    float_backup_.push_back(std::move(w));
+  }
+}
+
+Deployment::~Deployment() {
+  try {
+    restore();
+  } catch (...) {
+    // restore() only writes in-memory tensors; never throws in practice.
+  }
+}
+
+void Deployment::calibrate_act_quant(const rdo::nn::DataView& data) {
+  if (act_quants_.empty()) return;
+  for (auto* aq : act_quants_) aq->disable();
+  // Observe activation ranges on a few batches at the quantized-weight
+  // operating point.
+  const std::int64_t n = std::min<std::int64_t>(data.size(), 128);
+  std::vector<std::int64_t> idx;
+  for (std::int64_t i = 0; i < n; ++i) idx.push_back(i);
+  rdo::nn::Tensor batch = gather_batch(*data.images, idx);
+  (void)net_.forward(batch, /*train=*/false);
+  for (auto* aq : act_quants_) aq->calibrate(aq->observed_max());
+}
+
+void Deployment::prepare(const rdo::nn::DataView& train) {
+  // 1. Quantize every crossbar layer and move the network to the
+  //    quantized operating point (NTW round-trip).
+  for (DeployedLayer& dl : layers_) {
+    dl.lq = rdo::quant::quantize_matrix(*dl.op, opt_.weight_bits);
+    rdo::quant::apply_quantized(*dl.op, dl.lq);
+  }
+  if (opt_.quantize_activations) calibrate_act_quant(train);
+
+  // 2. Scheme-dependent CTW/offset assignment.
+  if (scheme_uses_vawo(opt_.scheme)) {
+    accumulate_mean_gradients(net_, train, opt_.grad_batch,
+                              opt_.grad_samples);
+    VawoOptions vopt;
+    vopt.offsets = opt_.offsets;
+    vopt.use_complement = scheme_uses_complement(opt_.scheme);
+    vopt.penalize_bias = opt_.penalize_bias;
+    for (DeployedLayer& dl : layers_) {
+      std::vector<double> grads(static_cast<std::size_t>(dl.lq.rows *
+                                                         dl.lq.cols));
+      for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
+        for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
+          grads[static_cast<std::size_t>(r * dl.lq.cols + c)] =
+              dl.op->weight_grad_at(r, c);
+        }
+      }
+      dl.assign = vawo_layer(dl.lq, grads, lut_, vopt);
+    }
+    for (rdo::nn::Param* p : net_.params()) p->zero_grad();
+  } else {
+    for (DeployedLayer& dl : layers_) {
+      dl.assign = plain_layer(dl.lq, opt_.offsets.m);
+    }
+  }
+  prepared_ = true;
+}
+
+void Deployment::program_cycle(std::uint64_t cycle_salt) {
+  if (!prepared_) throw std::logic_error("Deployment: prepare() first");
+  rdo::nn::Rng rng =
+      rdo::nn::Rng(opt_.seed).split(0xC0DEull + cycle_salt * 7919ull);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    DeployedLayer& dl = layers_[li];
+    rdo::nn::Rng lrng = rng.split(li);
+    dl.crw.resize(dl.assign.ctw.size());
+    for (std::size_t i = 0; i < dl.assign.ctw.size(); ++i) {
+      dl.crw[i] = prog_.program(dl.assign.ctw[i], lrng);
+    }
+    // Each cycle starts from the a-priori (VAWO or zero) offsets; PWT then
+    // adapts them to this cycle's CRWs.
+    dl.offsets = dl.assign.offsets;
+  }
+  apply_effective_weights();
+}
+
+void Deployment::apply_effective_weights() {
+  const float maxw = static_cast<float>(prog_.max_weight());
+  for (DeployedLayer& dl : layers_) {
+    const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      const std::int64_t g = group_of_row(r, opt_.offsets.m);
+      for (std::int64_t c = 0; c < cols; ++c) {
+        const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+        const float b = dl.offsets[gi];
+        const double v = dl.crw[static_cast<std::size_t>(r * cols + c)];
+        const double nrw = dl.assign.complemented[gi]
+                               ? static_cast<double>(maxw) - v - b
+                               : v + b;
+        dl.op->set_weight_at(r, c, dl.lq.dequant(static_cast<float>(nrw)));
+      }
+    }
+  }
+  weights_deployed_ = true;
+}
+
+void Deployment::apply_group_delta(DeployedLayer& dl, std::int64_t c,
+                                   std::int64_t g, float delta_b) {
+  const std::int64_t cols = dl.lq.cols;
+  const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+  const float sign = dl.assign.complemented[gi] ? -1.0f : 1.0f;
+  const float dw = sign * dl.lq.scale * delta_b;
+  const std::int64_t r0 = g * opt_.offsets.m;
+  const std::int64_t r1 =
+      std::min<std::int64_t>(dl.lq.rows, r0 + opt_.offsets.m);
+  for (std::int64_t r = r0; r < r1; ++r) {
+    dl.op->set_weight_at(r, c, dl.op->weight_at(r, c) + dw);
+  }
+}
+
+void Deployment::tune(const rdo::nn::DataView& train) {
+  if (!scheme_uses_pwt(opt_.scheme)) return;
+  const float lo = static_cast<float>(opt_.offsets.offset_min());
+  const float hi = static_cast<float>(opt_.offsets.offset_max());
+  if (opt_.pwt.mean_init) {
+    // Closed-form warm start from the measured CRWs: the offset that
+    // zeroes the mean NRW deviation of each group.
+    const int maxw = prog_.max_weight();
+    for (DeployedLayer& dl : layers_) {
+      const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
+      for (std::int64_t c = 0; c < cols; ++c) {
+        for (std::int64_t g = 0; g < dl.assign.groups_per_col; ++g) {
+          const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+          const std::int64_t r0 = g * opt_.offsets.m;
+          const std::int64_t r1 =
+              std::min<std::int64_t>(rows, r0 + opt_.offsets.m);
+          double acc = 0.0;
+          for (std::int64_t r = r0; r < r1; ++r) {
+            const int ntw = dl.lq.at(r, c);
+            const double target =
+                dl.assign.complemented[gi] ? maxw - ntw : ntw;
+            acc += target - dl.crw[static_cast<std::size_t>(r * cols + c)];
+          }
+          dl.offsets[gi] = std::clamp(
+              static_cast<float>(acc / static_cast<double>(r1 - r0)), lo,
+              hi);
+        }
+      }
+    }
+    apply_effective_weights();
+  }
+  run_pwt(train);
+  // Snap tuned offsets onto the signed offset-register grid and rebuild
+  // the effective weights from scratch (removes incremental-update drift).
+  for (DeployedLayer& dl : layers_) {
+    for (float& b : dl.offsets) b = std::clamp(std::round(b), lo, hi);
+  }
+  apply_effective_weights();
+}
+
+float Deployment::evaluate(const rdo::nn::DataView& test,
+                           std::int64_t batch) {
+  if (!weights_deployed_) {
+    throw std::logic_error("Deployment: program_cycle() first");
+  }
+  return rdo::nn::evaluate(net_, test, batch).accuracy;
+}
+
+void Deployment::restore() {
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    DeployedLayer& dl = layers_[li];
+    const std::vector<float>& w = float_backup_[li];
+    for (std::int64_t r = 0; r < dl.op->fan_in(); ++r) {
+      for (std::int64_t c = 0; c < dl.op->fan_out(); ++c) {
+        dl.op->set_weight_at(
+            r, c, w[static_cast<std::size_t>(r * dl.op->fan_out() + c)]);
+      }
+    }
+  }
+  for (auto* aq : act_quants_) aq->disable();
+  weights_deployed_ = false;
+}
+
+double Deployment::read_power_of(const std::vector<int>& weights) const {
+  double p = 0.0;
+  for (int v : weights) {
+    for (int s : prog_.slice(v)) p += opt_.cell.read_power(s);
+  }
+  return p;
+}
+
+double Deployment::assigned_read_power() const {
+  double p = 0.0;
+  for (const DeployedLayer& dl : layers_) p += read_power_of(dl.assign.ctw);
+  return p;
+}
+
+double Deployment::plain_read_power() const {
+  double p = 0.0;
+  for (const DeployedLayer& dl : layers_) {
+    p += read_power_of(dl.lq.q);
+  }
+  return p;
+}
+
+std::int64_t Deployment::total_crossbars(int xbar_rows, int xbar_cols) const {
+  std::int64_t n = 0;
+  for (const DeployedLayer& dl : layers_) {
+    n += rdo::rram::compute_tiling(dl.op->fan_in(), dl.op->fan_out(),
+                                   xbar_rows, xbar_cols,
+                                   prog_.cells_per_weight())
+             .total_crossbars();
+  }
+  return n;
+}
+
+std::int64_t Deployment::total_offset_registers() const {
+  std::int64_t n = 0;
+  for (const DeployedLayer& dl : layers_) {
+    n += groups_per_column(dl.op->fan_in(), opt_.offsets.m) *
+         dl.op->fan_out();
+  }
+  return n;
+}
+
+SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
+                        const rdo::nn::DataView& train,
+                        const rdo::nn::DataView& test, int repeats,
+                        std::int64_t eval_batch) {
+  Deployment dep(net, opt);
+  dep.prepare(train);
+  SchemeResult res;
+  double total = 0.0;
+  for (int cycle = 0; cycle < repeats; ++cycle) {
+    dep.program_cycle(static_cast<std::uint64_t>(cycle));
+    dep.tune(train);
+    const float acc = dep.evaluate(test, eval_batch);
+    res.per_cycle.push_back(acc);
+    total += acc;
+  }
+  dep.restore();
+  res.mean_accuracy =
+      static_cast<float>(total / std::max(1, repeats));
+  return res;
+}
+
+}  // namespace rdo::core

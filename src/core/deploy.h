@@ -1,0 +1,165 @@
+// End-to-end deployment of a trained network onto variation-afflicted
+// RRAM crossbars, with the paper's full scheme matrix:
+//
+//   Plain        CTW = NTW, no offsets            (baseline, §IV "plain")
+//   VAWO         variation-aware CTWs + offsets   (§III-B)
+//   VAWOStar     VAWO + weight complement         (§III-C, "VAWO*")
+//   PWT          plain CTWs, offsets trained post-writing (§III-D)
+//   VAWOStarPWT  VAWO* then PWT                   (§IV-A3, the full method)
+//
+// Pipeline per programming cycle (CCV means every cycle lands different
+// CRWs):  prepare (once)  ->  program_cycle  ->  tune  ->  evaluate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/vawo.h"
+#include "nn/layer.h"
+#include "nn/trainer.h"
+#include "quant/act_quant.h"
+#include "rram/crossbar.h"
+#include "rram/rlut.h"
+
+namespace rdo::core {
+
+enum class Scheme { Plain, VAWO, VAWOStar, PWT, VAWOStarPWT };
+
+const char* to_string(Scheme s);
+inline bool scheme_uses_vawo(Scheme s) {
+  return s == Scheme::VAWO || s == Scheme::VAWOStar ||
+         s == Scheme::VAWOStarPWT;
+}
+inline bool scheme_uses_complement(Scheme s) {
+  return s == Scheme::VAWOStar || s == Scheme::VAWOStarPWT;
+}
+inline bool scheme_uses_pwt(Scheme s) {
+  return s == Scheme::PWT || s == Scheme::VAWOStarPWT;
+}
+
+struct PwtOptions {
+  int epochs = 2;
+  /// Base step size in integer-offset units; gradients are RMS-normalized
+  /// per layer each batch, so this is roughly "offset units moved per
+  /// batch" (the practical choice of the paper's learning rate eta).
+  float lr = 1.0f;
+  std::int64_t batch_size = 32;
+  std::int64_t max_samples = 0;  ///< 0 = full training set per epoch
+  /// Warm-start each offset at the measured group-mean deviation
+  /// mean_i(NTW_i - CRW_i) before gradient tuning. Pure posteriori
+  /// knowledge (the same measurement PWT already requires) and the
+  /// closed-form minimizer of the per-group weight MSE; backprop then
+  /// refines it loss-aware. Disable for the strict gradient-only variant.
+  bool mean_init = true;
+};
+
+struct DeployOptions {
+  Scheme scheme = Scheme::Plain;
+  OffsetConfig offsets;                 ///< m and offset register width
+  rdo::rram::CellModel cell;            ///< SLC or MLC2, ON/OFF ratio
+  rdo::rram::VariationModel variation;  ///< sigma (and optional DDV split)
+  rdo::rram::FaultModel faults;         ///< optional stuck-at-fault rates
+  int weight_bits = 8;
+  /// LUT statistical-testing protocol (K device sets x J cycles per CTW).
+  int lut_k_sets = 16;
+  int lut_j_cycles = 8;
+  /// Samples used to estimate the mean loss gradient for VAWO.
+  std::int64_t grad_samples = 256;
+  std::int64_t grad_batch = 32;
+  PwtOptions pwt;
+  bool quantize_activations = true;
+  bool penalize_bias = true;  ///< see VawoOptions
+  std::uint64_t seed = 1;     ///< master seed (LUT build, programming base)
+};
+
+/// One crossbar-mapped layer of the deployed network.
+struct DeployedLayer {
+  rdo::nn::MatrixOp* op = nullptr;
+  rdo::quant::LayerQuant lq;       ///< NTWs + scale/zero
+  VawoResult assign;               ///< CTWs, base offsets, complement flags
+  std::vector<float> offsets;      ///< working offsets (tuned by PWT)
+  std::vector<double> crw;         ///< measured CRWs of the current cycle
+};
+
+class Deployment {
+ public:
+  /// `net` must outlive the Deployment; its weights are replaced by the
+  /// deployed effective weights until restore() (also called by the
+  /// destructor).
+  Deployment(rdo::nn::Layer& net, DeployOptions opt);
+  ~Deployment();
+  Deployment(const Deployment&) = delete;
+  Deployment& operator=(const Deployment&) = delete;
+
+  /// One-time preparation: quantize weights, calibrate activation
+  /// quantizers, collect mean gradients and run VAWO (scheme-dependent).
+  void prepare(const rdo::nn::DataView& train);
+
+  /// Program every CTW once (one CCV cycle) and load the resulting
+  /// effective weights into the network.
+  void program_cycle(std::uint64_t cycle_salt);
+
+  /// Post-writing tuning of the digital offsets (no-op unless the scheme
+  /// includes PWT). Rounds offsets to the register grid when done.
+  void tune(const rdo::nn::DataView& train);
+
+  /// Test accuracy of the currently deployed network.
+  float evaluate(const rdo::nn::DataView& test, std::int64_t batch = 64);
+
+  /// Restore the original float weights.
+  void restore();
+
+  [[nodiscard]] const std::vector<DeployedLayer>& layers() const {
+    return layers_;
+  }
+  std::vector<DeployedLayer>& mutable_layers() { return layers_; }
+  [[nodiscard]] const rdo::rram::RLut& lut() const { return lut_; }
+  [[nodiscard]] const rdo::rram::WeightProgrammer& programmer() const {
+    return prog_;
+  }
+  [[nodiscard]] const DeployOptions& options() const { return opt_; }
+
+  /// Nominal device read power of the assigned CTWs (Table I numerator).
+  [[nodiscard]] double assigned_read_power() const;
+  /// Nominal device read power of the plain NTW assignment (denominator).
+  [[nodiscard]] double plain_read_power() const;
+  /// Crossbars needed to hold all layers (Table III accounting).
+  [[nodiscard]] std::int64_t total_crossbars(int xbar_rows = 128,
+                                             int xbar_cols = 128) const;
+  /// Offset registers needed across all layers (Eq. 9 summed).
+  [[nodiscard]] std::int64_t total_offset_registers() const;
+
+ private:
+  rdo::nn::Layer& net_;
+  DeployOptions opt_;
+  rdo::rram::WeightProgrammer prog_;
+  rdo::rram::RLut lut_;
+  std::vector<DeployedLayer> layers_;
+  std::vector<std::vector<float>> float_backup_;
+  std::vector<rdo::quant::ActQuant*> act_quants_;
+  bool prepared_ = false;
+  bool weights_deployed_ = false;
+
+  void apply_effective_weights();
+  void apply_group_delta(DeployedLayer& dl, std::int64_t c, std::int64_t g,
+                         float delta_b);
+  void calibrate_act_quant(const rdo::nn::DataView& data);
+  void run_pwt(const rdo::nn::DataView& train);  // defined in pwt.cpp
+  double read_power_of(const std::vector<int>& weights) const;
+};
+
+/// Result of running one scheme over several programming cycles.
+struct SchemeResult {
+  float mean_accuracy = 0.0f;
+  std::vector<float> per_cycle;
+};
+
+/// Convenience harness: prepare once, then `repeats` program/tune/evaluate
+/// cycles with distinct CCV draws; restores the network afterwards.
+SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
+                        const rdo::nn::DataView& train,
+                        const rdo::nn::DataView& test, int repeats,
+                        std::int64_t eval_batch = 64);
+
+}  // namespace rdo::core

@@ -1,0 +1,40 @@
+// Digital-offset group geometry.
+//
+// An offset register is shared by m consecutive weights of one matrix
+// column (the weights read out together on m activated wordlines,
+// paper §III-A). m must be a multiple of the number of wordlines activated
+// per cycle; with the paper's 128x128 crossbars and m in {16, 64, 128},
+// row-blocks of m never straddle a crossbar boundary.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rdo::core {
+
+struct OffsetConfig {
+  int m = 16;           ///< sharing granularity (weights per offset)
+  int offset_bits = 8;  ///< offset register width (signed)
+
+  [[nodiscard]] int offset_min() const { return -(1 << (offset_bits - 1)); }
+  [[nodiscard]] int offset_max() const {
+    return (1 << (offset_bits - 1)) - 1;
+  }
+};
+
+/// Number of offset groups along one column of a `rows`-row matrix.
+inline std::int64_t groups_per_column(std::int64_t rows, int m) {
+  if (m <= 0) throw std::invalid_argument("groups_per_column: m <= 0");
+  return (rows + m - 1) / m;
+}
+
+/// Group index of matrix row `r`.
+inline std::int64_t group_of_row(std::int64_t r, int m) { return r / m; }
+
+/// Offset-register count for a crossbar with S rows storing l weight
+/// columns at sharing granularity m (paper Eq. 9: H = S*l/m).
+inline std::int64_t register_count(std::int64_t s, std::int64_t l, int m) {
+  return s * l / m;
+}
+
+}  // namespace rdo::core

@@ -1,0 +1,104 @@
+// Post-writing tuning (paper §III-D).
+//
+// After programming, the CRWs are known; the digital offsets b_i become
+// the only trainable parameters of the deployed network. Backpropagation
+// through the unchanged autograd path yields dL/db_i = sum over the
+// group's weights of dL/dW (Eq. 8 — the sum over the group's inputs times
+// the upstream gradient), with a sign flip for complemented groups and a
+// dequantization scale per layer.
+//
+// The raw gradient magnitude varies by orders of magnitude across layers,
+// so the update is RMS-normalized per layer per batch: this is the
+// practical instantiation of the paper's learning rate eta and makes PWT
+// converge for every network without per-model tuning. Offsets are kept
+// in float during tuning (projected onto the register range each step)
+// and snapped to the 8-bit register grid by Deployment::tune afterwards.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/deploy.h"
+#include "nn/loss.h"
+
+namespace rdo::core {
+
+void Deployment::run_pwt(const rdo::nn::DataView& train) {
+  const PwtOptions& popt = opt_.pwt;
+  const std::int64_t n =
+      popt.max_samples > 0
+          ? std::min<std::int64_t>(popt.max_samples, train.size())
+          : train.size();
+  rdo::nn::Rng rng = rdo::nn::Rng(opt_.seed).split(0x9917);
+  rdo::nn::SoftmaxCrossEntropy loss;
+  const float lo = static_cast<float>(opt_.offsets.offset_min());
+  const float hi = static_cast<float>(opt_.offsets.offset_max());
+
+  std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
+  std::iota(order.begin(), order.end(), 0);
+
+  float lr = popt.lr;
+  for (int epoch = 0; epoch < popt.epochs; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng.engine());
+    for (std::int64_t start = 0; start < n; start += popt.batch_size) {
+      const std::int64_t end = std::min(n, start + popt.batch_size);
+      std::vector<std::int64_t> idx(order.begin() + start,
+                                    order.begin() + end);
+      rdo::nn::Tensor batch = gather_batch(*train.images, idx);
+      std::vector<int> labels;
+      labels.reserve(idx.size());
+      for (std::int64_t i : idx) {
+        labels.push_back((*train.labels)[static_cast<std::size_t>(i)]);
+      }
+
+      for (rdo::nn::Param* p : net_.params()) p->zero_grad();
+      // Eval-mode forward: the deployed accelerator runs with frozen
+      // batch-norm statistics; PWT tunes offsets at that operating point.
+      rdo::nn::Tensor logits = net_.forward(batch, /*train=*/false);
+      loss.forward(logits, labels);
+      net_.backward(loss.backward());
+
+      for (DeployedLayer& dl : layers_) {
+        const std::int64_t cols = dl.lq.cols;
+        const std::int64_t groups = dl.assign.groups_per_col;
+        // dL/db per group (Eq. 8 with the dequantization scale folded in).
+        std::vector<float> gb(static_cast<std::size_t>(groups * cols), 0.0f);
+        for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
+          const std::int64_t g = group_of_row(r, opt_.offsets.m);
+          for (std::int64_t c = 0; c < cols; ++c) {
+            gb[static_cast<std::size_t>(g * cols + c)] +=
+                dl.op->weight_grad_at(r, c);
+          }
+        }
+        double sq = 0.0;
+        for (std::int64_t g = 0; g < groups; ++g) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+            const float sign = dl.assign.complemented[gi] ? -1.0f : 1.0f;
+            gb[gi] *= sign * dl.lq.scale;
+            sq += static_cast<double>(gb[gi]) * gb[gi];
+          }
+        }
+        const float rms = static_cast<float>(
+            std::sqrt(sq / static_cast<double>(groups * cols)) + 1e-12);
+        for (std::int64_t g = 0; g < groups; ++g) {
+          for (std::int64_t c = 0; c < cols; ++c) {
+            const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+            float delta = -lr * gb[gi] / rms;
+            // Project onto the representable offset-register range.
+            const float b_old = dl.offsets[gi];
+            const float b_new = std::clamp(b_old + delta, lo, hi);
+            delta = b_new - b_old;
+            if (delta != 0.0f) {
+              dl.offsets[gi] = b_new;
+              apply_group_delta(dl, c, g, delta);
+            }
+          }
+        }
+      }
+    }
+    lr *= 0.5f;  // simple decay; two epochs suffice in practice
+  }
+  for (rdo::nn::Param* p : net_.params()) p->zero_grad();
+}
+
+}  // namespace rdo::core

@@ -1,0 +1,134 @@
+#include "core/vawo.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdo::core {
+
+namespace {
+
+/// Objective of one candidate (offset, form) for a group; fills `ctw`.
+double group_objective(const std::vector<int>& ntw,
+                       const std::vector<double>& grad,
+                       const rdo::rram::RLut& lut, int weight_levels, int b,
+                       bool complemented, bool penalize_bias,
+                       std::vector<int>& ctw) {
+  double obj = 0.0;
+  for (std::size_t i = 0; i < ntw.size(); ++i) {
+    const int target_ntw =
+        complemented ? weight_levels - ntw[i] : ntw[i];
+    const double target_mean = static_cast<double>(target_ntw - b);
+    const int v = lut.invert_mean(target_mean);
+    ctw[i] = v;
+    const double g2 = grad[i] * grad[i];
+    double term = g2 * lut.var(v);
+    if (penalize_bias) {
+      const double bias = lut.mean(v) - target_mean;
+      term += g2 * bias * bias;
+    }
+    obj += term;
+  }
+  return obj;
+}
+
+}  // namespace
+
+double vawo_solve_group(const std::vector<int>& ntw,
+                        const std::vector<double>& grad,
+                        const rdo::rram::RLut& lut, int weight_levels,
+                        const VawoOptions& opt, int& best_offset,
+                        bool& best_complemented, std::vector<int>& best_ctw) {
+  if (ntw.size() != grad.size() || ntw.empty()) {
+    throw std::invalid_argument("vawo_solve_group: bad group");
+  }
+  double best = -1.0;
+  std::vector<int> ctw(ntw.size());
+  const int forms = opt.use_complement ? 2 : 1;
+  for (int form = 0; form < forms; ++form) {
+    const bool comp = form == 1;
+    for (int b = opt.offsets.offset_min(); b <= opt.offsets.offset_max();
+         ++b) {
+      const double obj = group_objective(ntw, grad, lut, weight_levels, b,
+                                         comp, opt.penalize_bias, ctw);
+      if (best < 0.0 || obj < best) {
+        best = obj;
+        best_offset = b;
+        best_complemented = comp;
+        best_ctw = ctw;
+      }
+    }
+  }
+  return best;
+}
+
+VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
+                      const std::vector<double>& grads,
+                      const rdo::rram::RLut& lut, const VawoOptions& opt) {
+  const std::int64_t rows = lq.rows, cols = lq.cols;
+  if (grads.size() != static_cast<std::size_t>(rows * cols)) {
+    throw std::invalid_argument("vawo_layer: gradient matrix mismatch");
+  }
+  VawoResult res;
+  res.groups_per_col = groups_per_column(rows, opt.offsets.m);
+  res.ctw.assign(static_cast<std::size_t>(rows * cols), 0);
+  res.offsets.assign(static_cast<std::size_t>(res.groups_per_col * cols),
+                     0.0f);
+  res.complemented.assign(static_cast<std::size_t>(res.groups_per_col * cols),
+                          0);
+
+  // Floor the gradient magnitudes. Weights with (numerically) zero mean
+  // gradient — dead units, converged directions — would otherwise make
+  // the group objective identically zero, leaving the offset choice to
+  // tie-breaking and producing arbitrarily bad CTWs for weights that still
+  // matter at inference time.
+  double mean_abs = 0.0;
+  for (double g : grads) mean_abs += std::fabs(g);
+  mean_abs /= static_cast<double>(grads.size());
+  const double floor = mean_abs > 0.0 ? 0.05 * mean_abs : 1.0;
+  std::vector<double> g2(grads.size());
+  for (std::size_t i = 0; i < grads.size(); ++i) {
+    g2[i] = std::max(std::fabs(grads[i]), floor);
+  }
+
+  std::vector<int> ntw;
+  std::vector<double> grad;
+  std::vector<int> ctw;
+  for (std::int64_t c = 0; c < cols; ++c) {
+    for (std::int64_t g = 0; g < res.groups_per_col; ++g) {
+      const std::int64_t r0 = g * opt.offsets.m;
+      const std::int64_t r1 = std::min<std::int64_t>(rows, r0 + opt.offsets.m);
+      ntw.clear();
+      grad.clear();
+      for (std::int64_t r = r0; r < r1; ++r) {
+        ntw.push_back(lq.at(r, c));
+        grad.push_back(g2[static_cast<std::size_t>(r * cols + c)]);
+      }
+      int b = 0;
+      bool comp = false;
+      res.total_objective += vawo_solve_group(ntw, grad, lut, lq.levels(),
+                                              opt, b, comp, ctw);
+      for (std::int64_t r = r0; r < r1; ++r) {
+        res.ctw[static_cast<std::size_t>(r * cols + c)] =
+            ctw[static_cast<std::size_t>(r - r0)];
+      }
+      res.offsets[static_cast<std::size_t>(g * cols + c)] =
+          static_cast<float>(b);
+      res.complemented[static_cast<std::size_t>(g * cols + c)] =
+          comp ? 1 : 0;
+    }
+  }
+  return res;
+}
+
+VawoResult plain_layer(const rdo::quant::LayerQuant& lq, int m) {
+  VawoResult res;
+  res.groups_per_col = groups_per_column(lq.rows, m);
+  res.ctw.assign(lq.q.begin(), lq.q.end());
+  res.offsets.assign(static_cast<std::size_t>(res.groups_per_col * lq.cols),
+                     0.0f);
+  res.complemented.assign(
+      static_cast<std::size_t>(res.groups_per_col * lq.cols), 0);
+  return res;
+}
+
+}  // namespace rdo::core

@@ -1,0 +1,69 @@
+// Variation-aware weight optimization (paper §III-B) and the weight
+// complement enhancement (§III-C).
+//
+// For every group of m NTWs sharing one digital offset, VAWO picks the
+// offset b and CTWs v_i that keep the network real weights unbiased
+// (E[R(v_i)] + b = w_i*) while minimizing
+//     sum_i (dL/dw_i)^2 * Var[R(v_i)].
+// The offset is enumerated over all 2^offset_bits register values; each
+// candidate inverts the E[R(v)] LUT to recover the v_i (the paper's exact
+// procedure). When the constraint is unreachable for some weight (target
+// outside the representable conductance range), the residual bias enters
+// the objective as bias^2 — the natural extension of the paper's
+// first-order analysis; set `penalize_bias = false` for the strict
+// formulation (ablation).
+//
+// With `use_complement`, the mirrored problem over complemented targets
+// (2^n - 1 - w_i*) is solved too and the better of the two forms is kept
+// (VAWO*).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offset.h"
+#include "quant/quantizer.h"
+#include "rram/rlut.h"
+
+namespace rdo::core {
+
+struct VawoOptions {
+  OffsetConfig offsets;
+  bool use_complement = false;
+  bool penalize_bias = true;
+};
+
+/// VAWO output for one layer.
+struct VawoResult {
+  std::vector<int> ctw;              ///< [rows*cols] crossbar target weights
+  std::vector<float> offsets;        ///< [groups_per_col*cols], value of b
+  std::vector<std::uint8_t> complemented;  ///< per group, 1 = stored inverted
+  std::int64_t groups_per_col = 0;
+  double total_objective = 0.0;
+};
+
+/// Solve one offset group.
+///
+/// `ntw`/`grad` hold the m' (<= m) weights of the group; returns the chosen
+/// offset, complement flag and CTWs through the out-parameters, and the
+/// objective value achieved.
+double vawo_solve_group(const std::vector<int>& ntw,
+                        const std::vector<double>& grad,
+                        const rdo::rram::RLut& lut, int weight_levels,
+                        const VawoOptions& opt, int& best_offset,
+                        bool& best_complemented, std::vector<int>& best_ctw);
+
+/// Run VAWO over a whole quantized layer.
+///
+/// `grads` is the row-major [rows*cols] matrix of mean loss gradients
+/// dL/dw (in effective-weight units; only relative magnitudes matter
+/// within a group).
+VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
+                      const std::vector<double>& grads,
+                      const rdo::rram::RLut& lut, const VawoOptions& opt);
+
+/// The "plain" assignment (CTW = NTW, zero offsets) in the same format,
+/// for the baseline scheme.
+VawoResult plain_layer(const rdo::quant::LayerQuant& lq, int m);
+
+}  // namespace rdo::core

@@ -1,0 +1,118 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdo::data {
+
+using rdo::nn::Rng;
+using rdo::nn::Tensor;
+
+SyntheticSpec mnist_like() {
+  SyntheticSpec s;
+  s.channels = 1;
+  s.height = 28;
+  s.width = 28;
+  s.seed = 42;
+  return s;
+}
+
+SyntheticSpec cifar_like() {
+  SyntheticSpec s;
+  s.channels = 3;
+  s.height = 32;
+  s.width = 32;
+  s.noise = 0.3;
+  s.max_shift = 3.0;
+  s.seed = 77;
+  return s;
+}
+
+namespace {
+
+struct Blob {
+  double cx, cy, sx, sy, amp;
+  int channel;
+};
+
+/// Render the class prototype shifted by (dx, dy) into `out`.
+void render(const std::vector<Blob>& blobs, const SyntheticSpec& spec,
+            double dx, double dy, float* out) {
+  const std::int64_t hw = static_cast<std::int64_t>(spec.height) * spec.width;
+  std::fill(out, out + spec.channels * hw, 0.0f);
+  for (const Blob& b : blobs) {
+    float* img = out + b.channel * hw;
+    for (int y = 0; y < spec.height; ++y) {
+      const double ey = (y - (b.cy + dy)) / b.sy;
+      for (int x = 0; x < spec.width; ++x) {
+        const double ex = (x - (b.cx + dx)) / b.sx;
+        img[y * spec.width + x] += static_cast<float>(
+            b.amp * std::exp(-0.5 * (ex * ex + ey * ey)));
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SyntheticDataset make_synthetic(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  // Class prototypes.
+  std::vector<std::vector<Blob>> prototypes(
+      static_cast<std::size_t>(spec.classes));
+  for (int k = 0; k < spec.classes; ++k) {
+    Rng crng = rng.split(static_cast<std::uint64_t>(k));
+    auto& blobs = prototypes[static_cast<std::size_t>(k)];
+    for (int b = 0; b < spec.blobs_per_class; ++b) {
+      Blob blob;
+      blob.cx = crng.uniform(0.2, 0.8) * spec.width;
+      blob.cy = crng.uniform(0.2, 0.8) * spec.height;
+      blob.sx = crng.uniform(0.06, 0.18) * spec.width;
+      blob.sy = crng.uniform(0.06, 0.18) * spec.height;
+      blob.amp = crng.uniform(0.5, 1.0);
+      blob.channel =
+          static_cast<int>(crng.uniform_int(0, spec.channels - 1));
+      blobs.push_back(blob);
+    }
+  }
+
+  const std::int64_t n_train =
+      static_cast<std::int64_t>(spec.classes) * spec.train_per_class;
+  const std::int64_t n_test =
+      static_cast<std::int64_t>(spec.classes) * spec.test_per_class;
+  SyntheticDataset ds;
+  ds.train_images =
+      Tensor({n_train, spec.channels, spec.height, spec.width});
+  ds.test_images = Tensor({n_test, spec.channels, spec.height, spec.width});
+  ds.train_labels.resize(static_cast<std::size_t>(n_train));
+  ds.test_labels.resize(static_cast<std::size_t>(n_test));
+
+  const std::int64_t sample_size =
+      static_cast<std::int64_t>(spec.channels) * spec.height * spec.width;
+  Rng srng = rng.split(0xDA7A);
+  auto emit = [&](Tensor& images, std::vector<int>& labels,
+                  std::int64_t index, int cls) {
+    float* out = images.data() + index * sample_size;
+    const double dx = srng.uniform(-spec.max_shift, spec.max_shift);
+    const double dy = srng.uniform(-spec.max_shift, spec.max_shift);
+    render(prototypes[static_cast<std::size_t>(cls)], spec, dx, dy, out);
+    for (std::int64_t i = 0; i < sample_size; ++i) {
+      const double v = out[i] + srng.normal(0.0, spec.noise);
+      out[i] = static_cast<float>(std::clamp(v, 0.0, 1.0));
+    }
+    labels[static_cast<std::size_t>(index)] = cls;
+  };
+
+  std::int64_t ti = 0, si = 0;
+  for (int k = 0; k < spec.classes; ++k) {
+    for (int i = 0; i < spec.train_per_class; ++i) {
+      emit(ds.train_images, ds.train_labels, ti++, k);
+    }
+    for (int i = 0; i < spec.test_per_class; ++i) {
+      emit(ds.test_images, ds.test_labels, si++, k);
+    }
+  }
+  return ds;
+}
+
+}  // namespace rdo::data

@@ -1,0 +1,54 @@
+// Synthetic image classification datasets.
+//
+// Stand-ins for MNIST and CIFAR-10 (no dataset files are available in this
+// offline environment — see DESIGN.md). Each class gets a smooth random
+// prototype (a sum of Gaussian blobs); samples are the prototype under a
+// random sub-pixel translation plus additive noise, clamped to [0, 1].
+// The resulting tasks train to high accuracy with LeNet-class networks,
+// giving the same "high ideal accuracy, collapses under variation" regime
+// the paper's experiments need.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "nn/trainer.h"
+
+namespace rdo::data {
+
+struct SyntheticSpec {
+  int classes = 10;
+  int channels = 1;
+  int height = 28;
+  int width = 28;
+  int train_per_class = 150;
+  int test_per_class = 40;
+  int blobs_per_class = 6;     ///< Gaussian blobs forming a prototype
+  double noise = 0.25;         ///< additive noise std-dev
+  double max_shift = 2.0;      ///< max |translation| in pixels
+  std::uint64_t seed = 42;
+};
+
+/// "MNIST-like": 28x28 grayscale, 10 classes.
+SyntheticSpec mnist_like();
+/// "CIFAR-like": 32x32 RGB, 10 classes.
+SyntheticSpec cifar_like();
+
+struct SyntheticDataset {
+  rdo::nn::Tensor train_images;
+  std::vector<int> train_labels;
+  rdo::nn::Tensor test_images;
+  std::vector<int> test_labels;
+
+  [[nodiscard]] rdo::nn::DataView train() const {
+    return {&train_images, &train_labels};
+  }
+  [[nodiscard]] rdo::nn::DataView test() const {
+    return {&test_images, &test_labels};
+  }
+};
+
+SyntheticDataset make_synthetic(const SyntheticSpec& spec);
+
+}  // namespace rdo::data

@@ -1,0 +1,55 @@
+#include "models/alexnet.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/pooling.h"
+#include "quant/act_quant.h"
+
+namespace rdo::models {
+
+using namespace rdo::nn;
+
+std::unique_ptr<Sequential> make_alexnet(const AlexNetConfig& cfg,
+                                         Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  auto aq = [&]() {
+    if (cfg.act_quant) net->emplace<rdo::quant::ActQuant>(cfg.act_bits);
+  };
+  const int b = cfg.base_channels;
+  // Stage 1: 5x5 stem (AlexNet's big-kernel front end, CIFAR-scaled).
+  aq();
+  net->emplace<Conv2D>(cfg.in_channels, b, 5, 1, 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2);
+  // Stage 2.
+  aq();
+  net->emplace<Conv2D>(b, 2 * b, 5, 1, 2, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2);
+  // Stage 3: two 3x3 convs back to back.
+  aq();
+  net->emplace<Conv2D>(2 * b, 4 * b, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  aq();
+  net->emplace<Conv2D>(4 * b, 2 * b, 3, 1, 1, rng);
+  net->emplace<ReLU>();
+  net->emplace<MaxPool2D>(2);
+  // Classifier.
+  net->emplace<Flatten>();
+  const std::int64_t spatial = cfg.image_size / 8;
+  const std::int64_t flat = 2 * b * spatial * spatial;
+  if (cfg.dropout > 0.0f) net->emplace<Dropout>(cfg.dropout, rng.seed());
+  aq();
+  net->emplace<Dense>(flat, 8 * b, rng);
+  net->emplace<ReLU>();
+  if (cfg.dropout > 0.0f) {
+    net->emplace<Dropout>(cfg.dropout, rng.seed() + 1);
+  }
+  aq();
+  net->emplace<Dense>(8 * b, cfg.classes, rng);
+  return net;
+}
+
+}  // namespace rdo::models

@@ -1,0 +1,28 @@
+// Scaled-down AlexNet (the network DVA [9] reports on in Table III).
+//
+// CIFAR-style AlexNet: large-ish first kernel, three conv stages with
+// pooling, dropout-regularized two-layer classifier. Channel counts are
+// reduced for the CPU budget (see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+
+#include "nn/rng.h"
+#include "nn/sequential.h"
+
+namespace rdo::models {
+
+struct AlexNetConfig {
+  int in_channels = 3;
+  int image_size = 32;
+  int base_channels = 8;
+  int classes = 10;
+  float dropout = 0.25f;
+  bool act_quant = true;
+  int act_bits = 8;
+};
+
+std::unique_ptr<rdo::nn::Sequential> make_alexnet(const AlexNetConfig& cfg,
+                                                  rdo::nn::Rng& rng);
+
+}  // namespace rdo::models

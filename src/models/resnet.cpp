@@ -1,0 +1,66 @@
+#include "models/resnet.h"
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "quant/act_quant.h"
+
+namespace rdo::models {
+
+using namespace rdo::nn;
+
+namespace {
+
+/// One basic block: [conv3x3 - BN - ReLU - conv3x3 - BN] + shortcut, ReLU.
+/// The caller places an ActQuant ahead of the block so both paths see
+/// quantized activations.
+LayerPtr make_block(int in_ch, int out_ch, int stride,
+                    const ResNetConfig& cfg, Rng& rng) {
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2D>(in_ch, out_ch, 3, stride, 1, rng, /*bias=*/false);
+  main->emplace<BatchNorm2D>(out_ch);
+  main->emplace<ReLU>();
+  if (cfg.act_quant) main->emplace<rdo::quant::ActQuant>(cfg.act_bits);
+  main->emplace<Conv2D>(out_ch, out_ch, 3, 1, 1, rng, /*bias=*/false);
+  main->emplace<BatchNorm2D>(out_ch);
+  if (in_ch != out_ch || stride != 1) {
+    auto shortcut = std::make_unique<Sequential>();
+    shortcut->emplace<Conv2D>(in_ch, out_ch, 1, stride, 0, rng,
+                              /*bias=*/false);
+    shortcut->emplace<BatchNorm2D>(out_ch);
+    return std::make_unique<Residual>(std::move(main), std::move(shortcut));
+  }
+  return std::make_unique<Residual>(std::move(main));
+}
+
+}  // namespace
+
+std::unique_ptr<Sequential> make_resnet(const ResNetConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  auto aq = [&]() {
+    if (cfg.act_quant) net->emplace<rdo::quant::ActQuant>(cfg.act_bits);
+  };
+  const int b = cfg.base_channels;
+  aq();
+  net->emplace<Conv2D>(cfg.in_channels, b, 3, 1, 1, rng, /*bias=*/false);
+  net->emplace<BatchNorm2D>(b);
+  net->emplace<ReLU>();
+  int ch = b;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int out_ch = b << stage;
+    for (int blk = 0; blk < cfg.blocks_per_stage; ++blk) {
+      const int stride = (stage > 0 && blk == 0) ? 2 : 1;
+      aq();
+      net->push(make_block(ch, out_ch, stride, cfg, rng));
+      ch = out_ch;
+    }
+  }
+  net->emplace<GlobalAvgPool>();
+  aq();
+  net->emplace<Dense>(ch, cfg.classes, rng);
+  return net;
+}
+
+}  // namespace rdo::models

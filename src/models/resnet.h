@@ -1,0 +1,29 @@
+// Scaled-down ResNet with basic blocks (the paper's ResNet-18 test case).
+//
+// Architecture-faithful: 3 stages of basic residual blocks with identity
+// shortcuts (1x1 projection where shape changes), batch-norm, global
+// average pooling. Channel counts are reduced for the single-core CPU
+// budget (see DESIGN.md substitutions); `blocks_per_stage = 2` with
+// base_channels 64 recovers the real ResNet-18 topology minus stage 4.
+#pragma once
+
+#include <memory>
+
+#include "nn/rng.h"
+#include "nn/sequential.h"
+
+namespace rdo::models {
+
+struct ResNetConfig {
+  int in_channels = 3;
+  int base_channels = 8;
+  int blocks_per_stage = 1;
+  int classes = 10;
+  bool act_quant = true;
+  int act_bits = 8;
+};
+
+std::unique_ptr<rdo::nn::Sequential> make_resnet(const ResNetConfig& cfg,
+                                                 rdo::nn::Rng& rng);
+
+}  // namespace rdo::models

@@ -1,0 +1,42 @@
+#include "models/vgg.h"
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "quant/act_quant.h"
+
+namespace rdo::models {
+
+using namespace rdo::nn;
+
+std::unique_ptr<Sequential> make_vgg(const VggConfig& cfg, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  auto aq = [&]() {
+    if (cfg.act_quant) net->emplace<rdo::quant::ActQuant>(cfg.act_bits);
+  };
+  int ch = cfg.in_channels;
+  int spatial = cfg.image_size;
+  for (int s = 0; s < cfg.stacks; ++s) {
+    const int out_ch = cfg.base_channels << s;
+    aq();
+    net->emplace<Conv2D>(ch, out_ch, 3, 1, 1, rng);
+    net->emplace<ReLU>();
+    aq();
+    net->emplace<Conv2D>(out_ch, out_ch, 3, 1, 1, rng);
+    net->emplace<ReLU>();
+    net->emplace<MaxPool2D>(2);
+    ch = out_ch;
+    spatial /= 2;
+  }
+  net->emplace<Flatten>();
+  aq();
+  net->emplace<Dense>(static_cast<std::int64_t>(ch) * spatial * spatial,
+                      cfg.fc_width, rng);
+  net->emplace<ReLU>();
+  aq();
+  net->emplace<Dense>(cfg.fc_width, cfg.classes, rng);
+  return net;
+}
+
+}  // namespace rdo::models

@@ -1,0 +1,29 @@
+// Scaled-down VGG (the paper's Table III test case uses VGG-16).
+//
+// Conv-conv-pool stacks with doubling channel counts and a two-layer
+// classifier head — the VGG-16 topology with reduced width/depth for the
+// CPU budget (see DESIGN.md substitutions).
+#pragma once
+
+#include <memory>
+
+#include "nn/rng.h"
+#include "nn/sequential.h"
+
+namespace rdo::models {
+
+struct VggConfig {
+  int in_channels = 3;
+  int image_size = 32;
+  int base_channels = 8;
+  int classes = 10;
+  int stacks = 3;        ///< conv-conv-pool stacks
+  int fc_width = 64;
+  bool act_quant = true;
+  int act_bits = 8;
+};
+
+std::unique_ptr<rdo::nn::Sequential> make_vgg(const VggConfig& cfg,
+                                              rdo::nn::Rng& rng);
+
+}  // namespace rdo::models

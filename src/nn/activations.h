@@ -1,0 +1,30 @@
+// Elementwise activation layers and shape adapters.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace rdo::nn {
+
+/// Rectified linear unit.
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;
+};
+
+/// Flattens [N, ...] to [N, features].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::int64_t> cached_shape_;
+};
+
+}  // namespace rdo::nn

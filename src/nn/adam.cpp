@@ -1,0 +1,50 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace rdo::nn {
+
+Adam::Adam(std::vector<Param*> params, float lr, float beta1, float beta2,
+           float eps, float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Param* p : params_) {
+    m_.emplace_back(p->value.shape());
+    v_.emplace_back(p->value.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (!p->trainable) continue;
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (std::int64_t j = 0; j < p->value.size(); ++j) {
+      const float g = p->grad[j] + weight_decay_ * p->value[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float mhat = m[j] / bc1;
+      const float vhat = v[j] / bc2;
+      p->value[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+  zero_grad();
+}
+
+void Adam::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,34 @@
+// Adam optimizer (Kingma & Ba) — an alternative to SGD for the training
+// substrate; useful where SGD's learning rate is hard to tune (e.g. the
+// deeper scaled models).
+#pragma once
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace rdo::nn {
+
+class Adam {
+ public:
+  explicit Adam(std::vector<Param*> params, float lr = 1e-3f,
+                float beta1 = 0.9f, float beta2 = 0.999f, float eps = 1e-8f,
+                float weight_decay = 0.0f);
+
+  /// Apply one update using the accumulated gradients, then zero them.
+  void step();
+  void zero_grad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+  [[nodiscard]] long step_count() const { return t_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  float lr_, beta1_, beta2_, eps_, weight_decay_;
+  long t_ = 0;
+};
+
+}  // namespace rdo::nn

@@ -1,0 +1,107 @@
+#include "nn/conv2d.h"
+
+#include <stdexcept>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/im2col.h"
+
+namespace rdo::nn {
+
+Conv2D::Conv2D(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel,
+               std::int64_t stride, std::int64_t pad, Rng& rng, bool bias)
+    : in_ch_(in_ch),
+      out_ch_(out_ch),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_({in_ch * kernel * kernel, out_ch}),
+      bias_({out_ch}) {
+  weight_.value.kaiming_init(rng, fan_in());
+  bias_.trainable = bias;
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4 || x.dim(1) != in_ch_) {
+    throw std::invalid_argument("Conv2D::forward: bad input " + x.shape_str());
+  }
+  cached_in_ = x;
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = conv_out_dim(h, kernel_, stride_, pad_);
+  const std::int64_t ow = conv_out_dim(w, kernel_, stride_, pad_);
+  const std::int64_t positions = oh * ow;
+  const std::int64_t fin = fan_in();
+
+  Tensor y({n, out_ch_, oh, ow});
+  std::vector<float> cols(static_cast<std::size_t>(positions * fin));
+  std::vector<float> ymat(static_cast<std::size_t>(positions * out_ch_));
+  for (std::int64_t s = 0; s < n; ++s) {
+    im2col(x.data() + s * in_ch_ * h * w, in_ch_, h, w, kernel_, kernel_,
+           stride_, pad_, cols.data());
+    gemm(cols.data(), weight_.value.data(), ymat.data(), positions, fin,
+         out_ch_);
+    float* ys = y.data() + s * out_ch_ * positions;
+    for (std::int64_t p = 0; p < positions; ++p) {
+      const float* row = ymat.data() + p * out_ch_;
+      for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+        ys[oc * positions + p] =
+            row[oc] + (has_bias_ ? bias_.value[oc] : 0.0f);
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_in_;
+  const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  const std::int64_t positions = oh * ow;
+  const std::int64_t fin = fan_in();
+
+  Tensor grad_in({n, in_ch_, h, w});
+  std::vector<float> cols(static_cast<std::size_t>(positions * fin));
+  std::vector<float> gmat(static_cast<std::size_t>(positions * out_ch_));
+  std::vector<float> dcols(static_cast<std::size_t>(positions * fin));
+  for (std::int64_t s = 0; s < n; ++s) {
+    // Recompute im2col (cheaper than caching it for every layer).
+    im2col(x.data() + s * in_ch_ * h * w, in_ch_, h, w, kernel_, kernel_,
+           stride_, pad_, cols.data());
+    // Transpose grad_out[s] from [oc, positions] to [positions, oc].
+    const float* gs = grad_out.data() + s * out_ch_ * positions;
+    for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+      for (std::int64_t p = 0; p < positions; ++p) {
+        gmat[static_cast<std::size_t>(p * out_ch_ + oc)] =
+            gs[oc * positions + p];
+      }
+    }
+    // dW += cols^T * G
+    gemm_at_b_accumulate(cols.data(), gmat.data(), weight_.grad.data(), fin,
+                         positions, out_ch_);
+    if (has_bias_) {
+      for (std::int64_t oc = 0; oc < out_ch_; ++oc) {
+        float acc = 0.0f;
+        for (std::int64_t p = 0; p < positions; ++p) {
+          acc += gs[oc * positions + p];
+        }
+        bias_.grad[oc] += acc;
+      }
+    }
+    // dcols = G * W^T, then scatter back to the input gradient.
+    std::fill(dcols.begin(), dcols.end(), 0.0f);
+    gemm_a_bt_accumulate(gmat.data(), weight_.value.data(), dcols.data(),
+                         positions, out_ch_, fin);
+    col2im(dcols.data(), in_ch_, h, w, kernel_, kernel_, stride_, pad_,
+           grad_in.data() + s * in_ch_ * h * w);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2D::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace rdo::nn

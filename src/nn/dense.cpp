@@ -1,0 +1,58 @@
+#include "nn/dense.h"
+
+#include <stdexcept>
+
+#include "nn/gemm.h"
+
+namespace rdo::nn {
+
+Dense::Dense(std::int64_t in, std::int64_t out, Rng& rng, bool bias)
+    : in_(in), out_(out), has_bias_(bias), weight_({in, out}), bias_({out}) {
+  weight_.value.kaiming_init(rng, in);
+  bias_.trainable = bias;
+}
+
+Tensor Dense::forward(const Tensor& x, bool /*train*/) {
+  Tensor flat = x.rank() == 2 ? x : x.reshaped({x.dim(0), x.size() / x.dim(0)});
+  if (flat.dim(1) != in_) {
+    throw std::invalid_argument("Dense::forward: fan-in mismatch " +
+                                flat.shape_str());
+  }
+  cached_in_ = flat;
+  const std::int64_t n = flat.dim(0);
+  Tensor y({n, out_});
+  gemm(flat.data(), weight_.value.data(), y.data(), n, in_, out_);
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out_; ++j) y.at(i, j) += bias_.value[j];
+    }
+  }
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const std::int64_t n = cached_in_.dim(0);
+  // dW[in, out] += X^T[in, n] * dY[n, out]
+  gemm_at_b_accumulate(cached_in_.data(), grad_out.data(),
+                       weight_.grad.data(), in_, n, out_);
+  if (has_bias_) {
+    for (std::int64_t i = 0; i < n; ++i) {
+      for (std::int64_t j = 0; j < out_; ++j) {
+        bias_.grad[j] += grad_out.at(i, j);
+      }
+    }
+  }
+  // dX[n, in] = dY[n, out] * W^T[out, in]
+  Tensor grad_in({n, in_});
+  gemm_a_bt_accumulate(grad_out.data(), weight_.value.data(), grad_in.data(),
+                       n, out_, in_);
+  return grad_in;
+}
+
+std::vector<Param*> Dense::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+}  // namespace rdo::nn

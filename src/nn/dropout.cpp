@@ -1,0 +1,31 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace rdo::nn {
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (p_ < 0.0f || p_ >= 1.0f) {
+    throw std::invalid_argument("Dropout: p must be in [0, 1)");
+  }
+  last_train_ = train;
+  if (!train || p_ == 0.0f) return x;
+  const float keep = 1.0f - p_;
+  mask_ = Tensor(x.shape());
+  Tensor y = x;
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    const bool kept = rng_.uniform() >= p_;
+    mask_[i] = kept ? 1.0f / keep : 0.0f;
+    y[i] *= mask_[i];
+  }
+  return y;
+}
+
+Tensor Dropout::backward(const Tensor& grad_out) {
+  if (!last_train_ || p_ == 0.0f) return grad_out;
+  Tensor g = grad_out;
+  for (std::int64_t i = 0; i < g.size(); ++i) g[i] *= mask_[i];
+  return g;
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,57 @@
+#include "nn/gemm.h"
+
+#include <cstring>
+
+namespace rdo::nn {
+
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;  // im2col matrices are often sparse (ReLU)
+      const float* brow = b + p * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m * n));
+  gemm_accumulate(a, b, c, m, k, n);
+}
+
+void gemm_at_b_accumulate(const float* a, const float* b, float* c,
+                          std::int64_t m, std::int64_t k, std::int64_t n) {
+  // A is [K, M]; we compute C[i, j] += sum_p A[p, i] * B[p, j].
+  for (std::int64_t p = 0; p < k; ++p) {
+    const float* arow = a + p * m;
+    const float* brow = b + p * n;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c + i * n;
+      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c,
+                          std::int64_t m, std::int64_t k, std::int64_t n) {
+  // B is [N, K]; we compute C[i, j] += sum_p A[i, p] * B[j, p].
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      float acc = 0.0f;
+      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] += acc;
+    }
+  }
+}
+
+}  // namespace rdo::nn

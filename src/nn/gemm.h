@@ -1,0 +1,28 @@
+// Small single-threaded GEMM kernels used by Dense and Conv2D layers.
+//
+// These are deliberately simple (ikj loop order, -O3 auto-vectorized) —
+// adequate for the scaled-down networks this reproduction trains on a
+// single CPU core.
+#pragma once
+
+#include <cstdint>
+
+namespace rdo::nn {
+
+/// C[M,N] += A[M,K] * B[K,N]  (row-major, C must be pre-initialized).
+void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
+                     std::int64_t k, std::int64_t n);
+
+/// C[M,N] = A[M,K] * B[K,N]  (row-major, C overwritten).
+void gemm(const float* a, const float* b, float* c, std::int64_t m,
+          std::int64_t k, std::int64_t n);
+
+/// C[M,N] += A^T[M,K] * B[K,N] where A is stored as [K,M] row-major.
+void gemm_at_b_accumulate(const float* a, const float* b, float* c,
+                          std::int64_t m, std::int64_t k, std::int64_t n);
+
+/// C[M,N] += A[M,K] * B^T[K,N] where B is stored as [N,K] row-major.
+void gemm_a_bt_accumulate(const float* a, const float* b, float* c,
+                          std::int64_t m, std::int64_t k, std::int64_t n);
+
+}  // namespace rdo::nn

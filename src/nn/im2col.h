@@ -1,0 +1,29 @@
+// im2col / col2im transforms for convolution lowering.
+#pragma once
+
+#include <cstdint>
+
+namespace rdo::nn {
+
+/// Expand input patch columns:
+///   in  : [C, H, W] (single image)
+///   out : [OH*OW, C*KH*KW] row-major; each row is one output position's
+///         receptive field, flattened channel-major.
+/// Zero padding `pad` on both sides, stride `stride`.
+void im2col(const float* in, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, float* out);
+
+/// Inverse scatter-add of im2col: accumulates columns back into the image
+/// gradient. `in_grad` must be pre-zeroed by the caller.
+void col2im(const float* cols, std::int64_t c, std::int64_t h, std::int64_t w,
+            std::int64_t kh, std::int64_t kw, std::int64_t stride,
+            std::int64_t pad, float* in_grad);
+
+/// Output spatial size of a convolution dimension.
+inline std::int64_t conv_out_dim(std::int64_t in, std::int64_t k,
+                                 std::int64_t stride, std::int64_t pad) {
+  return (in + 2 * pad - k) / stride + 1;
+}
+
+}  // namespace rdo::nn

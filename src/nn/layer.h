@@ -1,0 +1,52 @@
+// Layer interface for the define-by-structure network graph.
+//
+// Layers own their parameters and cache whatever they need from `forward`
+// to compute `backward`. The graph is static (Sequential + nested blocks);
+// this is all the autograd the reproduction needs, and it keeps gradient
+// flow explicit — which matters because PWT (post-writing tuning) re-uses
+// exactly this path to train digital offsets.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/param.h"
+#include "nn/tensor.h"
+
+namespace rdo::nn {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Forward pass. `train` enables training-time behaviour (e.g. batch-norm
+  /// batch statistics). Implementations must cache inputs needed by
+  /// backward.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Backward pass: consumes dL/d(output), accumulates parameter gradients,
+  /// returns dL/d(input). Must be called after a matching forward.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// All trainable parameters of this layer (including nested layers).
+  virtual std::vector<Param*> params() { return {}; }
+
+  /// Persistent non-trainable state (e.g. batch-norm running statistics).
+  /// Serialized alongside params so a saved model evaluates identically
+  /// after loading.
+  virtual std::vector<Tensor*> buffers() { return {}; }
+
+  /// Direct child layers (for recursive traversal of blocks).
+  virtual std::vector<Layer*> children() { return {}; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+using LayerPtr = std::unique_ptr<Layer>;
+
+/// Recursively collect `layer` and all transitive children in definition
+/// order.
+void collect_layers(Layer* layer, std::vector<Layer*>& out);
+
+}  // namespace rdo::nn

@@ -1,0 +1,28 @@
+// Softmax cross-entropy loss (the paper trains with cross-entropy).
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace rdo::nn {
+
+/// Softmax + cross-entropy over logits [N, classes].
+class SoftmaxCrossEntropy {
+ public:
+  /// Returns mean loss over the batch; caches probabilities for backward.
+  float forward(const Tensor& logits, const std::vector<int>& labels);
+
+  /// Returns dL/dlogits for the cached forward (mean reduction).
+  [[nodiscard]] Tensor backward() const;
+
+  /// Number of correct argmax predictions in the cached batch.
+  [[nodiscard]] int correct() const { return correct_; }
+
+ private:
+  Tensor probs_;
+  std::vector<int> labels_;
+  int correct_ = 0;
+};
+
+}  // namespace rdo::nn

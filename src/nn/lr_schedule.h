@@ -1,0 +1,69 @@
+// Learning-rate schedules for the training substrate.
+#pragma once
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdo::nn {
+
+/// Step decay: lr = base * gamma^(epoch / step_every).
+class StepDecay {
+ public:
+  StepDecay(float base_lr, int step_every, float gamma = 0.1f)
+      : base_(base_lr), every_(step_every), gamma_(gamma) {
+    if (step_every <= 0) {
+      throw std::invalid_argument("StepDecay: step_every <= 0");
+    }
+  }
+  [[nodiscard]] float at(int epoch) const {
+    return base_ * std::pow(gamma_, static_cast<float>(epoch / every_));
+  }
+
+ private:
+  float base_;
+  int every_;
+  float gamma_;
+};
+
+/// Cosine annealing from base_lr to min_lr over total_epochs.
+class CosineDecay {
+ public:
+  CosineDecay(float base_lr, int total_epochs, float min_lr = 0.0f)
+      : base_(base_lr), total_(total_epochs), min_(min_lr) {
+    if (total_epochs <= 0) {
+      throw std::invalid_argument("CosineDecay: total_epochs <= 0");
+    }
+  }
+  [[nodiscard]] float at(int epoch) const {
+    if (epoch >= total_) return min_;
+    const float t = static_cast<float>(epoch) / static_cast<float>(total_);
+    return min_ + 0.5f * (base_ - min_) *
+                      (1.0f + std::cos(3.14159265358979f * t));
+  }
+
+ private:
+  float base_;
+  int total_;
+  float min_;
+};
+
+/// Linear warmup into a wrapped schedule.
+template <typename Schedule>
+class Warmup {
+ public:
+  Warmup(Schedule inner, int warmup_epochs)
+      : inner_(inner), warmup_(warmup_epochs) {}
+  [[nodiscard]] float at(int epoch) const {
+    if (warmup_ > 0 && epoch < warmup_) {
+      return inner_.at(warmup_) * static_cast<float>(epoch + 1) /
+             static_cast<float>(warmup_);
+    }
+    return inner_.at(epoch);
+  }
+
+ private:
+  Schedule inner_;
+  int warmup_;
+};
+
+}  // namespace rdo::nn

@@ -1,0 +1,38 @@
+// Interface implemented by layers whose weights map onto RRAM crossbars.
+//
+// The deployment pipeline (src/core) treats every Dense and Conv2D layer as
+// a fan_in x fan_out weight matrix: rows drive crossbar wordlines, columns
+// drive bitlines. This interface exposes that matrix view plus the matching
+// gradient view, independent of how the layer stores its weights natively.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/param.h"
+
+namespace rdo::nn {
+
+class MatrixOp {
+ public:
+  virtual ~MatrixOp() = default;
+
+  /// Number of matrix rows (= crossbar wordlines consumed).
+  [[nodiscard]] virtual std::int64_t fan_in() const = 0;
+  /// Number of matrix columns (= output channels / units).
+  [[nodiscard]] virtual std::int64_t fan_out() const = 0;
+
+  /// Read weight element at matrix position (row, col).
+  [[nodiscard]] virtual float weight_at(std::int64_t row,
+                                        std::int64_t col) const = 0;
+  /// Write weight element at matrix position (row, col).
+  virtual void set_weight_at(std::int64_t row, std::int64_t col, float v) = 0;
+
+  /// Read the accumulated gradient at matrix position (row, col).
+  [[nodiscard]] virtual float weight_grad_at(std::int64_t row,
+                                             std::int64_t col) const = 0;
+
+  /// The underlying weight parameter (for freezing / optimizer exclusion).
+  virtual Param& weight_param() = 0;
+};
+
+}  // namespace rdo::nn

@@ -1,0 +1,33 @@
+#include "nn/optimizer.h"
+
+namespace rdo::nn {
+
+SGD::SGD(std::vector<Param*> params, float lr, float momentum,
+         float weight_decay)
+    : params_(std::move(params)),
+      lr_(lr),
+      momentum_(momentum),
+      weight_decay_(weight_decay) {
+  velocity_.reserve(params_.size());
+  for (Param* p : params_) velocity_.emplace_back(p->value.shape());
+}
+
+void SGD::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Param* p = params_[i];
+    if (!p->trainable) continue;
+    Tensor& v = velocity_[i];
+    for (std::int64_t j = 0; j < p->value.size(); ++j) {
+      const float g = p->grad[j] + weight_decay_ * p->value[j];
+      v[j] = momentum_ * v[j] + g;
+      p->value[j] -= lr_ * v[j];
+    }
+  }
+  zero_grad();
+}
+
+void SGD::zero_grad() {
+  for (Param* p : params_) p->zero_grad();
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,28 @@
+// SGD optimizer with momentum and weight decay.
+#pragma once
+
+#include <vector>
+
+#include "nn/param.h"
+
+namespace rdo::nn {
+
+class SGD {
+ public:
+  SGD(std::vector<Param*> params, float lr, float momentum = 0.9f,
+      float weight_decay = 0.0f);
+
+  /// Apply one update using the accumulated gradients, then zero them.
+  void step();
+  void zero_grad();
+
+  void set_lr(float lr) { lr_ = lr; }
+  [[nodiscard]] float lr() const { return lr_; }
+
+ private:
+  std::vector<Param*> params_;
+  std::vector<Tensor> velocity_;
+  float lr_, momentum_, weight_decay_;
+};
+
+}  // namespace rdo::nn

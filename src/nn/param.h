@@ -1,0 +1,22 @@
+// Trainable parameter: a value tensor plus its accumulated gradient.
+#pragma once
+
+#include "nn/tensor.h"
+
+namespace rdo::nn {
+
+/// A trainable parameter. `grad` has the same shape as `value` and is
+/// accumulated by Layer::backward; optimizers consume and zero it.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  bool trainable = true;
+
+  explicit Param(std::vector<std::int64_t> shape)
+      : value(shape), grad(std::move(shape)) {}
+  Param() = default;
+
+  void zero_grad() { grad.zero(); }
+};
+
+}  // namespace rdo::nn

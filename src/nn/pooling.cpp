@@ -1,0 +1,82 @@
+#include "nn/pooling.h"
+
+#include <limits>
+#include <stdexcept>
+
+namespace rdo::nn {
+
+Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4) throw std::invalid_argument("MaxPool2D: rank != 4");
+  const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::int64_t oh = h / window_, ow = w / window_;
+  in_shape_ = x.shape();
+  Tensor y({n, c, oh, ow});
+  argmax_.assign(static_cast<std::size_t>(y.size()), 0);
+  std::int64_t oi = 0;
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* img = x.data() + (s * c + ch) * h * w;
+      for (std::int64_t oy = 0; oy < oh; ++oy) {
+        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::int64_t best_idx = 0;
+          for (std::int64_t ky = 0; ky < window_; ++ky) {
+            for (std::int64_t kx = 0; kx < window_; ++kx) {
+              const std::int64_t iy = oy * window_ + ky;
+              const std::int64_t ix = ox * window_ + kx;
+              const float v = img[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = (s * c + ch) * h * w + iy * w + ix;
+              }
+            }
+          }
+          y[oi] = best;
+          argmax_[static_cast<std::size_t>(oi)] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2D::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  for (std::int64_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[argmax_[static_cast<std::size_t>(i)]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
+  if (x.rank() != 4) throw std::invalid_argument("GlobalAvgPool: rank != 4");
+  in_shape_ = x.shape();
+  const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
+  Tensor y({n, c});
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float* img = x.data() + (s * c + ch) * hw;
+      float acc = 0.0f;
+      for (std::int64_t i = 0; i < hw; ++i) acc += img[i];
+      y.at(s, ch) = acc / static_cast<float>(hw);
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  Tensor grad_in(in_shape_);
+  const std::int64_t n = in_shape_[0], c = in_shape_[1],
+                     hw = in_shape_[2] * in_shape_[3];
+  const float inv = 1.0f / static_cast<float>(hw);
+  for (std::int64_t s = 0; s < n; ++s) {
+    for (std::int64_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(s, ch) * inv;
+      float* img = grad_in.data() + (s * c + ch) * hw;
+      for (std::int64_t i = 0; i < hw; ++i) img[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,35 @@
+// Spatial pooling layers over NCHW tensors.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace rdo::nn {
+
+/// Non-overlapping max pooling with a square window.
+class MaxPool2D : public Layer {
+ public:
+  explicit MaxPool2D(std::int64_t window) : window_(window) {}
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
+  [[nodiscard]] std::int64_t window() const { return window_; }
+
+ private:
+  std::int64_t window_;
+  std::vector<std::int64_t> argmax_;
+  std::vector<std::int64_t> in_shape_;
+};
+
+/// Global average pooling: [N, C, H, W] -> [N, C].
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::int64_t> in_shape_;
+};
+
+}  // namespace rdo::nn

@@ -1,0 +1,98 @@
+#include "nn/sequential.h"
+
+namespace rdo::nn {
+
+void collect_layers(Layer* layer, std::vector<Layer*>& out) {
+  out.push_back(layer);
+  for (Layer* child : layer->children()) collect_layers(child, out);
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+std::vector<Param*> Sequential::params() {
+  std::vector<Param*> out;
+  for (auto& l : layers_) {
+    for (Param* p : l->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Sequential::buffers() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_) {
+    for (Tensor* b : l->buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Layer*> Sequential::children() {
+  std::vector<Layer*> out;
+  out.reserve(layers_.size());
+  for (auto& l : layers_) out.push_back(l.get());
+  return out;
+}
+
+Tensor Residual::forward(const Tensor& x, bool train) {
+  Tensor main_out = main_->forward(x, train);
+  Tensor short_out = shortcut_ ? shortcut_->forward(x, train) : x;
+  Tensor y = main_out;
+  y.axpy(1.0f, short_out);
+  relu_mask_ = Tensor(y.shape());
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] > 0.0f) {
+      relu_mask_[i] = 1.0f;
+    } else {
+      y[i] = 0.0f;
+    }
+  }
+  return y;
+}
+
+Tensor Residual::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (std::int64_t i = 0; i < g.size(); ++i) g[i] *= relu_mask_[i];
+  Tensor grad_main = main_->backward(g);
+  if (shortcut_) {
+    Tensor grad_short = shortcut_->backward(g);
+    grad_main.axpy(1.0f, grad_short);
+  } else {
+    grad_main.axpy(1.0f, g);
+  }
+  return grad_main;
+}
+
+std::vector<Param*> Residual::params() {
+  std::vector<Param*> out = main_->params();
+  if (shortcut_) {
+    for (Param* p : shortcut_->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Tensor*> Residual::buffers() {
+  std::vector<Tensor*> out = main_->buffers();
+  if (shortcut_) {
+    for (Tensor* b : shortcut_->buffers()) out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<Layer*> Residual::children() {
+  std::vector<Layer*> out{main_.get()};
+  if (shortcut_) out.push_back(shortcut_.get());
+  return out;
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,67 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace rdo::nn {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x52444F32;  // "RDO2"
+
+void write_tensor(std::ofstream& f, const Tensor& t) {
+  const std::uint64_t size = static_cast<std::uint64_t>(t.size());
+  f.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  f.write(reinterpret_cast<const char*>(t.data()),
+          static_cast<std::streamsize>(size * sizeof(float)));
+}
+
+void read_tensor(std::ifstream& f, Tensor& t, const std::string& path) {
+  std::uint64_t size = 0;
+  f.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (size != static_cast<std::uint64_t>(t.size())) {
+    throw std::runtime_error("load_params: tensor size mismatch in " + path);
+  }
+  f.read(reinterpret_cast<char*>(t.data()),
+         static_cast<std::streamsize>(size * sizeof(float)));
+}
+
+}  // namespace
+
+void save_params(Layer& net, const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("save_params: cannot open " + path);
+  const auto params = net.params();
+  const auto buffers = net.buffers();
+  const std::uint64_t pcount = params.size();
+  const std::uint64_t bcount = buffers.size();
+  f.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  f.write(reinterpret_cast<const char*>(&pcount), sizeof(pcount));
+  f.write(reinterpret_cast<const char*>(&bcount), sizeof(bcount));
+  for (Param* p : params) write_tensor(f, p->value);
+  for (Tensor* b : buffers) write_tensor(f, *b);
+  if (!f) throw std::runtime_error("save_params: write failed for " + path);
+}
+
+bool load_params(Layer& net, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  std::uint64_t pcount = 0, bcount = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&pcount), sizeof(pcount));
+  f.read(reinterpret_cast<char*>(&bcount), sizeof(bcount));
+  const auto params = net.params();
+  const auto buffers = net.buffers();
+  if (magic != kMagic || pcount != params.size() ||
+      bcount != buffers.size()) {
+    throw std::runtime_error("load_params: " + path +
+                             " does not match the network");
+  }
+  for (Param* p : params) read_tensor(f, p->value, path);
+  for (Tensor* b : buffers) read_tensor(f, *b, path);
+  if (!f) throw std::runtime_error("load_params: truncated file " + path);
+  return true;
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,22 @@
+// Binary save/load of network parameters.
+//
+// Used by the benchmark harnesses to train each model once and reuse the
+// weights across experiment binaries. The format stores every Param of the
+// network in definition order; load requires an identically-constructed
+// network.
+#pragma once
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace rdo::nn {
+
+/// Save all parameters of `net` to `path`. Throws on I/O failure.
+void save_params(Layer& net, const std::string& path);
+
+/// Load parameters saved by save_params. Returns false if the file does
+/// not exist; throws if it exists but does not match the network.
+bool load_params(Layer& net, const std::string& path);
+
+}  // namespace rdo::nn

@@ -1,0 +1,83 @@
+#include "nn/tensor.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdo::nn {
+
+Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
+  for (std::int64_t d : shape_) {
+    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+  }
+  data_.assign(static_cast<std::size_t>(numel(shape_)), 0.0f);
+}
+
+Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
+  if (numel(new_shape) != size()) {
+    throw std::invalid_argument("Tensor::reshaped: size mismatch");
+  }
+  Tensor t = *this;
+  t.shape_ = std::move(new_shape);
+  return t;
+}
+
+void Tensor::fill(float v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::kaiming_init(Rng& rng, std::int64_t fan_in) {
+  // Kaiming-normal: trained networks have concentrated, heavy-centered
+  // weight distributions; a normal init reproduces that statistic, which
+  // matters downstream (quantization ranges, VAWO's low-conductance CTW
+  // choices).
+  const float std_dev =
+      std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  for (auto& x : data_) {
+    x = static_cast<float>(rng.normal(0.0, std_dev));
+  }
+}
+
+void Tensor::uniform_init(Rng& rng, float lo, float hi) {
+  for (auto& x : data_) x = static_cast<float>(rng.uniform(lo, hi));
+}
+
+void Tensor::axpy(float a, const Tensor& other) {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Tensor::axpy: size mismatch");
+  }
+  for (std::int64_t i = 0; i < size(); ++i) {
+    data_[static_cast<std::size_t>(i)] +=
+        a * other.data_[static_cast<std::size_t>(i)];
+  }
+}
+
+void Tensor::scale(float a) {
+  for (auto& x : data_) x *= a;
+}
+
+float Tensor::max_abs() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ", ";
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+}  // namespace rdo::nn

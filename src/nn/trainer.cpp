@@ -1,0 +1,103 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rdo::nn {
+
+Tensor gather_batch(const Tensor& images,
+                    const std::vector<std::int64_t>& idx) {
+  std::vector<std::int64_t> shape = images.shape();
+  shape[0] = static_cast<std::int64_t>(idx.size());
+  Tensor batch(shape);
+  const std::int64_t stride = images.size() / images.dim(0);
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    const float* src = images.data() + idx[i] * stride;
+    float* dst = batch.data() + static_cast<std::int64_t>(i) * stride;
+    std::copy(src, src + stride, dst);
+  }
+  return batch;
+}
+
+EpochStats train_epoch(Layer& net, SGD& opt, const DataView& data,
+                       std::int64_t batch_size, Rng& rng) {
+  const std::int64_t n = data.size();
+  std::vector<std::int64_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::shuffle(order.begin(), order.end(), rng.engine());
+
+  SoftmaxCrossEntropy loss;
+  double total_loss = 0.0;
+  std::int64_t total_correct = 0, batches = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min(n, start + batch_size);
+    std::vector<std::int64_t> idx(order.begin() + start, order.begin() + end);
+    Tensor batch = gather_batch(*data.images, idx);
+    std::vector<int> labels;
+    labels.reserve(idx.size());
+    for (std::int64_t i : idx) {
+      labels.push_back((*data.labels)[static_cast<std::size_t>(i)]);
+    }
+    Tensor logits = net.forward(batch, /*train=*/true);
+    total_loss += loss.forward(logits, labels);
+    total_correct += loss.correct();
+    net.backward(loss.backward());
+    opt.step();
+    ++batches;
+  }
+  return {static_cast<float>(total_loss / std::max<std::int64_t>(1, batches)),
+          static_cast<float>(total_correct) / static_cast<float>(n)};
+}
+
+EpochStats evaluate(Layer& net, const DataView& data,
+                    std::int64_t batch_size) {
+  const std::int64_t n = data.size();
+  SoftmaxCrossEntropy loss;
+  double total_loss = 0.0;
+  std::int64_t total_correct = 0, batches = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min(n, start + batch_size);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    Tensor batch = gather_batch(*data.images, idx);
+    std::vector<int> labels(data.labels->begin() + start,
+                            data.labels->begin() + end);
+    Tensor logits = net.forward(batch, /*train=*/false);
+    total_loss += loss.forward(logits, labels);
+    total_correct += loss.correct();
+    ++batches;
+  }
+  return {static_cast<float>(total_loss / std::max<std::int64_t>(1, batches)),
+          static_cast<float>(total_correct) / static_cast<float>(n)};
+}
+
+void accumulate_mean_gradients(Layer& net, const DataView& data,
+                               std::int64_t batch_size,
+                               std::int64_t max_samples) {
+  for (Param* p : net.params()) p->zero_grad();
+  const std::int64_t n = max_samples > 0
+                             ? std::min<std::int64_t>(max_samples, data.size())
+                             : data.size();
+  SoftmaxCrossEntropy loss;
+  std::int64_t batches = 0;
+  for (std::int64_t start = 0; start < n; start += batch_size) {
+    const std::int64_t end = std::min(n, start + batch_size);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = start; i < end; ++i) idx.push_back(i);
+    Tensor batch = gather_batch(*data.images, idx);
+    std::vector<int> labels(data.labels->begin() + start,
+                            data.labels->begin() + end);
+    // Eval-mode forward: the gradients should describe the deployed
+    // network's operating point (frozen batch-norm statistics).
+    Tensor logits = net.forward(batch, /*train=*/false);
+    loss.forward(logits, labels);
+    net.backward(loss.backward());
+    ++batches;
+  }
+  if (batches > 1) {
+    const float inv = 1.0f / static_cast<float>(batches);
+    for (Param* p : net.params()) p->grad.scale(inv);
+  }
+}
+
+}  // namespace rdo::nn

@@ -1,0 +1,41 @@
+#include "quant/act_quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdo::quant {
+
+using rdo::nn::Tensor;
+
+void ActQuant::disable() {
+  enabled_ = false;
+  observed_max_ = 0.0f;  // restart observation from a clean slate
+}
+
+void ActQuant::calibrate(float max_abs) {
+  const int levels = (1 << bits_) - 1;
+  step_ = std::max(max_abs, 1e-6f) / static_cast<float>(levels);
+  enabled_ = true;
+}
+
+Tensor ActQuant::forward(const Tensor& x, bool /*train*/) {
+  if (!enabled_) {
+    observed_max_ = std::max(observed_max_, x.max_abs());
+    return x;
+  }
+  const float levels = static_cast<float>((1 << bits_) - 1);
+  Tensor y = x;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    float q = std::round(y[i] / step_);
+    q = std::clamp(q, 0.0f, levels);  // activations are post-ReLU / inputs
+    y[i] = q * step_;
+  }
+  return y;
+}
+
+Tensor ActQuant::backward(const Tensor& grad_out) {
+  // Straight-through estimator.
+  return grad_out;
+}
+
+}  // namespace rdo::quant

@@ -1,0 +1,35 @@
+// Activation fake-quantization layer (8-bit inputs, paper §IV).
+//
+// Disabled by default so a network trains in float; the deployment
+// pipeline calibrates and enables it, after which activations snap to the
+// 2^bits-level grid used by the DAC-driven wordlines. Backward uses the
+// straight-through estimator so PWT can still propagate gradients.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace rdo::quant {
+
+class ActQuant : public rdo::nn::Layer {
+ public:
+  explicit ActQuant(int bits = 8) : bits_(bits) {}
+
+  rdo::nn::Tensor forward(const rdo::nn::Tensor& x, bool train) override;
+  rdo::nn::Tensor backward(const rdo::nn::Tensor& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "ActQuant"; }
+
+  /// Enable quantization with a calibrated full-scale activation value.
+  void calibrate(float max_abs);
+  /// Turn quantization off and restart range observation from scratch.
+  void disable();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] float observed_max() const { return observed_max_; }
+
+ private:
+  int bits_;
+  bool enabled_ = false;
+  float step_ = 1.0f;
+  float observed_max_ = 0.0f;  ///< running max seen while disabled
+};
+
+}  // namespace rdo::quant

@@ -1,0 +1,55 @@
+#include "quant/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rdo::quant {
+
+LayerQuant quantize_matrix(const rdo::nn::MatrixOp& op, int bits) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument("quantize_matrix: bits out of range");
+  }
+  LayerQuant lq;
+  lq.bits = bits;
+  lq.rows = op.fan_in();
+  lq.cols = op.fan_out();
+
+  // Symmetric quantization: the range is +-max|w| and the ISAAC weight
+  // shift is exactly half the integer range, so the zero-weight cluster
+  // of a trained layer always sits at 2^(bits-1) — within reach of the
+  // signed offset registers regardless of the layer's outlier skew.
+  float wabs = 0.0f;
+  for (std::int64_t r = 0; r < lq.rows; ++r) {
+    for (std::int64_t c = 0; c < lq.cols; ++c) {
+      wabs = std::max(wabs, std::fabs(op.weight_at(r, c)));
+    }
+  }
+  if (wabs <= 0.0f) wabs = 0.5f;
+  const int levels = (1 << bits) - 1;
+  lq.scale = 2.0f * wabs / static_cast<float>(levels);
+  lq.zero = 1 << (bits - 1);
+
+  lq.q.resize(static_cast<std::size_t>(lq.rows * lq.cols));
+  for (std::int64_t r = 0; r < lq.rows; ++r) {
+    for (std::int64_t c = 0; c < lq.cols; ++c) {
+      const float w = op.weight_at(r, c);
+      int v = static_cast<int>(std::lround(w / lq.scale)) + lq.zero;
+      v = std::clamp(v, 0, levels);
+      lq.q[static_cast<std::size_t>(r * lq.cols + c)] = v;
+    }
+  }
+  return lq;
+}
+
+void apply_quantized(rdo::nn::MatrixOp& op, const LayerQuant& lq) {
+  for (std::int64_t r = 0; r < lq.rows; ++r) {
+    for (std::int64_t c = 0; c < lq.cols; ++c) {
+      op.set_weight_at(r, c,
+                       lq.dequant(static_cast<float>(lq.at(r, c))));
+    }
+  }
+}
+
+}  // namespace rdo::quant

@@ -1,0 +1,44 @@
+// Post-training 8-bit weight quantization with the ISAAC weight shift.
+//
+// The one-crossbar architecture stores only non-negative weights: the
+// signed range [w_min, w_max] is affinely mapped to integers [0, 2^bits-1]
+// and the shift `zero` is subtracted digitally after the analog dot
+// product (`zero * sum(x)`), exactly the ISAAC scheme the paper builds on
+// (§II). The quantized integer weight is the paper's NTW (network target
+// weight).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/matrix_op.h"
+
+namespace rdo::quant {
+
+/// Quantization of one crossbar-mapped layer.
+struct LayerQuant {
+  int bits = 8;
+  float scale = 1.0f;  ///< effective_weight = scale * (q - zero)
+  int zero = 0;        ///< digital weight shift (integer)
+  std::int64_t rows = 0, cols = 0;
+  /// Integer NTWs in [0, 2^bits - 1], stored row-major [rows, cols].
+  std::vector<int> q;
+
+  [[nodiscard]] int levels() const { return (1 << bits) - 1; }
+  [[nodiscard]] int at(std::int64_t r, std::int64_t c) const {
+    return q[static_cast<std::size_t>(r * cols + c)];
+  }
+  /// Effective (float) weight represented by integer value `v`.
+  [[nodiscard]] float dequant(float v) const {
+    return scale * (v - static_cast<float>(zero));
+  }
+};
+
+/// Quantize the weight matrix of `op` to `bits` bits (min/max calibration).
+LayerQuant quantize_matrix(const rdo::nn::MatrixOp& op, int bits = 8);
+
+/// Write effective weights dequant(q) back into `op` (pure round-trip,
+/// used to measure quantization-only accuracy).
+void apply_quantized(rdo::nn::MatrixOp& op, const LayerQuant& lq);
+
+}  // namespace rdo::quant

@@ -1,0 +1,57 @@
+// RRAM cell models: SLC (1 bit) and 2-bit MLC, with finite ON/OFF ratio.
+//
+// Conductances are unit-normalized: a cell in state s (0..states-1) has
+// nominal conductance g(s) = (s + c) * u where u is the per-state
+// conductance step and c = g_HRS / u encodes the finite ON/OFF ratio
+// (paper uses 200). The readout path subtracts the nominal HRS baseline,
+// so the digitized value of an unvaried cell is exactly s; under variation
+// e^theta the value becomes (s + c) * e^theta - c, i.e. state-proportional
+// noise plus a leakage floor on HRS cells.
+#pragma once
+
+#include <stdexcept>
+
+namespace rdo::rram {
+
+enum class CellKind { SLC, MLC2 };
+
+struct CellModel {
+  CellKind kind = CellKind::SLC;
+  double on_off_ratio = 200.0;
+
+  /// Bits stored per cell.
+  [[nodiscard]] int bits() const { return kind == CellKind::SLC ? 1 : 2; }
+  /// Number of programmable states.
+  [[nodiscard]] int states() const { return 1 << bits(); }
+  /// Radix contributed by each successive cell of a bit-sliced weight.
+  [[nodiscard]] int radix() const { return states(); }
+
+  /// HRS leakage constant c = g_HRS / u (u = conductance step per state).
+  [[nodiscard]] double hrs_offset() const {
+    const int top = states() - 1;  // LRS state index
+    // g_LRS / g_HRS = ratio and g(s) = (s + c) u  =>  (top + c)/c = ratio.
+    return static_cast<double>(top) / (on_off_ratio - 1.0);
+  }
+
+  /// Digitized read value of a cell in state `s` whose conductance got the
+  /// multiplicative variation `factor` (= e^theta; 1.0 means no variation).
+  [[nodiscard]] double read_value(int s, double factor) const {
+    if (s < 0 || s >= states()) {
+      throw std::invalid_argument("CellModel::read_value: bad state");
+    }
+    const double c = hrs_offset();
+    return (static_cast<double>(s) + c) * factor - c;
+  }
+
+  /// Relative read power of a cell in state `s`: proportional to its
+  /// nominal conductance (I = g V, P = g V^2 at fixed read voltage).
+  [[nodiscard]] double read_power(int s) const {
+    return static_cast<double>(s) + hrs_offset();
+  }
+};
+
+inline const char* to_string(CellKind k) {
+  return k == CellKind::SLC ? "SLC" : "MLC2";
+}
+
+}  // namespace rdo::rram

@@ -1,0 +1,98 @@
+#include "rram/crossbar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rdo::rram {
+
+Crossbar::Crossbar(CrossbarConfig cfg) : cfg_(cfg) {
+  if (cfg_.rows <= 0 || cfg_.cols <= 0) {
+    throw std::invalid_argument("Crossbar: non-positive dimensions");
+  }
+  if (cfg_.active_wordlines <= 0 || cfg_.active_wordlines > cfg_.rows) {
+    throw std::invalid_argument("Crossbar: bad active_wordlines");
+  }
+  states_.assign(static_cast<std::size_t>(cfg_.rows) * cfg_.cols, 0);
+  factors_.assign(states_.size(), 1.0);
+}
+
+void Crossbar::program(const std::vector<int>& states, rdo::nn::Rng& rng) {
+  if (states.size() != states_.size()) {
+    throw std::invalid_argument("Crossbar::program: state count mismatch");
+  }
+  states_ = states;
+  for (auto& f : factors_) f = cfg_.variation.sample_factor(rng);
+}
+
+void Crossbar::program_ideal(const std::vector<int>& states) {
+  if (states.size() != states_.size()) {
+    throw std::invalid_argument("Crossbar::program_ideal: size mismatch");
+  }
+  states_ = states;
+  std::fill(factors_.begin(), factors_.end(), 1.0);
+}
+
+void Crossbar::program_with_factors(const std::vector<int>& states,
+                                    const std::vector<double>& factors) {
+  if (states.size() != states_.size() || factors.size() != factors_.size()) {
+    throw std::invalid_argument("Crossbar::program_with_factors: size");
+  }
+  states_ = states;
+  factors_ = factors;
+}
+
+double Crossbar::cell_value(int r, int c) const {
+  return cfg_.cell.read_value(states_[idx(r, c)], factors_[idx(r, c)]);
+}
+
+int Crossbar::cycles_per_vmm() const {
+  return (cfg_.rows + cfg_.active_wordlines - 1) / cfg_.active_wordlines;
+}
+
+std::vector<double> Crossbar::vmm(const std::vector<double>& x) const {
+  return vmm_rows(x, 0, cfg_.rows);
+}
+
+std::vector<double> Crossbar::vmm_rows(const std::vector<double>& x, int r0,
+                                       int r1) const {
+  if (static_cast<int>(x.size()) != cfg_.rows) {
+    throw std::invalid_argument("Crossbar::vmm: input length mismatch");
+  }
+  if (r0 < 0 || r1 > cfg_.rows || r0 % cfg_.active_wordlines != 0) {
+    throw std::invalid_argument("Crossbar::vmm_rows: bad row range");
+  }
+  std::vector<double> y(static_cast<std::size_t>(cfg_.cols), 0.0);
+  // ADC full-scale: the largest group partial sum with unit inputs.
+  const double full_scale =
+      static_cast<double>(cfg_.active_wordlines) *
+      static_cast<double>(cfg_.cell.states() - 1);
+  const double adc_levels =
+      cfg_.adc_bits > 0 ? static_cast<double>((1 << cfg_.adc_bits) - 1) : 0.0;
+  for (int g0 = r0; g0 < r1; g0 += cfg_.active_wordlines) {
+    const int g1 = std::min(r1, g0 + cfg_.active_wordlines);
+    for (int c = 0; c < cfg_.cols; ++c) {
+      double partial = 0.0;
+      for (int r = g0; r < g1; ++r) {
+        const double xv = x[static_cast<std::size_t>(r)];
+        if (xv != 0.0) partial += xv * cell_value(r, c);
+      }
+      if (cfg_.adc_bits > 0) {
+        const double q =
+            std::round(std::clamp(partial / full_scale, 0.0, 1.0) *
+                       adc_levels);
+        partial = q / adc_levels * full_scale;
+      }
+      y[static_cast<std::size_t>(c)] += partial;
+    }
+  }
+  return y;
+}
+
+double Crossbar::total_read_power() const {
+  double p = 0.0;
+  for (int s : states_) p += cfg_.cell.read_power(s);
+  return p;
+}
+
+}  // namespace rdo::rram

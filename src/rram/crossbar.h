@@ -1,0 +1,80 @@
+// Device-level crossbar array simulation.
+//
+// Models the analog substrate a deployment runs on: a rows x cols grid of
+// RRAM cells, programmed with per-cell log-normal variation, read out
+// group-by-group (only `active_wordlines` wordlines are driven per cycle,
+// as in the paper's 128x128 / 16-active configuration) with an optional
+// finite-resolution ADC per group.
+//
+// The end-to-end accuracy pipeline composes CRWs directly through
+// WeightProgrammer (numerically identical with an ideal ADC — a property
+// the test suite asserts); this class exists to validate that equivalence,
+// to model ADC effects, and for the micro-benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/rng.h"
+#include "rram/cell.h"
+#include "rram/variation.h"
+
+namespace rdo::rram {
+
+struct CrossbarConfig {
+  int rows = 128;
+  int cols = 128;
+  CellModel cell;
+  VariationModel variation;
+  int active_wordlines = 16;  ///< wordlines driven per read cycle
+  int adc_bits = 0;           ///< 0 = ideal ADC
+};
+
+class Crossbar {
+ public:
+  explicit Crossbar(CrossbarConfig cfg);
+
+  /// Program the whole array from row-major cell states (size rows*cols);
+  /// draws a fresh variation factor per cell (one programming cycle).
+  void program(const std::vector<int>& states, rdo::nn::Rng& rng);
+  /// Program without variation (ideal device oracle).
+  void program_ideal(const std::vector<int>& states);
+
+  /// Digitized read value of one cell (state-units; exact state if ideal).
+  [[nodiscard]] double cell_value(int r, int c) const;
+
+  /// Program from explicit per-cell states and variation factors (used by
+  /// the device-level executor to realize per-weight-correlated factors).
+  void program_with_factors(const std::vector<int>& states,
+                            const std::vector<double>& factors);
+
+  /// y_j = sum_i x_i * cell_value(i, j), computed per activation group and
+  /// accumulated digitally, with optional per-group ADC quantization.
+  [[nodiscard]] std::vector<double> vmm(const std::vector<double>& x) const;
+
+  /// Partial VMM over wordlines [r0, r1): the read cycles a digital
+  /// offset group of those rows observes. r0 must be aligned to the
+  /// activation-group size.
+  [[nodiscard]] std::vector<double> vmm_rows(const std::vector<double>& x,
+                                             int r0, int r1) const;
+
+  /// Read cycles needed for one VMM (= ceil(rows / active_wordlines)).
+  [[nodiscard]] int cycles_per_vmm() const;
+
+  /// Sum of nominal per-cell read powers (state-proportional units).
+  [[nodiscard]] double total_read_power() const;
+
+  [[nodiscard]] const CrossbarConfig& config() const { return cfg_; }
+
+ private:
+  CrossbarConfig cfg_;
+  std::vector<int> states_;     // row-major
+  std::vector<double> factors_; // per-cell e^theta (1.0 until programmed)
+
+  [[nodiscard]] std::size_t idx(int r, int c) const {
+    return static_cast<std::size_t>(r) * static_cast<std::size_t>(cfg_.cols) +
+           static_cast<std::size_t>(c);
+  }
+};
+
+}  // namespace rdo::rram

@@ -1,0 +1,22 @@
+// Stuck-at-fault model (the defect class of Zhang & Hu, ASP-DAC'20 [13],
+// which the paper contrasts with its variation target).
+//
+// A stuck cell reads its stuck state exactly, regardless of what is
+// programmed. Faults are drawn per device at programming time from the
+// deployment's seeded stream; because the statistical LUT protocol
+// measures the same simulated devices, VAWO automatically becomes
+// fault-aware when a fault rate is configured.
+#pragma once
+
+namespace rdo::rram {
+
+struct FaultModel {
+  double stuck_hrs_rate = 0.0;  ///< P(cell stuck at state 0)
+  double stuck_lrs_rate = 0.0;  ///< P(cell stuck at the top state)
+
+  [[nodiscard]] bool any() const {
+    return stuck_hrs_rate > 0.0 || stuck_lrs_rate > 0.0;
+  }
+};
+
+}  // namespace rdo::rram

@@ -1,0 +1,138 @@
+#include "rram/programmer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rdo::rram {
+
+WeightProgrammer::WeightProgrammer(CellModel cell, int weight_bits,
+                                   VariationModel variation,
+                                   FaultModel faults)
+    : cell_(cell),
+      weight_bits_(weight_bits),
+      variation_(variation),
+      faults_(faults) {
+  if (weight_bits_ % cell_.bits() != 0) {
+    throw std::invalid_argument(
+        "WeightProgrammer: weight bits not divisible by cell bits");
+  }
+  cells_ = weight_bits_ / cell_.bits();
+}
+
+std::vector<int> WeightProgrammer::slice(int v) const {
+  if (v < 0 || v > max_weight()) {
+    throw std::invalid_argument("WeightProgrammer::slice: weight range");
+  }
+  std::vector<int> states(static_cast<std::size_t>(cells_));
+  const int mask = cell_.states() - 1;
+  for (int k = 0; k < cells_; ++k) {
+    states[static_cast<std::size_t>(k)] = (v >> (k * cell_.bits())) & mask;
+  }
+  return states;
+}
+
+double WeightProgrammer::compose(
+    const std::vector<double>& cell_values) const {
+  double crw = 0.0;
+  double radix_pow = 1.0;
+  for (double val : cell_values) {
+    crw += radix_pow * val;
+    radix_pow *= cell_.radix();
+  }
+  return crw;
+}
+
+double WeightProgrammer::composite_leakage() const {
+  const double c = cell_.hrs_offset();
+  double leak = 0.0;
+  double radix_pow = 1.0;
+  for (int k = 0; k < cells_; ++k) {
+    leak += radix_pow * c;
+    radix_pow *= cell_.radix();
+  }
+  return leak;
+}
+
+double WeightProgrammer::programmed_cell_value(int state, double factor,
+                                               rdo::nn::Rng& rng) const {
+  if (faults_.any()) {
+    const double u = rng.uniform();
+    if (u < faults_.stuck_hrs_rate) return cell_.read_value(0, 1.0);
+    if (u < faults_.stuck_hrs_rate + faults_.stuck_lrs_rate) {
+      return cell_.read_value(cell_.states() - 1, 1.0);
+    }
+  }
+  return cell_.read_value(state, factor);
+}
+
+double WeightProgrammer::program(int v, rdo::nn::Rng& rng) const {
+  const std::vector<int> states = slice(v);
+  std::vector<double> vals(states.size());
+  const bool shared =
+      variation_.scope == VariationScope::PerWeight;
+  const double shared_factor = shared ? variation_.sample_factor(rng) : 1.0;
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    const double f = shared ? shared_factor : variation_.sample_factor(rng);
+    vals[k] = programmed_cell_value(states[k], f, rng);
+  }
+  return compose(vals);
+}
+
+double WeightProgrammer::program_with_ddv(
+    int v, const std::vector<double>& ddv_theta, rdo::nn::Rng& rng) const {
+  if (ddv_theta.size() != static_cast<std::size_t>(cells_)) {
+    throw std::invalid_argument("program_with_ddv: theta count mismatch");
+  }
+  const std::vector<int> states = slice(v);
+  std::vector<double> vals(states.size());
+  const bool shared =
+      variation_.scope == VariationScope::PerWeight;
+  const double shared_theta =
+      shared ? ddv_theta[0] + variation_.sample_ccv_theta(rng) : 0.0;
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    const double theta =
+        shared ? shared_theta
+               : ddv_theta[k] + variation_.sample_ccv_theta(rng);
+    vals[k] = programmed_cell_value(states[k], std::exp(theta), rng);
+  }
+  return compose(vals);
+}
+
+double WeightProgrammer::analytic_mean(int v) const {
+  const double m = variation_.mean_factor();
+  if (variation_.scope == VariationScope::PerWeight) {
+    const double leak = composite_leakage();
+    return (static_cast<double>(v) + leak) * m - leak;
+  }
+  // E[(s+c)e^theta - c] = (s+c) M - c per cell.
+  const double c = cell_.hrs_offset();
+  const std::vector<int> states = slice(v);
+  double mean = 0.0;
+  double radix_pow = 1.0;
+  for (int s : states) {
+    mean += radix_pow * ((static_cast<double>(s) + c) * m - c);
+    radix_pow *= cell_.radix();
+  }
+  return mean;
+}
+
+double WeightProgrammer::analytic_var(int v) const {
+  const double vf = variation_.var_factor();
+  if (variation_.scope == VariationScope::PerWeight) {
+    const double a = static_cast<double>(v) + composite_leakage();
+    return a * a * vf;
+  }
+  // Var[(s+c)e^theta] = (s+c)^2 Var[e^theta]; cells are independent.
+  const double c = cell_.hrs_offset();
+  const std::vector<int> states = slice(v);
+  double var = 0.0;
+  double radix_pow = 1.0;
+  for (int s : states) {
+    const double a = static_cast<double>(s) + c;
+    var += radix_pow * radix_pow * a * a * vf;
+    radix_pow *= cell_.radix();
+  }
+  return var;
+}
+
+}  // namespace rdo::rram

@@ -1,0 +1,118 @@
+#include "rram/rlut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+
+namespace rdo::rram {
+
+RLut RLut::build(const WeightProgrammer& prog, int k_sets, int j_cycles,
+                 rdo::nn::Rng rng) {
+  RLut lut;
+  const int vmax = prog.max_weight();
+  lut.mean_.resize(static_cast<std::size_t>(vmax) + 1);
+  lut.var_.resize(static_cast<std::size_t>(vmax) + 1);
+  const int samples = k_sets * j_cycles;
+  std::vector<double> crw(static_cast<std::size_t>(samples));
+  for (int v = 0; v <= vmax; ++v) {
+    // K device sets; each set programmed J times. With the lumped
+    // DDV+CCV model every programming is an independent draw, but we keep
+    // the K x J structure so a DDV split is measured correctly too.
+    int i = 0;
+    for (int k = 0; k < k_sets; ++k) {
+      rdo::nn::Rng set_rng = rng.split(
+          static_cast<std::uint64_t>(v) * 1000003ull + static_cast<std::uint64_t>(k));
+      std::vector<double> ddv(static_cast<std::size_t>(prog.cells_per_weight()));
+      for (auto& t : ddv) t = prog.variation().sample_ddv_theta(set_rng);
+      for (int j = 0; j < j_cycles; ++j) {
+        crw[static_cast<std::size_t>(i++)] =
+            prog.program_with_ddv(v, ddv, set_rng);
+      }
+    }
+    double m = 0.0;
+    for (double x : crw) m += x;
+    m /= samples;
+    double var = 0.0;
+    for (double x : crw) var += (x - m) * (x - m);
+    var /= std::max(1, samples - 1);
+    lut.mean_[static_cast<std::size_t>(v)] = m;
+    lut.var_[static_cast<std::size_t>(v)] = var;
+  }
+  lut.enforce_monotone_mean();
+  return lut;
+}
+
+RLut RLut::build_analytic(const WeightProgrammer& prog) {
+  RLut lut;
+  const int vmax = prog.max_weight();
+  lut.mean_.resize(static_cast<std::size_t>(vmax) + 1);
+  lut.var_.resize(static_cast<std::size_t>(vmax) + 1);
+  for (int v = 0; v <= vmax; ++v) {
+    lut.mean_[static_cast<std::size_t>(v)] = prog.analytic_mean(v);
+    lut.var_[static_cast<std::size_t>(v)] = prog.analytic_var(v);
+  }
+  lut.enforce_monotone_mean();
+  return lut;
+}
+
+void RLut::enforce_monotone_mean() {
+  // Monte-Carlo noise can produce small non-monotonicities; the inversion
+  // needs a monotone mean curve. A running-max pass (isotonic upper
+  // envelope) is enough given E[R(v)] is linear-in-v in expectation.
+  for (std::size_t v = 1; v < mean_.size(); ++v) {
+    mean_[v] = std::max(mean_[v], mean_[v - 1] + 1e-12);
+  }
+}
+
+namespace {
+constexpr std::uint32_t kLutMagic = 0x524C5531;  // "RLU1"
+}
+
+void RLut::save(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("RLut::save: cannot open " + path);
+  const std::uint64_t n = mean_.size();
+  f.write(reinterpret_cast<const char*>(&kLutMagic), sizeof(kLutMagic));
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  f.write(reinterpret_cast<const char*>(mean_.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  f.write(reinterpret_cast<const char*>(var_.data()),
+          static_cast<std::streamsize>(n * sizeof(double)));
+  if (!f) throw std::runtime_error("RLut::save: write failed for " + path);
+}
+
+bool RLut::load(const std::string& path, RLut& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  std::uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (magic != kLutMagic || n == 0 || n > (1u << 20)) {
+    throw std::runtime_error("RLut::load: corrupt file " + path);
+  }
+  out.mean_.resize(n);
+  out.var_.resize(n);
+  f.read(reinterpret_cast<char*>(out.mean_.data()),
+         static_cast<std::streamsize>(n * sizeof(double)));
+  f.read(reinterpret_cast<char*>(out.var_.data()),
+         static_cast<std::streamsize>(n * sizeof(double)));
+  if (!f) throw std::runtime_error("RLut::load: truncated file " + path);
+  return true;
+}
+
+int RLut::invert_mean(double target) const {
+  const auto it = std::lower_bound(mean_.begin(), mean_.end(), target);
+  if (it == mean_.begin()) return 0;
+  if (it == mean_.end()) return max_weight();
+  const int hi = static_cast<int>(it - mean_.begin());
+  const int lo = hi - 1;
+  return (target - mean_[static_cast<std::size_t>(lo)] <=
+          mean_[static_cast<std::size_t>(hi)] - target)
+             ? lo
+             : hi;
+}
+
+}  // namespace rdo::rram

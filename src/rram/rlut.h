@@ -1,0 +1,61 @@
+// Statistical look-up table of E[R(v)] and Var[R(v)] per CTW value.
+//
+// Implements the paper's testing protocol (§III-B): "For each CTW v, K
+// random sets of n memristors are selected. For each set, it is programmed
+// with the CTW v for J times and the final CRWs are measured." Here the
+// memristors are simulated by WeightProgrammer, which is exactly what the
+// protocol measures on real hardware. An analytic construction is also
+// provided as a cross-check oracle.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/rng.h"
+#include "rram/programmer.h"
+
+namespace rdo::rram {
+
+class RLut {
+ public:
+  /// Build the LUT by Monte-Carlo statistical testing (K sets x J cycles
+  /// per CTW value).
+  static RLut build(const WeightProgrammer& prog, int k_sets, int j_cycles,
+                    rdo::nn::Rng rng);
+
+  /// Build from the closed-form moments (test oracle / fast path).
+  static RLut build_analytic(const WeightProgrammer& prog);
+
+  [[nodiscard]] int max_weight() const {
+    return static_cast<int>(mean_.size()) - 1;
+  }
+  [[nodiscard]] double mean(int v) const {
+    return mean_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] double var(int v) const {
+    return var_[static_cast<std::size_t>(v)];
+  }
+
+  /// Smallest achievable E[R(v)] (v = 0) and largest (v = max).
+  [[nodiscard]] double mean_lo() const { return mean_.front(); }
+  [[nodiscard]] double mean_hi() const { return mean_.back(); }
+
+  /// The CTW whose E[R(v)] is closest to `target` (monotone inversion;
+  /// clamps outside the representable range).
+  [[nodiscard]] int invert_mean(double target) const;
+
+  /// Persist the table (device characterization is expensive on real
+  /// hardware; cache it). Throws on I/O failure.
+  void save(const std::string& path) const;
+  /// Load a table saved by save(). Returns false if the file does not
+  /// exist; throws on a corrupt file.
+  static bool load(const std::string& path, RLut& out);
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> var_;
+
+  void enforce_monotone_mean();
+};
+
+}  // namespace rdo::rram

@@ -1,0 +1,49 @@
+#include "rram/tiler.h"
+
+#include <stdexcept>
+
+namespace rdo::rram {
+
+TilingInfo compute_tiling(std::int64_t matrix_rows, std::int64_t matrix_cols,
+                          int crossbar_rows, int crossbar_cols,
+                          int cells_per_weight) {
+  if (cells_per_weight <= 0 || crossbar_cols < cells_per_weight) {
+    throw std::invalid_argument("compute_tiling: bad cell geometry");
+  }
+  TilingInfo t;
+  t.matrix_rows = matrix_rows;
+  t.matrix_cols = matrix_cols;
+  t.cells_per_weight = cells_per_weight;
+  const std::int64_t weights_per_xbar_row = crossbar_cols / cells_per_weight;
+  t.row_tiles = (matrix_rows + crossbar_rows - 1) / crossbar_rows;
+  t.col_tiles =
+      (matrix_cols + weights_per_xbar_row - 1) / weights_per_xbar_row;
+  return t;
+}
+
+std::vector<int> tile_states(const rdo::quant::LayerQuant& lq,
+                             const WeightProgrammer& prog,
+                             const CrossbarConfig& cfg, std::int64_t tr,
+                             std::int64_t tc) {
+  const std::int64_t weights_per_row = cfg.cols / prog.cells_per_weight();
+  std::vector<int> states(
+      static_cast<std::size_t>(cfg.rows) * static_cast<std::size_t>(cfg.cols),
+      0);
+  for (std::int64_t r = 0; r < cfg.rows; ++r) {
+    const std::int64_t mr = tr * cfg.rows + r;
+    if (mr >= lq.rows) break;
+    for (std::int64_t wc = 0; wc < weights_per_row; ++wc) {
+      const std::int64_t mc = tc * weights_per_row + wc;
+      if (mc >= lq.cols) break;
+      const std::vector<int> cells = prog.slice(lq.at(mr, mc));
+      for (int k = 0; k < prog.cells_per_weight(); ++k) {
+        const std::int64_t col = wc * prog.cells_per_weight() + k;
+        states[static_cast<std::size_t>(r * cfg.cols + col)] =
+            cells[static_cast<std::size_t>(k)];
+      }
+    }
+  }
+  return states;
+}
+
+}  // namespace rdo::rram

@@ -1,0 +1,64 @@
+// Log-normal resistance variation model (paper §IV, after Grossi et al.).
+//
+// A device programmed toward nominal conductance g lands at g * e^theta
+// with theta ~ N(0, sigma^2). The paper lumps device-to-device variation
+// (DDV) and cycle-to-cycle variation (CCV) into one sigma in [0.2, 1.0];
+// this model additionally lets the variance be split so ablations can
+// study the two sources separately:
+//
+//   theta = theta_ddv + theta_ccv,
+//   Var[theta_ddv] = ddv_fraction * sigma^2   (fixed per device)
+//   Var[theta_ccv] = (1 - ddv_fraction) * sigma^2  (fresh every cycle)
+#pragma once
+
+#include <cmath>
+
+#include "nn/rng.h"
+
+namespace rdo::rram {
+
+/// Where the log-normal factor applies.
+///
+/// The paper's simulations use one factor per weight (V = v e^theta,
+/// §IV); PerCell instead draws an independent factor for every bit-slice
+/// device (the Fig. 3 reading), which changes which CTW bit patterns are
+/// low-variance. Both are supported; the ablation bench compares them.
+enum class VariationScope { PerWeight, PerCell };
+
+struct VariationModel {
+  double sigma = 0.5;        ///< total std-dev of theta
+  double ddv_fraction = 0.0; ///< fraction of variance that is DDV
+  VariationScope scope = VariationScope::PerWeight;
+
+  [[nodiscard]] double sigma_ddv() const {
+    return sigma * std::sqrt(ddv_fraction);
+  }
+  [[nodiscard]] double sigma_ccv() const {
+    return sigma * std::sqrt(1.0 - ddv_fraction);
+  }
+
+  /// Multiplicative factor for one programming event (lumped DDV+CCV).
+  [[nodiscard]] double sample_factor(rdo::nn::Rng& rng) const {
+    return std::exp(rng.normal(0.0, sigma));
+  }
+  /// The per-device (persistent) component of theta.
+  [[nodiscard]] double sample_ddv_theta(rdo::nn::Rng& rng) const {
+    return rng.normal(0.0, sigma_ddv());
+  }
+  /// A fresh per-cycle component of theta.
+  [[nodiscard]] double sample_ccv_theta(rdo::nn::Rng& rng) const {
+    return rng.normal(0.0, sigma_ccv());
+  }
+
+  /// E[e^theta] in closed form (for the analytic LUT and tests).
+  [[nodiscard]] double mean_factor() const {
+    return std::exp(0.5 * sigma * sigma);
+  }
+  /// Var[e^theta] in closed form.
+  [[nodiscard]] double var_factor() const {
+    const double s2 = sigma * sigma;
+    return (std::exp(s2) - 1.0) * std::exp(s2);
+  }
+};
+
+}  // namespace rdo::rram

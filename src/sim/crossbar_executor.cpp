@@ -1,0 +1,198 @@
+#include "sim/crossbar_executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/offset.h"
+
+namespace rdo::sim {
+
+using rdo::core::group_of_row;
+using rdo::rram::Crossbar;
+
+CrossbarLayerExecutor::CrossbarLayerExecutor(
+    const rdo::quant::LayerQuant& lq, const rdo::core::VawoResult& assign,
+    const ExecutorConfig& cfg, rdo::nn::Rng& rng)
+    : lq_(lq),
+      assign_(assign),
+      cfg_(cfg),
+      prog_(cfg.xbar.cell, cfg.weight_bits, cfg.xbar.variation),
+      offsets_(assign.offsets) {
+  if (cfg_.offsets.m % cfg_.xbar.active_wordlines != 0) {
+    throw std::invalid_argument(
+        "CrossbarLayerExecutor: m must be a multiple of the activated "
+        "wordlines (paper Sec. III-A)");
+  }
+  if (assign_.ctw.size() != lq_.q.size()) {
+    throw std::invalid_argument("CrossbarLayerExecutor: assignment mismatch");
+  }
+  tiling_ = rdo::rram::compute_tiling(lq_.rows, lq_.cols, cfg_.xbar.rows,
+                                      cfg_.xbar.cols,
+                                      prog_.cells_per_weight());
+  // Program each tile: cell states from the CTWs, variation factors drawn
+  // per weight (PerWeight scope: all cells of a weight share the factor)
+  // or per cell (PerCell scope).
+  const std::int64_t wpr = cfg_.xbar.cols / prog_.cells_per_weight();
+  rdo::quant::LayerQuant ctw_view = lq_;
+  ctw_view.q = assign_.ctw;
+  for (std::int64_t tr = 0; tr < tiling_.row_tiles; ++tr) {
+    for (std::int64_t tc = 0; tc < tiling_.col_tiles; ++tc) {
+      std::vector<int> states =
+          rdo::rram::tile_states(ctw_view, prog_, cfg_.xbar, tr, tc);
+      std::vector<double> factors(states.size(), 1.0);
+      for (std::int64_t r = 0; r < cfg_.xbar.rows; ++r) {
+        const std::int64_t mr = tr * cfg_.xbar.rows + r;
+        if (mr >= lq_.rows) break;
+        for (std::int64_t wc = 0; wc < wpr; ++wc) {
+          const std::int64_t mc = tc * wpr + wc;
+          if (mc >= lq_.cols) break;
+          if (cfg_.xbar.variation.scope ==
+              rdo::rram::VariationScope::PerWeight) {
+            const double f = cfg_.xbar.variation.sample_factor(rng);
+            for (int k = 0; k < prog_.cells_per_weight(); ++k) {
+              factors[static_cast<std::size_t>(
+                  r * cfg_.xbar.cols + wc * prog_.cells_per_weight() + k)] =
+                  f;
+            }
+          } else {
+            for (int k = 0; k < prog_.cells_per_weight(); ++k) {
+              factors[static_cast<std::size_t>(
+                  r * cfg_.xbar.cols + wc * prog_.cells_per_weight() + k)] =
+                  cfg_.xbar.variation.sample_factor(rng);
+            }
+          }
+        }
+      }
+      Crossbar xb(cfg_.xbar);
+      xb.program_with_factors(states, factors);
+      xbars_.push_back(std::move(xb));
+    }
+  }
+}
+
+void CrossbarLayerExecutor::set_offsets(std::vector<float> offsets) {
+  if (offsets.size() != offsets_.size()) {
+    throw std::invalid_argument("set_offsets: size mismatch");
+  }
+  offsets_ = std::move(offsets);
+}
+
+std::vector<double> CrossbarLayerExecutor::forward(
+    const std::vector<double>& x) const {
+  if (static_cast<std::int64_t>(x.size()) != lq_.rows) {
+    throw std::invalid_argument("CrossbarLayerExecutor::forward: input size");
+  }
+  const std::int64_t cols = lq_.cols;
+  const std::int64_t wpr = cfg_.xbar.cols / prog_.cells_per_weight();
+  const double maxw = static_cast<double>(prog_.max_weight());
+  std::vector<double> y_int(static_cast<std::size_t>(cols), 0.0);
+  double sum_x_total = 0.0;
+  for (double v : x) sum_x_total += v;
+
+  std::vector<double> x_slice(static_cast<std::size_t>(cfg_.xbar.rows), 0.0);
+  for (std::int64_t tr = 0; tr < tiling_.row_tiles; ++tr) {
+    const std::int64_t row_base = tr * cfg_.xbar.rows;
+    const std::int64_t rows_here =
+        std::min<std::int64_t>(cfg_.xbar.rows, lq_.rows - row_base);
+    std::fill(x_slice.begin(), x_slice.end(), 0.0);
+    for (std::int64_t r = 0; r < rows_here; ++r) {
+      x_slice[static_cast<std::size_t>(r)] =
+          x[static_cast<std::size_t>(row_base + r)];
+    }
+    // One digital offset group = m consecutive wordlines of one column.
+    for (std::int64_t g0 = 0; g0 < rows_here; g0 += cfg_.offsets.m) {
+      const std::int64_t g1 =
+          std::min<std::int64_t>(rows_here, g0 + cfg_.offsets.m);
+      const std::int64_t group = group_of_row(row_base + g0, cfg_.offsets.m);
+      double sum_x_g = 0.0;  // the digital Sum unit
+      for (std::int64_t r = g0; r < g1; ++r) {
+        sum_x_g += x_slice[static_cast<std::size_t>(r)];
+      }
+      for (std::int64_t tc = 0; tc < tiling_.col_tiles; ++tc) {
+        const std::vector<double> cell_sums =
+            xbar_at(tr, tc).vmm_rows(x_slice, static_cast<int>(g0),
+                                     static_cast<int>(g1));
+        for (std::int64_t wc = 0; wc < wpr; ++wc) {
+          const std::int64_t col = tc * wpr + wc;
+          if (col >= cols) break;
+          // Shift-and-add across the weight's bit-slice columns.
+          double z = 0.0;
+          double radix = 1.0;
+          for (int k = 0; k < prog_.cells_per_weight(); ++k) {
+            z += radix *
+                 cell_sums[static_cast<std::size_t>(
+                     wc * prog_.cells_per_weight() + k)];
+            radix *= cfg_.xbar.cell.radix();
+          }
+          const std::size_t gi = static_cast<std::size_t>(group * cols + col);
+          // Digital offset unit: + b * sum(x)  (Eq. 1).
+          const double zc = z + offsets_[gi] * sum_x_g;
+          // Complement post-processing (Sec. III-C).
+          y_int[static_cast<std::size_t>(col)] +=
+              assign_.complemented[gi] ? maxw * sum_x_g - zc : zc;
+        }
+      }
+    }
+  }
+  // ISAAC weight shift + dequantization.
+  std::vector<double> y(static_cast<std::size_t>(cols));
+  for (std::int64_t c = 0; c < cols; ++c) {
+    y[static_cast<std::size_t>(c)] =
+        lq_.scale * (y_int[static_cast<std::size_t>(c)] -
+                     static_cast<double>(lq_.zero) * sum_x_total);
+  }
+  return y;
+}
+
+std::vector<double> CrossbarLayerExecutor::forward_bit_serial(
+    const std::vector<double>& x, int input_bits, double x_max) const {
+  if (input_bits < 1 || input_bits > 16 || x_max <= 0.0) {
+    throw std::invalid_argument("forward_bit_serial: bad input format");
+  }
+  const int levels = (1 << input_bits) - 1;
+  std::vector<int> xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double q = std::round(x[i] / x_max * levels);
+    xq[i] = static_cast<int>(std::clamp(q, 0.0, static_cast<double>(levels)));
+  }
+  std::vector<double> acc(static_cast<std::size_t>(lq_.cols), 0.0);
+  std::vector<double> xbit(x.size());
+  for (int b = 0; b < input_bits; ++b) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      xbit[i] = static_cast<double>((xq[i] >> b) & 1);
+    }
+    const std::vector<double> partial = forward(xbit);
+    const double weight = static_cast<double>(1 << b);  // shift-and-add
+    for (std::size_t c = 0; c < acc.size(); ++c) {
+      acc[c] += weight * partial[c];
+    }
+  }
+  // Undo the input quantization scale.
+  const double rescale = x_max / static_cast<double>(levels);
+  for (auto& v : acc) v *= rescale;
+  return acc;
+}
+
+std::vector<double> CrossbarLayerExecutor::measure_crw() const {
+  const std::int64_t wpr = cfg_.xbar.cols / prog_.cells_per_weight();
+  std::vector<double> crw(static_cast<std::size_t>(lq_.rows * lq_.cols));
+  for (std::int64_t r = 0; r < lq_.rows; ++r) {
+    const std::int64_t tr = r / cfg_.xbar.rows;
+    const int lr = static_cast<int>(r % cfg_.xbar.rows);
+    for (std::int64_t c = 0; c < lq_.cols; ++c) {
+      const std::int64_t tc = c / wpr;
+      const std::int64_t wc = c % wpr;
+      std::vector<double> vals(
+          static_cast<std::size_t>(prog_.cells_per_weight()));
+      for (int k = 0; k < prog_.cells_per_weight(); ++k) {
+        vals[static_cast<std::size_t>(k)] = xbar_at(tr, tc).cell_value(
+            lr, static_cast<int>(wc * prog_.cells_per_weight() + k));
+      }
+      crw[static_cast<std::size_t>(r * lq_.cols + c)] = prog_.compose(vals);
+    }
+  }
+  return crw;
+}
+
+}  // namespace rdo::sim

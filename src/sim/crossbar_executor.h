@@ -1,0 +1,85 @@
+// Device-level execution of one crossbar-mapped layer.
+//
+// This is the hardware-faithful reference path: the quantized layer is
+// tiled onto 128x128 Crossbar arrays (bit-sliced cells, per-device
+// variation, wordline-activation groups, optional finite-resolution ADC),
+// the digital offset units compute b * sum(x) per group, the complement
+// post-processing applies (2^n - 1) * sum(x) - z', and the ISAAC weight
+// shift subtracts zero * sum(x).
+//
+// The fast path used by core::Deployment absorbs all of this into
+// effective weights; tests/test_sim.cpp proves the two paths agree on the
+// same measured CRWs (exactly with an ideal ADC, boundedly with a real
+// one), which is what licenses the fast path for the accuracy benches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/vawo.h"
+#include "nn/rng.h"
+#include "quant/quantizer.h"
+#include "rram/crossbar.h"
+#include "rram/programmer.h"
+#include "rram/tiler.h"
+
+namespace rdo::sim {
+
+struct ExecutorConfig {
+  rdo::rram::CrossbarConfig xbar;  ///< geometry, cell, variation, ADC
+  rdo::core::OffsetConfig offsets;
+  int weight_bits = 8;
+};
+
+class CrossbarLayerExecutor {
+ public:
+  /// Tiles `lq` onto crossbars and programs every device once (one CCV
+  /// cycle drawn from `rng`). `assign` supplies CTWs, offsets and
+  /// complement flags (use core::plain_layer for the plain scheme).
+  CrossbarLayerExecutor(const rdo::quant::LayerQuant& lq,
+                        const rdo::core::VawoResult& assign,
+                        const ExecutorConfig& cfg, rdo::nn::Rng& rng);
+
+  /// Device-level forward: x has lq.rows entries (activation units);
+  /// returns lq.cols effective (dequantized) outputs.
+  [[nodiscard]] std::vector<double> forward(
+      const std::vector<double>& x) const;
+
+  /// ISAAC bit-serial forward: inputs are quantized to `input_bits`
+  /// levels over [0, x_max] and streamed one bit per read pass; partial
+  /// results are shifted-and-added. The whole pipeline is linear in x, so
+  /// with an ideal ADC this equals forward() on the quantized inputs —
+  /// asserted by the test suite.
+  [[nodiscard]] std::vector<double> forward_bit_serial(
+      const std::vector<double>& x, int input_bits, double x_max) const;
+
+  /// One read pass over every device: the composed CRW of each weight
+  /// (row-major [rows*cols]) — the measurement PWT requires.
+  [[nodiscard]] std::vector<double> measure_crw() const;
+
+  /// Replace the working offsets (e.g. after PWT).
+  void set_offsets(std::vector<float> offsets);
+
+  [[nodiscard]] const rdo::rram::TilingInfo& tiling() const {
+    return tiling_;
+  }
+  [[nodiscard]] std::int64_t crossbar_count() const {
+    return static_cast<std::int64_t>(xbars_.size());
+  }
+
+ private:
+  rdo::quant::LayerQuant lq_;
+  rdo::core::VawoResult assign_;
+  ExecutorConfig cfg_;
+  rdo::rram::WeightProgrammer prog_;
+  rdo::rram::TilingInfo tiling_;
+  std::vector<rdo::rram::Crossbar> xbars_;  // row-major [row_tile][col_tile]
+  std::vector<float> offsets_;
+
+  [[nodiscard]] const rdo::rram::Crossbar& xbar_at(std::int64_t tr,
+                                                   std::int64_t tc) const {
+    return xbars_[static_cast<std::size_t>(tr * tiling_.col_tiles + tc)];
+  }
+};
+
+}  // namespace rdo::sim

@@ -1,0 +1,286 @@
+#include "sim/network_executor.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/im2col.h"
+#include "nn/pooling.h"
+#include "quant/act_quant.h"
+#include "rram/rlut.h"
+
+namespace rdo::sim {
+
+using rdo::nn::Conv2D;
+using rdo::nn::Dense;
+using rdo::nn::Rng;
+
+NetworkExecutor::NetworkExecutor(rdo::nn::Sequential& net,
+                                 const rdo::nn::DataView& train,
+                                 const NetworkExecutorOptions& opt)
+    : opt_(opt) {
+  // Walk the graph in definition order and validate the topology.
+  std::vector<rdo::nn::Layer*> all;
+  collect_layers(&net, all);
+  std::vector<rdo::nn::Layer*> sequence;
+  int matrix_layers = 0;
+  for (rdo::nn::Layer* l : all) {
+    if (l == &net) continue;
+    if (dynamic_cast<Dense*>(l) || dynamic_cast<Conv2D*>(l)) {
+      ++matrix_layers;
+      sequence.push_back(l);
+    } else if (l->name() == "Flatten" || l->name() == "ReLU" ||
+               l->name() == "MaxPool2D" || l->name() == "ActQuant" ||
+               l->name() == "Dropout") {  // Dropout: identity at inference
+      sequence.push_back(l);
+    } else {
+      throw std::invalid_argument(
+          "NetworkExecutor: unsupported layer at device level: " +
+          l->name());
+    }
+  }
+  if (matrix_layers == 0) {
+    throw std::invalid_argument("NetworkExecutor: no crossbar layers");
+  }
+
+  // Quantize + assign. VAWO needs gradients at the quantized operating
+  // point.
+  rdo::rram::WeightProgrammer prog(opt.exec.xbar.cell, opt.exec.weight_bits,
+                                   opt.exec.xbar.variation);
+  const rdo::rram::RLut lut = rdo::rram::RLut::build(
+      prog, opt.lut_k_sets, opt.lut_j_cycles, Rng(opt.seed).split(0x10));
+  if (opt.use_vawo_star) {
+    accumulate_mean_gradients(net, train, opt.grad_batch, opt.grad_samples);
+  }
+
+  Rng prog_rng = Rng(opt.seed).split(0xBEEF);
+  std::size_t li = 0;
+  for (rdo::nn::Layer* l : sequence) {
+    Stage stage;
+    if (l->name() == "ReLU") {
+      stage.kind = Stage::Kind::ReLU;
+      stages_.push_back(std::move(stage));
+      continue;
+    }
+    if (l->name() == "Flatten" || l->name() == "ActQuant" ||
+        l->name() == "Dropout") {
+      continue;  // shape bookkeeping only / identity at inference
+    }
+    if (auto* pool = dynamic_cast<rdo::nn::MaxPool2D*>(l)) {
+      stage.kind = Stage::Kind::MaxPool;
+      stage.pool_window = static_cast<int>(pool->window());
+      stages_.push_back(std::move(stage));
+      continue;
+    }
+    auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l);
+    if (auto* conv = dynamic_cast<Conv2D*>(l)) {
+      stage.kind = Stage::Kind::Conv;
+      stage.kernel = static_cast<int>(conv->kernel());
+      stage.stride = static_cast<int>(conv->stride());
+      stage.pad = static_cast<int>(conv->pad());
+    } else {
+      stage.kind = Stage::Kind::Crossbar;
+    }
+    stage.m = opt.exec.offsets.m;
+    stage.lq = rdo::quant::quantize_matrix(*op, opt.exec.weight_bits);
+    if (opt.use_vawo_star) {
+      std::vector<double> grads(
+          static_cast<std::size_t>(stage.lq.rows * stage.lq.cols));
+      for (std::int64_t r = 0; r < stage.lq.rows; ++r) {
+        for (std::int64_t c = 0; c < stage.lq.cols; ++c) {
+          grads[static_cast<std::size_t>(r * stage.lq.cols + c)] =
+              op->weight_grad_at(r, c);
+        }
+      }
+      rdo::core::VawoOptions vopt;
+      vopt.offsets = opt.exec.offsets;
+      vopt.use_complement = true;
+      stage.assign = rdo::core::vawo_layer(stage.lq, grads, lut, vopt);
+    } else {
+      stage.assign = rdo::core::plain_layer(stage.lq, opt.exec.offsets.m);
+    }
+    Rng layer_rng = prog_rng.split(li++);
+    stage.exec = std::make_unique<CrossbarLayerExecutor>(
+        stage.lq, stage.assign, opt.exec, layer_rng);
+    stage.bias.assign(static_cast<std::size_t>(op->fan_out()), 0.0f);
+    rdo::nn::Param* bias_param = nullptr;
+    if (auto* d = dynamic_cast<Dense*>(l)) {
+      bias_param = &d->bias_param();
+    } else if (auto* cv = dynamic_cast<Conv2D*>(l)) {
+      bias_param = &cv->bias_param();
+    }
+    if (bias_param != nullptr &&
+        bias_param->value.size() == op->fan_out()) {
+      for (std::int64_t c = 0; c < op->fan_out(); ++c) {
+        stage.bias[static_cast<std::size_t>(c)] = bias_param->value[c];
+      }
+    }
+    stages_.push_back(std::move(stage));
+  }
+  if (opt.use_vawo_star) {
+    for (rdo::nn::Param* p : net.params()) p->zero_grad();
+  }
+}
+
+std::vector<double> NetworkExecutor::forward(
+    const std::vector<double>& x) const {
+  return forward_image(x, /*channels=*/0, /*height=*/0, /*width=*/0);
+}
+
+std::vector<double> NetworkExecutor::forward_image(
+    const std::vector<double>& x, int channels, int height,
+    int width) const {
+  std::vector<double> h = x;
+  int c = channels, hh = height, ww = width;
+  for (const Stage& s : stages_) {
+    switch (s.kind) {
+      case Stage::Kind::ReLU:
+        for (auto& v : h) v = std::max(0.0, v);
+        break;
+      case Stage::Kind::MaxPool: {
+        if (c <= 0) {
+          throw std::logic_error("NetworkExecutor: pooling needs an image");
+        }
+        const int oh = hh / s.pool_window, ow = ww / s.pool_window;
+        std::vector<double> y(static_cast<std::size_t>(c) * oh * ow,
+                              -1e300);
+        for (int ch = 0; ch < c; ++ch) {
+          for (int oy = 0; oy < oh; ++oy) {
+            for (int ox = 0; ox < ow; ++ox) {
+              double best = -1e300;
+              for (int ky = 0; ky < s.pool_window; ++ky) {
+                for (int kx = 0; kx < s.pool_window; ++kx) {
+                  const int iy = oy * s.pool_window + ky;
+                  const int ix = ox * s.pool_window + kx;
+                  best = std::max(
+                      best, h[static_cast<std::size_t>(
+                                (ch * hh + iy) * ww + ix)]);
+                }
+              }
+              y[static_cast<std::size_t>((ch * oh + oy) * ow + ox)] = best;
+            }
+          }
+        }
+        h = std::move(y);
+        hh = oh;
+        ww = ow;
+        break;
+      }
+      case Stage::Kind::Conv: {
+        if (c <= 0) {
+          throw std::logic_error("NetworkExecutor: conv needs an image");
+        }
+        const int oh = static_cast<int>(
+            rdo::nn::conv_out_dim(hh, s.kernel, s.stride, s.pad));
+        const int ow = static_cast<int>(
+            rdo::nn::conv_out_dim(ww, s.kernel, s.stride, s.pad));
+        const std::int64_t fin = s.lq.rows;
+        const std::int64_t oc = s.lq.cols;
+        // im2col rows, each driven through the crossbars as one VMM.
+        std::vector<float> img(h.size());
+        for (std::size_t i = 0; i < h.size(); ++i) {
+          img[i] = static_cast<float>(h[i]);
+        }
+        std::vector<float> cols(static_cast<std::size_t>(oh) * ow * fin);
+        rdo::nn::im2col(img.data(), c, hh, ww, s.kernel, s.kernel, s.stride,
+                        s.pad, cols.data());
+        std::vector<double> y(static_cast<std::size_t>(oc) * oh * ow, 0.0);
+        std::vector<double> row(static_cast<std::size_t>(fin));
+        for (int p = 0; p < oh * ow; ++p) {
+          for (std::int64_t j = 0; j < fin; ++j) {
+            row[static_cast<std::size_t>(j)] =
+                cols[static_cast<std::size_t>(p) * fin +
+                     static_cast<std::size_t>(j)];
+          }
+          const std::vector<double> out = s.exec->forward(row);
+          for (std::int64_t k = 0; k < oc; ++k) {
+            y[static_cast<std::size_t>(k * oh * ow + p)] =
+                out[static_cast<std::size_t>(k)] +
+                s.bias[static_cast<std::size_t>(k)];
+          }
+        }
+        h = std::move(y);
+        c = static_cast<int>(oc);
+        hh = oh;
+        ww = ow;
+        break;
+      }
+      case Stage::Kind::Crossbar: {
+        std::vector<double> y = s.exec->forward(h);
+        for (std::size_t k = 0; k < y.size(); ++k) y[k] += s.bias[k];
+        h = std::move(y);
+        c = 0;  // now a flat vector
+        break;
+      }
+    }
+  }
+  return h;
+}
+
+float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
+                                std::int64_t max_samples) const {
+  const std::int64_t n = max_samples > 0
+                             ? std::min<std::int64_t>(max_samples,
+                                                      test.size())
+                             : test.size();
+  const std::int64_t sample = test.images->size() / test.images->dim(0);
+  const int channels = static_cast<int>(test.images->dim(1));
+  const int height = static_cast<int>(test.images->dim(2));
+  const int width = static_cast<int>(test.images->dim(3));
+  int correct = 0;
+  std::vector<double> x(static_cast<std::size_t>(sample));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const float* src = test.images->data() + i * sample;
+    for (std::int64_t j = 0; j < sample; ++j) {
+      x[static_cast<std::size_t>(j)] = src[j];
+    }
+    const std::vector<double> logits =
+        forward_image(x, channels, height, width);
+    const std::int64_t arg = static_cast<std::int64_t>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (arg == (*test.labels)[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(n);
+}
+
+void NetworkExecutor::apply_mean_init_offsets() {
+  const int maxw = (1 << opt_.exec.weight_bits) - 1;
+  const float lo = static_cast<float>(opt_.exec.offsets.offset_min());
+  const float hi = static_cast<float>(opt_.exec.offsets.offset_max());
+  for (Stage& s : stages_) {
+    if (!s.exec) continue;
+    const std::vector<double> crw = s.exec->measure_crw();
+    std::vector<float> offsets(s.assign.offsets.size());
+    const std::int64_t cols = s.lq.cols;
+    for (std::int64_t c = 0; c < cols; ++c) {
+      for (std::int64_t g = 0; g < s.assign.groups_per_col; ++g) {
+        const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+        const std::int64_t r0 = g * s.m;
+        const std::int64_t r1 = std::min<std::int64_t>(s.lq.rows, r0 + s.m);
+        double acc = 0.0;
+        for (std::int64_t r = r0; r < r1; ++r) {
+          const int ntw = s.lq.at(r, c);
+          const double target =
+              s.assign.complemented[gi] ? maxw - ntw : ntw;
+          acc += target - crw[static_cast<std::size_t>(r * cols + c)];
+        }
+        offsets[gi] = std::clamp(
+            static_cast<float>(acc / static_cast<double>(r1 - r0)), lo, hi);
+        offsets[gi] = std::round(offsets[gi]);  // 8-bit register grid
+      }
+    }
+    s.exec->set_offsets(std::move(offsets));
+  }
+}
+
+std::int64_t NetworkExecutor::crossbar_count() const {
+  std::int64_t n = 0;
+  for (const Stage& s : stages_) {
+    if (s.exec) n += s.exec->crossbar_count();
+  }
+  return n;
+}
+
+}  // namespace rdo::sim

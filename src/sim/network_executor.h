@@ -1,0 +1,80 @@
+// Whole-network device-level inference.
+//
+// Runs a trained network (Sequential of Flatten / Dense / Conv2D / ReLU /
+// MaxPool2D / ActQuant — i.e. LeNet-class CNNs and MLPs) entirely on
+// simulated crossbars: every Dense/Conv2D layer is quantized, assigned
+// CTWs/offsets (plain or VAWO*), tiled onto Crossbar arrays and executed
+// via CrossbarLayerExecutor (convolutions are lowered to one VMM per
+// output position, exactly how ISAAC drives them); ReLU, max-pooling and
+// biases run digitally, as in the real accelerator. This is the "full
+// simulator" path — the fast effective-weight path used by
+// core::Deployment is validated against it.
+//
+// Post-writing tuning at device level is supported through the measured
+// CRWs: apply_mean_init_offsets() performs the closed-form PWT warm start
+// (per-group mean deviation) on the actual devices.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/sequential.h"
+#include "nn/trainer.h"
+#include "sim/crossbar_executor.h"
+
+namespace rdo::sim {
+
+struct NetworkExecutorOptions {
+  ExecutorConfig exec;
+  bool use_vawo_star = true;  ///< VAWO* assignment (else plain)
+  int lut_k_sets = 16;
+  int lut_j_cycles = 8;
+  std::int64_t grad_samples = 128;
+  std::int64_t grad_batch = 32;
+  std::uint64_t seed = 1;
+};
+
+class NetworkExecutor {
+ public:
+  /// `net` must be a Sequential of Flatten / Dense / Conv2D / ReLU /
+  /// MaxPool2D / ActQuant layers; throws otherwise. The network itself is
+  /// not modified. `train` is used for VAWO gradient collection.
+  NetworkExecutor(rdo::nn::Sequential& net, const rdo::nn::DataView& train,
+                  const NetworkExecutorOptions& opt);
+
+  /// Device-level logits for one flat sample (MLPs; no conv stages).
+  [[nodiscard]] std::vector<double> forward(
+      const std::vector<double>& x) const;
+
+  /// Device-level logits for one image of the given shape (CNNs).
+  [[nodiscard]] std::vector<double> forward_image(
+      const std::vector<double>& x, int channels, int height,
+      int width) const;
+
+  /// Device-level test accuracy. Convolution lowering makes this slow;
+  /// `max_samples` (0 = all) bounds the pass.
+  [[nodiscard]] float evaluate(const rdo::nn::DataView& test,
+                               std::int64_t max_samples = 0) const;
+
+  /// Closed-form PWT warm start on the measured device conductances.
+  void apply_mean_init_offsets();
+
+  [[nodiscard]] std::int64_t crossbar_count() const;
+  [[nodiscard]] std::size_t layer_count() const { return stages_.size(); }
+
+ private:
+  struct Stage {
+    enum class Kind { Crossbar, Conv, ReLU, MaxPool } kind = Kind::ReLU;
+    std::unique_ptr<CrossbarLayerExecutor> exec;  // Crossbar/Conv stages
+    rdo::quant::LayerQuant lq;
+    rdo::core::VawoResult assign;
+    std::vector<float> bias;  // digital bias add after the crossbar
+    int m = 16;
+    int kernel = 0, stride = 1, pad = 0;  // Conv stages
+    int pool_window = 2;                  // MaxPool stages
+  };
+  std::vector<Stage> stages_;
+  NetworkExecutorOptions opt_;
+};
+
+}  // namespace rdo::sim

@@ -1,0 +1,230 @@
+// Device-level crossbar simulation: programming, VMM, ADC, equivalence
+// with the composed-CRW fast path used by the deployment pipeline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rram/crossbar.h"
+#include "rram/programmer.h"
+
+using namespace rdo::rram;
+using rdo::nn::Rng;
+
+namespace {
+
+CrossbarConfig small_cfg(CellKind kind = CellKind::SLC, double sigma = 0.0,
+                         int rows = 16, int cols = 16, int active = 4) {
+  CrossbarConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  cfg.cell = {kind, 200.0};
+  cfg.variation = {sigma, 0.0};
+  cfg.active_wordlines = active;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Crossbar, RejectsBadGeometry) {
+  CrossbarConfig cfg = small_cfg();
+  cfg.active_wordlines = 0;
+  EXPECT_THROW(Crossbar{cfg}, std::invalid_argument);
+  cfg = small_cfg();
+  cfg.active_wordlines = 17;
+  EXPECT_THROW(Crossbar{cfg}, std::invalid_argument);
+}
+
+TEST(Crossbar, ProgramRejectsWrongCount) {
+  Crossbar xb(small_cfg());
+  Rng rng(1);
+  std::vector<int> too_few(10, 0);
+  EXPECT_THROW(xb.program(too_few, rng), std::invalid_argument);
+}
+
+TEST(Crossbar, IdealProgramReadsExactStates) {
+  CrossbarConfig cfg = small_cfg(CellKind::MLC2);
+  Crossbar xb(cfg);
+  std::vector<int> states(16 * 16);
+  for (std::size_t i = 0; i < states.size(); ++i) {
+    states[i] = static_cast<int>(i % 4);
+  }
+  xb.program_ideal(states);
+  EXPECT_DOUBLE_EQ(xb.cell_value(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(xb.cell_value(0, 3), 3.0);
+}
+
+TEST(Crossbar, IdealVmmEqualsIntegerMatrixProduct) {
+  CrossbarConfig cfg = small_cfg(CellKind::MLC2);
+  Crossbar xb(cfg);
+  Rng rng(2);
+  std::vector<int> states(16 * 16);
+  for (auto& s : states) s = static_cast<int>(rng.uniform_int(0, 3));
+  xb.program_ideal(states);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  const auto y = xb.vmm(x);
+  for (int c = 0; c < 16; ++c) {
+    double expect = 0.0;
+    for (int r = 0; r < 16; ++r) {
+      expect += x[static_cast<std::size_t>(r)] *
+                states[static_cast<std::size_t>(r * 16 + c)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(c)], expect, 1e-9);
+  }
+}
+
+TEST(Crossbar, VmmInvariantToActivationGrouping) {
+  // With an ideal ADC the group-by-group readout must equal the full sum,
+  // regardless of how many wordlines are active per cycle.
+  CrossbarConfig cfg = small_cfg(CellKind::SLC, 0.7);
+  Crossbar xb(cfg);
+  Rng rng(3);
+  std::vector<int> states(16 * 16);
+  for (auto& s : states) s = static_cast<int>(rng.uniform_int(0, 1));
+  xb.program(states, rng);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+
+  const auto y4 = xb.vmm(x);
+  CrossbarConfig cfg16 = cfg;
+  cfg16.active_wordlines = 16;
+  Crossbar xb16(cfg16);
+  // Re-programming draws new variation; instead copy by programming ideal
+  // and comparing through cell values is impossible — so just verify the
+  // grouping identity on the same object by changing nothing: compute a
+  // manual full-sum reference from cell_value().
+  for (int c = 0; c < 16; ++c) {
+    double expect = 0.0;
+    for (int r = 0; r < 16; ++r) {
+      expect += x[static_cast<std::size_t>(r)] * xb.cell_value(r, c);
+    }
+    EXPECT_NEAR(y4[static_cast<std::size_t>(c)], expect, 1e-9);
+  }
+}
+
+TEST(Crossbar, CyclesPerVmm) {
+  EXPECT_EQ(Crossbar(small_cfg(CellKind::SLC, 0, 16, 16, 4)).cycles_per_vmm(),
+            4);
+  EXPECT_EQ(Crossbar(small_cfg(CellKind::SLC, 0, 128, 128, 16))
+                .cycles_per_vmm(),
+            8);
+  EXPECT_EQ(Crossbar(small_cfg(CellKind::SLC, 0, 15, 16, 4)).cycles_per_vmm(),
+            4);
+}
+
+TEST(Crossbar, VmmRejectsWrongInputLength) {
+  Crossbar xb(small_cfg());
+  std::vector<double> x(5, 1.0);
+  EXPECT_THROW(xb.vmm(x), std::invalid_argument);
+}
+
+TEST(Crossbar, AdcQuantizationCoarsensOutput) {
+  CrossbarConfig cfg = small_cfg(CellKind::SLC, 0.0);
+  cfg.adc_bits = 2;  // 3 levels over full scale 4
+  Crossbar xb(cfg);
+  std::vector<int> states(16 * 16, 0);
+  states[0] = 1;  // only cell (0,0) set
+  xb.program_ideal(states);
+  std::vector<double> x(16, 0.0);
+  x[0] = 0.4;  // partial sum 0.4 of full-scale 4 -> quantizes to 1/3*4
+  const auto y = xb.vmm(x);
+  EXPECT_NEAR(y[0], 4.0 / 3.0 * std::round(0.4 / 4.0 * 3.0) , 1e-9);
+}
+
+TEST(Crossbar, IdealAdcBitsZeroIsExact) {
+  CrossbarConfig cfg = small_cfg(CellKind::SLC, 0.0);
+  cfg.adc_bits = 0;
+  Crossbar xb(cfg);
+  std::vector<int> states(16 * 16, 1);
+  xb.program_ideal(states);
+  std::vector<double> x(16, 0.137);
+  const auto y = xb.vmm(x);
+  EXPECT_NEAR(y[0], 0.137 * 16, 1e-9);
+}
+
+TEST(Crossbar, TotalReadPowerCountsStates) {
+  CrossbarConfig cfg = small_cfg(CellKind::SLC, 0.0, 4, 4, 4);
+  Crossbar xb(cfg);
+  std::vector<int> all_on(16, 1);
+  std::vector<int> all_off(16, 0);
+  xb.program_ideal(all_on);
+  const double p_on = xb.total_read_power();
+  xb.program_ideal(all_off);
+  const double p_off = xb.total_read_power();
+  EXPECT_NEAR(p_on / p_off, 200.0, 1e-9);  // ON/OFF ratio
+}
+
+TEST(Crossbar, EquivalenceWithComposedCrwPath) {
+  // The deployment pipeline composes CRWs via WeightProgrammer instead of
+  // simulating every cell in a Crossbar. Verify the two paths agree: a
+  // weight sliced across columns read by the crossbar, radix-recombined,
+  // equals WeightProgrammer::compose of the same cell values.
+  const CellModel cell{CellKind::MLC2, 200.0};
+  WeightProgrammer prog(cell, 8, {0.5, 0.0});
+  CrossbarConfig cfg = small_cfg(CellKind::MLC2, 0.5, 4, 4, 4);
+  Crossbar xb(cfg);
+  const int v = 0xA7;
+  const auto cells = prog.slice(v);
+  std::vector<int> states(16, 0);
+  for (int k = 0; k < 4; ++k) states[static_cast<std::size_t>(k)] = cells[static_cast<std::size_t>(k)];
+  Rng rng(9);
+  xb.program(states, rng);
+  // Read the four cells of row 0 and recombine.
+  std::vector<double> vals(4);
+  for (int k = 0; k < 4; ++k) vals[static_cast<std::size_t>(k)] = xb.cell_value(0, k);
+  const double crw = prog.compose(vals);
+  // Cross-check against a VMM with a one-hot input on row 0.
+  std::vector<double> x(4, 0.0);
+  x[0] = 1.0;
+  const auto y = xb.vmm(x);
+  double recombined = 0.0, radix = 1.0;
+  for (int k = 0; k < 4; ++k) {
+    recombined += radix * y[static_cast<std::size_t>(k)];
+    radix *= 4.0;
+  }
+  EXPECT_NEAR(crw, recombined, 1e-9);
+}
+
+class AdcResolutionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AdcResolutionSweep, ErrorShrinksWithResolution) {
+  // Quantization error of the group ADC must decrease monotonically with
+  // resolution and vanish for an ideal ADC.
+  const int bits = GetParam();
+  CrossbarConfig cfg = small_cfg(CellKind::MLC2, 0.0);
+  Crossbar ideal_xb(cfg);
+  cfg.adc_bits = bits;
+  Crossbar adc_xb(cfg);
+  Rng rng(42);
+  std::vector<int> states(16 * 16);
+  for (auto& s : states) s = static_cast<int>(rng.uniform_int(0, 3));
+  ideal_xb.program_ideal(states);
+  adc_xb.program_ideal(states);
+  std::vector<double> x(16);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+  const auto y_ideal = ideal_xb.vmm(x);
+  const auto y_adc = adc_xb.vmm(x);
+  // Max per-group quantization error: half an ADC step per group, 4 groups.
+  const double full_scale = 4.0 * 3.0;
+  const double step = full_scale / ((1 << bits) - 1);
+  for (int c = 0; c < 16; ++c) {
+    EXPECT_LE(std::fabs(y_adc[static_cast<std::size_t>(c)] -
+                        y_ideal[static_cast<std::size_t>(c)]),
+              4 * (0.5 * step) + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, AdcResolutionSweep,
+                         ::testing::Values(4, 6, 8, 10));
+
+TEST(Crossbar, VariationChangesAcrossProgrammingCycles) {
+  CrossbarConfig cfg = small_cfg(CellKind::SLC, 0.5);
+  Crossbar xb(cfg);
+  Rng rng(10);
+  std::vector<int> states(16 * 16, 1);
+  xb.program(states, rng);
+  const double v1 = xb.cell_value(0, 0);
+  xb.program(states, rng);
+  const double v2 = xb.cell_value(0, 0);
+  EXPECT_NE(v1, v2);  // cycle-to-cycle variation
+}

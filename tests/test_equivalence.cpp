@@ -1,0 +1,218 @@
+// Numerical-equivalence properties that justify the pipeline's fast path:
+// absorbing the digital offsets into effective weights is exactly the
+// hardware computation of Eq. (1)/(7), including the complement
+// post-processing of §III-C.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+#include "rram/crossbar.h"
+
+using namespace rdo;
+using namespace rdo::core;
+
+namespace {
+
+struct Fixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+  nn::Dense* dense0 = nullptr;
+
+  Fixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.height = spec.width = 8;
+    spec.classes = 4;
+    spec.train_per_class = 20;
+    spec.test_per_class = 8;
+    spec.seed = 33;
+    ds = data::make_synthetic(spec);
+    nn::Rng rng(6);
+    net.emplace<nn::Flatten>();
+    dense0 = net.emplace<nn::Dense>(64, 16, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(16, 4, rng);
+    nn::SGD opt(net.params(), 0.1f);
+    for (int e = 0; e < 6; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 16, rng);
+    }
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(Equivalence, EffectiveWeightsImplementEq7WithComplement) {
+  // y_eff (network weights after deployment) must equal the digital
+  // computation: per group, sum x*V (analog), plus b * sum(x) (digital),
+  // with the complement post-processing (2^n-1) * sum(x) - z' where used.
+  auto& f = fixture();
+  DeployOptions o;
+  o.scheme = Scheme::VAWOStar;  // produces nonzero offsets + complements
+  o.offsets.m = 8;
+  o.cell = {rram::CellKind::SLC, 200.0};
+  o.variation.sigma = 0.6;
+  o.seed = 4;
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+
+  const DeployedLayer& dl = dep.layers()[0];
+  const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
+  const double maxw = 255.0;
+  nn::Rng rng(9);
+  std::vector<double> x(static_cast<std::size_t>(rows));
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+
+  for (std::int64_t c = 0; c < cols; ++c) {
+    // Path 1: effective weights as loaded into the network.
+    double y_eff = 0.0;
+    for (std::int64_t r = 0; r < rows; ++r) {
+      y_eff += x[static_cast<std::size_t>(r)] * dl.op->weight_at(r, c);
+    }
+    // Path 2: explicit hardware computation.
+    double y_hw = 0.0;
+    double sum_x_total = 0.0;
+    for (std::int64_t g = 0; g < dl.assign.groups_per_col; ++g) {
+      const std::size_t gi = static_cast<std::size_t>(g * cols + c);
+      const std::int64_t r0 = g * o.offsets.m;
+      const std::int64_t r1 = std::min(rows, r0 + o.offsets.m);
+      double analog = 0.0, sum_x = 0.0;
+      for (std::int64_t r = r0; r < r1; ++r) {
+        analog += x[static_cast<std::size_t>(r)] *
+                  dl.crw[static_cast<std::size_t>(r * cols + c)];
+        sum_x += x[static_cast<std::size_t>(r)];
+      }
+      const double z = analog + dl.offsets[gi] * sum_x;  // Eq. (1)/(7)
+      // Complement post-processing (ISAAC module, paper Sec. III-C).
+      y_hw += dl.assign.complemented[gi] ? maxw * sum_x - z : z;
+      sum_x_total += sum_x;
+    }
+    // The ISAAC weight shift: subtract zero * sum(x), then dequantize.
+    const double y_hw_eff =
+        dl.lq.scale * (y_hw - static_cast<double>(dl.lq.zero) * sum_x_total);
+    EXPECT_NEAR(y_eff, y_hw_eff, 1e-3 * std::max(1.0, std::fabs(y_eff)))
+        << "column " << c;
+  }
+  dep.restore();
+}
+
+TEST(Equivalence, PlainEffectiveWeightIsCrwPlusOffsetDequantized) {
+  auto& f = fixture();
+  DeployOptions o;
+  o.scheme = Scheme::Plain;
+  o.offsets.m = 8;
+  o.cell = {rram::CellKind::SLC, 200.0};
+  o.variation.sigma = 0.4;
+  o.seed = 5;
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  const DeployedLayer& dl = dep.layers()[0];
+  for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
+    for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
+      const double v = dl.crw[static_cast<std::size_t>(r * dl.lq.cols + c)];
+      EXPECT_NEAR(dl.op->weight_at(r, c),
+                  dl.lq.dequant(static_cast<float>(v)), 1e-4f);
+    }
+  }
+  dep.restore();
+}
+
+TEST(Equivalence, ZeroVariationPlainMatchesQuantizedRoundTrip) {
+  auto& f = fixture();
+  DeployOptions o;
+  o.scheme = Scheme::Plain;
+  o.cell = {rram::CellKind::MLC2, 200.0};
+  o.variation.sigma = 0.0;
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  const DeployedLayer& dl = dep.layers()[0];
+  for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
+    for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
+      EXPECT_NEAR(dl.op->weight_at(r, c),
+                  dl.lq.dequant(static_cast<float>(dl.lq.at(r, c))), 1e-5f);
+    }
+  }
+  dep.restore();
+}
+
+TEST(Equivalence, ComplementIdentityOnDeviceLevelCrossbar) {
+  // z = sum(w x) computed directly equals (2^n - 1) sum(x) - z' with z'
+  // from the complemented weights — exactly, on ideal devices (the
+  // identity the ISAAC post-processing module implements).
+  rram::CrossbarConfig cfg;
+  cfg.rows = 8;
+  cfg.cols = 32;  // 8 weights x 4 MLC2 cells
+  cfg.cell = {rram::CellKind::MLC2, 200.0};
+  cfg.active_wordlines = 8;
+  rram::WeightProgrammer prog(cfg.cell, 8, {0.0, 0.0});
+
+  nn::Rng rng(11);
+  std::vector<int> w(8);
+  for (auto& v : w) v = static_cast<int>(rng.uniform_int(0, 255));
+  std::vector<double> x(8);
+  for (auto& v : x) v = rng.uniform(0.0, 1.0);
+
+  auto dot_via_crossbar = [&](const std::vector<int>& weights) {
+    std::vector<int> states(8 * 32, 0);
+    for (int i = 0; i < 8; ++i) {
+      const auto cells = prog.slice(weights[static_cast<std::size_t>(i)]);
+      for (int k = 0; k < 4; ++k) {
+        // weight i occupies columns 4i..4i+3, all rows -> row i only here
+        states[static_cast<std::size_t>(i * 32 + i * 4 + k)] =
+            cells[static_cast<std::size_t>(k)];
+      }
+    }
+    rram::Crossbar xb(cfg);
+    xb.program_ideal(states);
+    const auto y = xb.vmm(x);
+    double z = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      double radix = 1.0;
+      for (int k = 0; k < 4; ++k) {
+        z += radix * y[static_cast<std::size_t>(i * 4 + k)];
+        radix *= 4.0;
+      }
+    }
+    return z;
+  };
+
+  std::vector<int> wbar(8);
+  double sum_x = 0.0;
+  for (int i = 0; i < 8; ++i) {
+    wbar[static_cast<std::size_t>(i)] = 255 - w[static_cast<std::size_t>(i)];
+    sum_x += x[static_cast<std::size_t>(i)];
+  }
+  const double direct = dot_via_crossbar(w);
+  const double via_complement = 255.0 * sum_x - dot_via_crossbar(wbar);
+  EXPECT_NEAR(direct, via_complement, 1e-9);
+}
+
+TEST(Equivalence, OffsetLinearityEq1) {
+  // Eq. (1): sum x_i (v_i + b) == sum x_i v_i + b sum x_i, for the
+  // composed effective computation at double precision.
+  nn::Rng rng(12);
+  const int n = 16;
+  std::vector<double> v(n), x(n);
+  for (auto& e : v) e = rng.uniform(0.0, 255.0);
+  for (auto& e : x) e = rng.uniform(0.0, 1.0);
+  const double b = 37.0;
+  double lhs = 0.0, dot = 0.0, sum_x = 0.0;
+  for (int i = 0; i < n; ++i) {
+    lhs += x[static_cast<std::size_t>(i)] * (v[static_cast<std::size_t>(i)] + b);
+    dot += x[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+    sum_x += x[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(lhs, dot + b * sum_x, 1e-9);
+}

@@ -1,0 +1,336 @@
+// Dropout, LR schedules, AlexNet, RLut persistence, and the risk
+// analysis module.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/analysis.h"
+#include "data/synthetic.h"
+#include "models/alexnet.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/dropout.h"
+#include "nn/lr_schedule.h"
+#include "nn/optimizer.h"
+#include "quant/act_quant.h"
+#include "rram/rlut.h"
+
+using namespace rdo;
+using rdo::nn::Rng;
+using rdo::nn::Tensor;
+
+// ---------------------------------------------------------------- Dropout
+
+TEST(Dropout, EvalModeIsIdentity) {
+  nn::Dropout d(0.5f, 1);
+  Tensor x({100});
+  x.fill(2.0f);
+  Tensor y = d.forward(x, /*train=*/false);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_FLOAT_EQ(y[i], 2.0f);
+}
+
+TEST(Dropout, TrainModeDropsAndRescales) {
+  nn::Dropout d(0.5f, 2);
+  Tensor x({10000});
+  x.fill(1.0f);
+  Tensor y = d.forward(x, true);
+  int dropped = 0;
+  for (std::int64_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++dropped;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / 10000.0, 0.5, 0.03);
+  // Inverted dropout keeps the expectation.
+  EXPECT_NEAR(y.sum() / 10000.0, 1.0, 0.05);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  nn::Dropout d(0.5f, 3);
+  Tensor x({1000});
+  x.fill(1.0f);
+  Tensor y = d.forward(x, true);
+  Tensor g({1000});
+  g.fill(1.0f);
+  Tensor gi = d.backward(g);
+  for (std::int64_t i = 0; i < 1000; ++i) {
+    EXPECT_FLOAT_EQ(gi[i], y[i]);  // same mask, same scale
+  }
+}
+
+TEST(Dropout, ZeroProbabilityIsIdentityInTraining) {
+  nn::Dropout d(0.0f, 4);
+  Tensor x({10});
+  x.fill(3.0f);
+  Tensor y = d.forward(x, true);
+  EXPECT_FLOAT_EQ(y.sum(), 30.0f);
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  nn::Dropout d(1.0f, 5);
+  Tensor x({2});
+  EXPECT_THROW(d.forward(x, true), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- LR schedules
+
+TEST(LrSchedule, StepDecay) {
+  nn::StepDecay s(1.0f, 10, 0.1f);
+  EXPECT_FLOAT_EQ(s.at(0), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(9), 1.0f);
+  EXPECT_FLOAT_EQ(s.at(10), 0.1f);
+  EXPECT_NEAR(s.at(25), 0.01f, 1e-7f);
+  EXPECT_THROW(nn::StepDecay(1.0f, 0), std::invalid_argument);
+}
+
+TEST(LrSchedule, CosineDecayEndpoints) {
+  nn::CosineDecay c(1.0f, 100, 0.0f);
+  EXPECT_FLOAT_EQ(c.at(0), 1.0f);
+  EXPECT_NEAR(c.at(50), 0.5f, 1e-3f);
+  EXPECT_NEAR(c.at(100), 0.0f, 1e-6f);
+  EXPECT_NEAR(c.at(150), 0.0f, 1e-6f);  // past the horizon
+}
+
+TEST(LrSchedule, CosineIsMonotoneDecreasing) {
+  nn::CosineDecay c(0.5f, 40, 0.01f);
+  for (int e = 1; e < 40; ++e) EXPECT_LE(c.at(e), c.at(e - 1) + 1e-7f);
+}
+
+TEST(LrSchedule, WarmupRampsLinearly) {
+  nn::Warmup<nn::CosineDecay> w(nn::CosineDecay(1.0f, 100), 4);
+  EXPECT_LT(w.at(0), w.at(1));
+  EXPECT_LT(w.at(1), w.at(3));
+  // After warmup, follows the inner schedule.
+  EXPECT_FLOAT_EQ(w.at(10), nn::CosineDecay(1.0f, 100).at(10));
+}
+
+// ----------------------------------------------------------------- AlexNet
+
+TEST(AlexNet, ForwardShape) {
+  Rng rng(1);
+  models::AlexNetConfig cfg;
+  cfg.base_channels = 4;
+  auto net = models::make_alexnet(cfg, rng);
+  Tensor x({2, 3, 32, 32});
+  x.uniform_init(rng, 0.0f, 1.0f);
+  Tensor y = net->forward(x, /*train=*/false);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 10);
+}
+
+TEST(AlexNet, TrainAndEvalModesDiffer) {
+  // Dropout makes train-mode forward stochastic and eval deterministic.
+  Rng rng(2);
+  models::AlexNetConfig cfg;
+  cfg.base_channels = 4;
+  auto net = models::make_alexnet(cfg, rng);
+  Tensor x({1, 3, 32, 32});
+  x.uniform_init(rng, 0.0f, 1.0f);
+  Tensor e1 = net->forward(x, false);
+  Tensor e2 = net->forward(x, false);
+  for (std::int64_t i = 0; i < e1.size(); ++i) {
+    EXPECT_FLOAT_EQ(e1[i], e2[i]);
+  }
+  Tensor t1 = net->forward(x, true);
+  Tensor t2 = net->forward(x, true);
+  bool any_diff = false;
+  for (std::int64_t i = 0; i < t1.size(); ++i) {
+    if (t1[i] != t2[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(AlexNet, HasSixCrossbarLayers) {
+  Rng rng(3);
+  models::AlexNetConfig cfg;
+  cfg.base_channels = 4;
+  auto net = models::make_alexnet(cfg, rng);
+  std::vector<nn::Layer*> all;
+  collect_layers(net.get(), all);
+  int ops = 0;
+  for (nn::Layer* l : all) {
+    if (dynamic_cast<nn::MatrixOp*>(l)) ++ops;
+  }
+  EXPECT_EQ(ops, 6);  // 4 convs + 2 fc
+}
+
+// ------------------------------------------------------- RLut persistence
+
+TEST(RLutIo, RoundTrip) {
+  rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
+  const rram::RLut lut = rram::RLut::build(prog, 8, 8, Rng(4));
+  const std::string path = std::string(::testing::TempDir()) + "lut.bin";
+  lut.save(path);
+  rram::RLut loaded;
+  ASSERT_TRUE(rram::RLut::load(path, loaded));
+  for (int v = 0; v <= 255; v += 15) {
+    EXPECT_DOUBLE_EQ(loaded.mean(v), lut.mean(v));
+    EXPECT_DOUBLE_EQ(loaded.var(v), lut.var(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RLutIo, MissingFileReturnsFalse) {
+  rram::RLut lut;
+  EXPECT_FALSE(rram::RLut::load(
+      std::string(::testing::TempDir()) + "nope.bin", lut));
+}
+
+TEST(RLutIo, CorruptFileThrows) {
+  const std::string path = std::string(::testing::TempDir()) + "bad.bin";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    std::fputs("garbage", f);
+    std::fclose(f);
+  }
+  rram::RLut lut;
+  EXPECT_THROW(rram::RLut::load(path, lut), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------- Risk analysis
+
+namespace {
+
+struct RiskFixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+
+  RiskFixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.height = spec.width = 10;
+    spec.classes = 5;
+    spec.train_per_class = 25;
+    spec.test_per_class = 10;
+    spec.seed = 55;
+    ds = data::make_synthetic(spec);
+    Rng rng(5);
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Dense>(100, 20, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(20, 5, rng);
+    nn::SGD opt(net.params(), 0.1f);
+    for (int e = 0; e < 8; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 16, rng);
+    }
+  }
+
+  double risk_of(core::Scheme s, double sigma) {
+    core::DeployOptions o;
+    o.scheme = s;
+    o.offsets.m = 10;
+    o.cell = {rram::CellKind::SLC, 200.0};
+    o.variation.sigma = sigma;
+    o.seed = 6;
+    core::Deployment dep(net, o);
+    dep.prepare(ds.train());
+    const double r = core::network_risk(dep);
+    dep.restore();
+    return r;
+  }
+};
+
+RiskFixture& rf() {
+  static RiskFixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(Analysis, ZeroVariationRiskIsTiny) {
+  EXPECT_LT(rf().risk_of(core::Scheme::Plain, 0.0), 0.01);
+}
+
+TEST(Analysis, VawoReducesPredictedRisk) {
+  const double plain = rf().risk_of(core::Scheme::Plain, 0.5);
+  const double vawo = rf().risk_of(core::Scheme::VAWO, 0.5);
+  const double star = rf().risk_of(core::Scheme::VAWOStar, 0.5);
+  EXPECT_LT(vawo, plain);
+  // VAWO* minimizes the gradient-weighted objective, so its *unweighted*
+  // risk may differ from VAWO's by a little — but both sit far below
+  // plain.
+  EXPECT_LT(star, 0.5 * plain);
+  EXPECT_NEAR(star, vawo, 0.25 * vawo);
+}
+
+TEST(Analysis, RiskGrowsWithSigma) {
+  EXPECT_LT(rf().risk_of(core::Scheme::VAWOStar, 0.2),
+            rf().risk_of(core::Scheme::VAWOStar, 0.8));
+}
+
+TEST(Analysis, RiskPredictsAccuracyOrdering) {
+  // The predictive claim: lower network_risk => higher deployed accuracy
+  // (for the same model/σ across schemes).
+  auto& f = rf();
+  const double risk_plain = f.risk_of(core::Scheme::Plain, 0.4);
+  const double risk_star = f.risk_of(core::Scheme::VAWOStar, 0.4);
+  ASSERT_LT(risk_star, risk_plain);
+
+  auto acc = [&](core::Scheme s) {
+    core::DeployOptions o;
+    o.scheme = s;
+    o.offsets.m = 10;
+    o.cell = {rram::CellKind::SLC, 200.0};
+    o.variation.sigma = 0.4;
+    o.seed = 6;
+    return core::run_scheme(f.net, o, f.ds.train(), f.ds.test(), 3)
+        .mean_accuracy;
+  };
+  EXPECT_GT(acc(core::Scheme::VAWOStar), acc(core::Scheme::Plain));
+}
+
+TEST(Analysis, PerLayerRisksMatchNetworkAggregate) {
+  auto& f = rf();
+  core::DeployOptions o;
+  o.scheme = core::Scheme::VAWOStar;
+  o.offsets.m = 10;
+  o.cell = {rram::CellKind::SLC, 200.0};
+  o.variation.sigma = 0.5;
+  o.seed = 6;
+  core::Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  const auto layers = core::deployment_risk(dep);
+  ASSERT_EQ(layers.size(), 2u);
+  double total = 0.0, n = 0.0;
+  const double counts[2] = {100.0 * 20.0, 20.0 * 5.0};
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    EXPECT_GT(layers[i].mean_sq_dev, 0.0);
+    total += layers[i].mean_sq_dev * counts[i];
+    n += counts[i];
+  }
+  EXPECT_NEAR(core::network_risk(dep), std::sqrt(total / n) / 255.0, 1e-9);
+  dep.restore();
+}
+
+TEST(Analysis, GranularityTunerPicksCoarsestWithinBudget) {
+  auto& f = rf();
+  core::DeployOptions base;
+  base.scheme = core::Scheme::VAWOStar;
+  base.cell = {rram::CellKind::SLC, 200.0};
+  base.variation.sigma = 0.4;
+  base.seed = 6;
+  // A generous budget accepts the coarsest candidate.
+  const auto loose = core::choose_granularity(f.net, base, f.ds.train(),
+                                              {5, 10, 20}, 1.0);
+  EXPECT_TRUE(loose.within_budget);
+  EXPECT_EQ(loose.m, 20);
+  EXPECT_EQ(loose.candidates.size(), 3u);
+  // An impossible budget falls back to the minimum-risk candidate.
+  const auto strict = core::choose_granularity(f.net, base, f.ds.train(),
+                                               {5, 10, 20}, 1e-12);
+  EXPECT_FALSE(strict.within_budget);
+  double best = 1e9;
+  for (const auto& [m, r] : strict.candidates) best = std::min(best, r);
+  EXPECT_DOUBLE_EQ(strict.risk, best);
+}
+
+TEST(Analysis, GranularityTunerRejectsEmptyCandidates) {
+  auto& f = rf();
+  core::DeployOptions base;
+  base.variation.sigma = 0.4;
+  EXPECT_THROW(
+      core::choose_granularity(f.net, base, f.ds.train(), {}, 0.5),
+      std::invalid_argument);
+}

@@ -1,0 +1,123 @@
+// GEMM kernels vs. a naive triple-loop reference, across shapes.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "nn/gemm.h"
+#include "nn/rng.h"
+
+using namespace rdo::nn;
+
+namespace {
+
+std::vector<float> random_mat(std::int64_t r, std::int64_t c, Rng& rng) {
+  std::vector<float> m(static_cast<std::size_t>(r * c));
+  for (auto& x : m) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return m;
+}
+
+std::vector<float> ref_gemm(const std::vector<float>& a,
+                            const std::vector<float>& b, std::int64_t m,
+                            std::int64_t k, std::int64_t n) {
+  std::vector<float> c(static_cast<std::size_t>(m * n), 0.0f);
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::int64_t p = 0; p < k; ++p) {
+        acc += static_cast<double>(a[static_cast<std::size_t>(i * k + p)]) *
+               b[static_cast<std::size_t>(p * n + j)];
+      }
+      c[static_cast<std::size_t>(i * n + j)] = static_cast<float>(acc);
+    }
+  }
+  return c;
+}
+
+void expect_near(const std::vector<float>& a, const std::vector<float>& b,
+                 float tol = 1e-4f) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], tol);
+}
+
+}  // namespace
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, MatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 1000 + k * 100 + n));
+  const auto a = random_mat(m, k, rng);
+  const auto b = random_mat(k, n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  expect_near(c, ref_gemm(a, b, m, k, n));
+}
+
+TEST_P(GemmShapes, AtBMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m + k + n));
+  // A stored as [k, m]; result C[m, n] = A^T B.
+  const auto a_t = random_mat(k, m, rng);
+  const auto b = random_mat(k, n, rng);
+  // Build A[m, k] explicitly for the reference.
+  std::vector<float> a(static_cast<std::size_t>(m) * k);
+  for (std::int64_t p = 0; p < k; ++p) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      a[static_cast<std::size_t>(i * k + p)] =
+          a_t[static_cast<std::size_t>(p * m + i)];
+    }
+  }
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm_at_b_accumulate(a_t.data(), b.data(), c.data(), m, k, n);
+  expect_near(c, ref_gemm(a, b, m, k, n));
+}
+
+TEST_P(GemmShapes, ABtMatchesReference) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(m * 7 + k * 3 + n));
+  const auto a = random_mat(m, k, rng);
+  // B stored as [n, k]; result C[m, n] = A B^T.
+  const auto b_t = random_mat(n, k, rng);
+  std::vector<float> b(static_cast<std::size_t>(k) * n);
+  for (std::int64_t j = 0; j < n; ++j) {
+    for (std::int64_t p = 0; p < k; ++p) {
+      b[static_cast<std::size_t>(p * n + j)] =
+          b_t[static_cast<std::size_t>(j * k + p)];
+    }
+  }
+  std::vector<float> c(static_cast<std::size_t>(m) * n, 0.0f);
+  gemm_a_bt_accumulate(a.data(), b_t.data(), c.data(), m, k, n);
+  expect_near(c, ref_gemm(a, b, m, k, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(2, 3, 4),
+                      std::make_tuple(7, 5, 3), std::make_tuple(16, 16, 16),
+                      std::make_tuple(1, 32, 8), std::make_tuple(33, 17, 9),
+                      std::make_tuple(64, 3, 64)));
+
+TEST(Gemm, AccumulateAddsOntoExisting) {
+  const std::int64_t m = 2, k = 2, n = 2;
+  std::vector<float> a{1, 0, 0, 1};  // identity
+  std::vector<float> b{1, 2, 3, 4};
+  std::vector<float> c{10, 10, 10, 10};
+  gemm_accumulate(a.data(), b.data(), c.data(), m, k, n);
+  EXPECT_FLOAT_EQ(c[0], 11.0f);
+  EXPECT_FLOAT_EQ(c[3], 14.0f);
+}
+
+TEST(Gemm, SkipsZeroRowsCorrectly) {
+  // The kernel short-circuits zero A entries (common after ReLU); the
+  // result must still be exact.
+  const std::int64_t m = 3, k = 4, n = 2;
+  Rng rng(5);
+  auto a = random_mat(m, k, rng);
+  a[0] = a[1] = a[5] = 0.0f;
+  const auto b = random_mat(k, n, rng);
+  std::vector<float> c(static_cast<std::size_t>(m) * n);
+  gemm(a.data(), b.data(), c.data(), m, k, n);
+  expect_near(c, ref_gemm(a, b, m, k, n));
+}

@@ -1,0 +1,397 @@
+// Numerical gradient checks and shape/semantics tests for every layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+
+using namespace rdo::nn;
+
+namespace {
+
+/// L(x) = sum_i coeff_i * layer(x)_i; checks analytic dL/dx and dL/dparams
+/// against central finite differences.
+void grad_check(Layer& layer, Tensor x, bool train = true,
+                double tol = 2e-2) {
+  Tensor y = layer.forward(x, train);
+  Rng rng(99);
+  Tensor coeff(y.shape());
+  for (std::int64_t i = 0; i < coeff.size(); ++i) {
+    coeff[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  auto loss = [&]() {
+    Tensor out = layer.forward(x, train);
+    double l = 0.0;
+    for (std::int64_t i = 0; i < out.size(); ++i) l += coeff[i] * out[i];
+    return l;
+  };
+
+  // Analytic gradients.
+  for (Param* p : layer.params()) p->zero_grad();
+  (void)layer.forward(x, train);
+  Tensor grad_in = layer.backward(coeff);
+
+  const double eps = 1e-3;
+  // Input gradient: probe a subset of positions.
+  const std::int64_t stride_probe = std::max<std::int64_t>(1, x.size() / 24);
+  for (std::int64_t i = 0; i < x.size(); i += stride_probe) {
+    const float orig = x[i];
+    x[i] = orig + static_cast<float>(eps);
+    const double lp = loss();
+    x[i] = orig - static_cast<float>(eps);
+    const double lm = loss();
+    x[i] = orig;
+    const double num = (lp - lm) / (2 * eps);
+    EXPECT_NEAR(grad_in[i], num, tol * std::max(1.0, std::fabs(num)))
+        << "input grad at " << i;
+  }
+  // Parameter gradients.
+  for (Param* p : layer.params()) {
+    Tensor& w = p->value;
+    const std::int64_t pstride = std::max<std::int64_t>(1, w.size() / 16);
+    for (std::int64_t i = 0; i < w.size(); i += pstride) {
+      const float orig = w[i];
+      w[i] = orig + static_cast<float>(eps);
+      const double lp = loss();
+      w[i] = orig - static_cast<float>(eps);
+      const double lm = loss();
+      w[i] = orig;
+      const double num = (lp - lm) / (2 * eps);
+      EXPECT_NEAR(p->grad[i], num, tol * std::max(1.0, std::fabs(num)))
+          << "param grad at " << i;
+    }
+  }
+}
+
+Tensor random_input(std::vector<std::int64_t> shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor x(std::move(shape));
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+}  // namespace
+
+TEST(Dense, ForwardShape) {
+  Rng rng(1);
+  Dense d(8, 5, rng);
+  Tensor y = d.forward(random_input({3, 8}, 2), true);
+  EXPECT_EQ(y.dim(0), 3);
+  EXPECT_EQ(y.dim(1), 5);
+}
+
+TEST(Dense, FlattensHigherRankInput) {
+  Rng rng(1);
+  Dense d(12, 4, rng);
+  Tensor y = d.forward(random_input({2, 3, 2, 2}, 3), true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 4);
+}
+
+TEST(Dense, RejectsFanInMismatch) {
+  Rng rng(1);
+  Dense d(8, 5, rng);
+  EXPECT_THROW(d.forward(random_input({3, 9}, 2), true),
+               std::invalid_argument);
+}
+
+TEST(Dense, BiasApplied) {
+  Rng rng(1);
+  Dense d(2, 2, rng);
+  d.weight_param().value.zero();
+  d.bias_param().value[0] = 3.0f;
+  d.bias_param().value[1] = -1.0f;
+  Tensor y = d.forward(random_input({1, 2}, 4), true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), -1.0f);
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng(7);
+  Dense d(6, 4, rng);
+  grad_check(d, random_input({3, 6}, 8));
+}
+
+TEST(Dense, MatrixOpViewMatchesStorage) {
+  Rng rng(1);
+  Dense d(3, 2, rng);
+  d.set_weight_at(2, 1, 0.5f);
+  EXPECT_FLOAT_EQ(d.weight_at(2, 1), 0.5f);
+  EXPECT_EQ(d.fan_in(), 3);
+  EXPECT_EQ(d.fan_out(), 2);
+  EXPECT_FLOAT_EQ(d.weight_param().value.at(2, 1), 0.5f);
+}
+
+TEST(Conv2D, ForwardShape) {
+  Rng rng(1);
+  Conv2D c(3, 8, 3, 1, 1, rng);
+  Tensor y = c.forward(random_input({2, 3, 10, 10}, 5), true);
+  EXPECT_EQ(y.dim(0), 2);
+  EXPECT_EQ(y.dim(1), 8);
+  EXPECT_EQ(y.dim(2), 10);
+  EXPECT_EQ(y.dim(3), 10);
+}
+
+TEST(Conv2D, StrideShape) {
+  Rng rng(1);
+  Conv2D c(2, 4, 3, 2, 1, rng);
+  Tensor y = c.forward(random_input({1, 2, 8, 8}, 5), true);
+  EXPECT_EQ(y.dim(2), 4);
+  EXPECT_EQ(y.dim(3), 4);
+}
+
+TEST(Conv2D, MatchesManualConvolution) {
+  Rng rng(2);
+  Conv2D c(1, 1, 3, 1, 0, rng, /*bias=*/false);
+  // Set the kernel to an averaging filter.
+  for (std::int64_t r = 0; r < 9; ++r) c.set_weight_at(r, 0, 1.0f / 9.0f);
+  Tensor x({1, 1, 3, 3});
+  x.fill(9.0f);
+  Tensor y = c.forward(x, true);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_NEAR(y[0], 9.0f, 1e-5f);
+}
+
+TEST(Conv2D, GradCheckNoPad) {
+  Rng rng(3);
+  Conv2D c(2, 3, 3, 1, 0, rng);
+  grad_check(c, random_input({2, 2, 5, 5}, 6));
+}
+
+TEST(Conv2D, GradCheckPadStride) {
+  Rng rng(4);
+  Conv2D c(2, 2, 3, 2, 1, rng);
+  grad_check(c, random_input({2, 2, 6, 6}, 7));
+}
+
+TEST(Conv2D, FanInFanOut) {
+  Rng rng(1);
+  Conv2D c(3, 8, 5, 1, 2, rng);
+  EXPECT_EQ(c.fan_in(), 3 * 5 * 5);
+  EXPECT_EQ(c.fan_out(), 8);
+}
+
+TEST(ReLU, ForwardClampsNegatives) {
+  ReLU r;
+  Tensor x({4});
+  x[0] = -1.0f;
+  x[1] = 0.0f;
+  x[2] = 2.0f;
+  x[3] = -0.5f;
+  Tensor y = r.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+  EXPECT_FLOAT_EQ(y[3], 0.0f);
+}
+
+TEST(ReLU, BackwardMasks) {
+  ReLU r;
+  Tensor x({2});
+  x[0] = -1.0f;
+  x[1] = 1.0f;
+  (void)r.forward(x, true);
+  Tensor g({2});
+  g.fill(5.0f);
+  Tensor gi = r.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+  EXPECT_FLOAT_EQ(gi[1], 5.0f);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Tensor x = random_input({2, 3, 4, 4}, 9);
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.rank(), 2);
+  EXPECT_EQ(y.dim(1), 48);
+  Tensor gi = f.backward(y);
+  EXPECT_EQ(gi.rank(), 4);
+  EXPECT_EQ(gi.dim(3), 4);
+}
+
+TEST(MaxPool2D, ForwardPicksMax) {
+  MaxPool2D p(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 5;
+  x[2] = 3;
+  x[3] = 2;
+  Tensor y = p.forward(x, true);
+  ASSERT_EQ(y.size(), 1);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+}
+
+TEST(MaxPool2D, BackwardRoutesToArgmax) {
+  MaxPool2D p(2);
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1;
+  x[1] = 5;
+  x[2] = 3;
+  x[3] = 2;
+  (void)p.forward(x, true);
+  Tensor g({1, 1, 1, 1});
+  g[0] = 7.0f;
+  Tensor gi = p.backward(g);
+  EXPECT_FLOAT_EQ(gi[1], 7.0f);
+  EXPECT_FLOAT_EQ(gi[0], 0.0f);
+}
+
+TEST(MaxPool2D, GradCheck) {
+  MaxPool2D p(2);
+  grad_check(p, random_input({2, 2, 4, 4}, 10));
+}
+
+TEST(GlobalAvgPool, ForwardAverages) {
+  GlobalAvgPool p;
+  Tensor x({1, 2, 2, 2});
+  for (std::int64_t i = 0; i < 4; ++i) x[i] = 4.0f;   // channel 0
+  for (std::int64_t i = 4; i < 8; ++i) x[i] = 8.0f;   // channel 1
+  Tensor y = p.forward(x, true);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 8.0f);
+}
+
+TEST(GlobalAvgPool, GradCheck) {
+  GlobalAvgPool p;
+  grad_check(p, random_input({2, 3, 3, 3}, 11));
+}
+
+TEST(BatchNorm2D, NormalizesTrainBatch) {
+  BatchNorm2D bn(2);
+  Tensor x = random_input({4, 2, 3, 3}, 12);
+  Tensor y = bn.forward(x, true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0, var = 0.0;
+    int count = 0;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t i = 0; i < 9; ++i) {
+        mean += y.at(n, c, i / 3, i % 3);
+        ++count;
+      }
+    }
+    mean /= count;
+    for (std::int64_t n = 0; n < 4; ++n) {
+      for (std::int64_t i = 0; i < 9; ++i) {
+        const double d = y.at(n, c, i / 3, i % 3) - mean;
+        var += d * d;
+      }
+    }
+    var /= count;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2D, GradCheckTrainMode) {
+  BatchNorm2D bn(2);
+  grad_check(bn, random_input({3, 2, 2, 2}, 13), /*train=*/true, 5e-2);
+}
+
+TEST(BatchNorm2D, GradCheckEvalMode) {
+  BatchNorm2D bn(2);
+  // Populate running stats first.
+  for (int i = 0; i < 20; ++i) {
+    (void)bn.forward(random_input({4, 2, 2, 2}, 14 + i), true);
+  }
+  grad_check(bn, random_input({3, 2, 2, 2}, 40), /*train=*/false);
+}
+
+TEST(BatchNorm2D, EvalUsesRunningStats) {
+  BatchNorm2D bn(1);
+  Tensor x({2, 1, 2, 2});
+  x.fill(2.0f);
+  // Eval before any training forward: running mean 0, var 1.
+  Tensor y = bn.forward(x, false);
+  EXPECT_NEAR(y[0], 2.0f, 1e-3f);
+}
+
+TEST(Sequential, ChainsAndCollects) {
+  Rng rng(1);
+  Sequential s;
+  s.emplace<Dense>(4, 8, rng);
+  s.emplace<ReLU>();
+  s.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(s.layer_count(), 3u);
+  EXPECT_EQ(s.params().size(), 4u);  // two weights + two biases
+  Tensor y = s.forward(random_input({2, 4}, 15), true);
+  EXPECT_EQ(y.dim(1), 2);
+  std::vector<Layer*> all;
+  collect_layers(&s, all);
+  EXPECT_EQ(all.size(), 4u);  // sequential + 3 children
+}
+
+TEST(Sequential, GradCheck) {
+  Rng rng(2);
+  Sequential s;
+  s.emplace<Dense>(5, 6, rng);
+  s.emplace<ReLU>();
+  s.emplace<Dense>(6, 3, rng);
+  grad_check(s, random_input({2, 5}, 16));
+}
+
+TEST(Residual, IdentityShortcutForward) {
+  Rng rng(3);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2D>(2, 2, 3, 1, 1, rng, false);
+  Residual res(std::move(main));
+  Tensor x = random_input({1, 2, 4, 4}, 17);
+  Tensor y = res.forward(x, true);
+  EXPECT_EQ(y.shape(), x.shape());
+}
+
+TEST(Residual, IdentityPathDominatesWithZeroMain) {
+  Rng rng(3);
+  auto main = std::make_unique<Sequential>();
+  auto* conv = main->emplace<Conv2D>(1, 1, 1, 1, 0, rng, false);
+  conv->weight_param().value.zero();
+  Residual res(std::move(main));
+  Tensor x({1, 1, 2, 2});
+  x[0] = 1.0f;
+  x[1] = -1.0f;
+  x[2] = 2.0f;
+  x[3] = 0.0f;
+  Tensor y = res.forward(x, true);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);   // ReLU(0 + 1)
+  EXPECT_FLOAT_EQ(y[1], 0.0f);   // ReLU(0 - 1)
+  EXPECT_FLOAT_EQ(y[2], 2.0f);
+}
+
+TEST(Residual, GradCheckIdentity) {
+  Rng rng(4);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2D>(2, 2, 3, 1, 1, rng);
+  Residual res(std::move(main));
+  grad_check(res, random_input({2, 2, 4, 4}, 18));
+}
+
+TEST(Residual, GradCheckProjection) {
+  Rng rng(5);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2D>(2, 4, 3, 2, 1, rng);
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->emplace<Conv2D>(2, 4, 1, 2, 0, rng);
+  Residual res(std::move(main), std::move(shortcut));
+  grad_check(res, random_input({2, 2, 4, 4}, 19));
+}
+
+TEST(Residual, CollectsNestedChildren) {
+  Rng rng(6);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2D>(1, 1, 1, 1, 0, rng);
+  auto shortcut = std::make_unique<Sequential>();
+  shortcut->emplace<Conv2D>(1, 1, 1, 1, 0, rng);
+  Residual res(std::move(main), std::move(shortcut));
+  std::vector<Layer*> all;
+  collect_layers(&res, all);
+  // residual + 2 sequentials + 2 convs
+  EXPECT_EQ(all.size(), 5u);
+}

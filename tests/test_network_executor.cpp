@@ -1,0 +1,194 @@
+// Whole-network device-level inference (sim::NetworkExecutor).
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/dense.h"
+#include "nn/conv2d.h"
+#include "nn/pooling.h"
+#include "nn/optimizer.h"
+#include "quant/act_quant.h"
+#include "sim/network_executor.h"
+
+using namespace rdo;
+using namespace rdo::sim;
+
+namespace {
+
+struct Fixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+  float ideal = 0.0f;
+
+  Fixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.height = spec.width = 10;
+    spec.classes = 5;
+    spec.train_per_class = 30;
+    spec.test_per_class = 10;
+    spec.seed = 44;
+    ds = data::make_synthetic(spec);
+    nn::Rng rng(8);
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Dense>(100, 24, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(24, 5, rng);
+    nn::SGD opt(net.params(), 0.1f);
+    for (int e = 0; e < 10; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 16, rng);
+    }
+    ideal = nn::evaluate(net, ds.test(), 32).accuracy;
+  }
+
+  NetworkExecutorOptions options(double sigma, bool vawo) const {
+    NetworkExecutorOptions o;
+    o.exec.xbar.rows = 32;
+    o.exec.xbar.cols = 32;
+    o.exec.xbar.cell = {rram::CellKind::MLC2, 200.0};
+    o.exec.xbar.variation.sigma = sigma;
+    o.exec.xbar.active_wordlines = 8;
+    o.exec.offsets.m = 8;
+    o.use_vawo_star = vawo;
+    o.lut_k_sets = 8;
+    o.lut_j_cycles = 8;
+    o.seed = 17;
+    return o;
+  }
+};
+
+Fixture& fx() {
+  static Fixture f;
+  return f;
+}
+
+}  // namespace
+
+TEST(NetworkExecutor, IdealDevicesMatchFloatAccuracy) {
+  auto& f = fx();
+  NetworkExecutor exec(f.net, f.ds.train(), f.options(0.0, false));
+  EXPECT_NEAR(exec.evaluate(f.ds.test()), f.ideal, 0.06f);
+}
+
+TEST(NetworkExecutor, RejectsUnsupportedLayers) {
+  nn::Rng rng(1);
+  nn::Sequential bn_net;
+  bn_net.emplace<nn::Conv2D>(1, 2, 3, 1, 1, rng);
+  bn_net.emplace<rdo::nn::BatchNorm2D>(2);
+  auto& f = fx();
+  EXPECT_THROW(NetworkExecutor(bn_net, f.ds.train(), f.options(0.0, false)),
+               std::invalid_argument);
+}
+
+namespace {
+
+/// A small trained CNN shared by the device-level CNN tests.
+nn::Sequential& trained_cnn() {
+  static nn::Sequential* cnn = [] {
+    auto* net = new nn::Sequential();
+    auto& f = fx();
+    nn::Rng rng(9);
+    net->emplace<nn::Conv2D>(1, 6, 3, 1, 1, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<rdo::nn::MaxPool2D>(2);
+    net->emplace<nn::Flatten>();
+    net->emplace<nn::Dense>(6 * 5 * 5, 5, rng);
+    nn::SGD opt(net->params(), 0.05f);
+    for (int e = 0; e < 20; ++e) {
+      nn::train_epoch(*net, opt, f.ds.train(), 16, rng);
+    }
+    return net;
+  }();
+  return *cnn;
+}
+
+}  // namespace
+
+TEST(NetworkExecutor, CnnDeviceLogitsMatchFloatOnIdealDevices) {
+  // A LeNet-class CNN executed entirely on simulated crossbars: conv
+  // layers are lowered to one VMM per output position. With ideal
+  // devices the only gap is 8-bit weight quantization, so logits track
+  // the float network closely.
+  auto& f = fx();
+  nn::Sequential& cnn = trained_cnn();
+  NetworkExecutor exec(cnn, f.ds.train(), f.options(0.0, false));
+  nn::Tensor batch = nn::gather_batch(f.ds.test_images, {0});
+  nn::Tensor logits = cnn.forward(batch, false);
+  std::vector<double> x(100);
+  for (int j = 0; j < 100; ++j) {
+    x[static_cast<std::size_t>(j)] = f.ds.test_images[j];
+  }
+  const auto dev = exec.forward_image(x, 1, 10, 10);
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_NEAR(dev[static_cast<std::size_t>(k)], logits[k],
+                0.1 * std::max(1.0f, std::abs(logits[k])));
+  }
+}
+
+TEST(NetworkExecutor, CnnAccuracyMatchesOnIdealDevices) {
+  auto& f = fx();
+  nn::Sequential& cnn = trained_cnn();
+  const float ideal = nn::evaluate(cnn, f.ds.test(), 32).accuracy;
+  NetworkExecutor exec(cnn, f.ds.train(), f.options(0.0, false));
+  const float device = exec.evaluate(f.ds.test());
+  EXPECT_NEAR(device, ideal, 0.08f);
+}
+
+TEST(NetworkExecutor, CnnRecoveryUnderVariation) {
+  auto& f = fx();
+  nn::Sequential& cnn = trained_cnn();
+  NetworkExecutor plain(cnn, f.ds.train(), f.options(0.5, false));
+  NetworkExecutor full(cnn, f.ds.train(), f.options(0.5, true));
+  full.apply_mean_init_offsets();
+  EXPECT_GE(full.evaluate(f.ds.test(), 25),
+            plain.evaluate(f.ds.test(), 25));
+}
+
+TEST(NetworkExecutor, VariationDegradesPlainDeployment) {
+  auto& f = fx();
+  NetworkExecutor exec(f.net, f.ds.train(), f.options(0.5, false));
+  EXPECT_LT(exec.evaluate(f.ds.test()), f.ideal - 0.2f);
+}
+
+TEST(NetworkExecutor, VawoStarPlusMeanInitRecoversOnDevices) {
+  // The paper's pipeline, executed entirely at device level: VAWO* CTWs,
+  // then the posteriori offset warm start on the measured conductances.
+  auto& f = fx();
+  NetworkExecutor plain(f.net, f.ds.train(), f.options(0.5, false));
+  const float a_plain = plain.evaluate(f.ds.test());
+
+  NetworkExecutor full(f.net, f.ds.train(), f.options(0.5, true));
+  full.apply_mean_init_offsets();
+  const float a_full = full.evaluate(f.ds.test());
+  EXPECT_GT(a_full, a_plain + 0.15f);
+  EXPECT_GT(a_full, f.ideal - 0.25f);
+}
+
+TEST(NetworkExecutor, MeanInitImprovesOverVawoAlone) {
+  auto& f = fx();
+  NetworkExecutor exec(f.net, f.ds.train(), f.options(0.5, true));
+  const float before = exec.evaluate(f.ds.test());
+  exec.apply_mean_init_offsets();
+  const float after = exec.evaluate(f.ds.test());
+  EXPECT_GE(after, before - 0.02f);
+}
+
+TEST(NetworkExecutor, CrossbarCountAccounting) {
+  auto& f = fx();
+  NetworkExecutor exec(f.net, f.ds.train(), f.options(0.0, false));
+  // Layer 1: 100x24 weights, 4 cells each on 32x32 arrays: 8 weights/row
+  // -> 3 col tiles x 4 row tiles = 12. Layer 2: 24x5 -> 1.
+  EXPECT_EQ(exec.crossbar_count(), 13);
+  EXPECT_EQ(exec.layer_count(), 3u);  // dense, relu, dense
+}
+
+TEST(NetworkExecutor, NetworkWeightsUntouched) {
+  auto& f = fx();
+  const float before = nn::evaluate(f.net, f.ds.test(), 32).accuracy;
+  {
+    NetworkExecutor exec(f.net, f.ds.train(), f.options(0.7, true));
+    exec.apply_mean_init_offsets();
+    (void)exec.evaluate(f.ds.test());
+  }
+  EXPECT_FLOAT_EQ(nn::evaluate(f.net, f.ds.test(), 32).accuracy, before);
+}

@@ -1,0 +1,208 @@
+// Bit-sliced weight programming: slicing, composition, moments.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rram/programmer.h"
+#include "rram/rlut.h"
+
+using namespace rdo::rram;
+using rdo::nn::Rng;
+
+namespace {
+const CellModel kSlc{CellKind::SLC, 200.0};
+const CellModel kMlc{CellKind::MLC2, 200.0};
+}  // namespace
+
+TEST(Programmer, CellsPerWeight) {
+  EXPECT_EQ(WeightProgrammer(kSlc, 8, {0.5, 0.0}).cells_per_weight(), 8);
+  EXPECT_EQ(WeightProgrammer(kMlc, 8, {0.5, 0.0}).cells_per_weight(), 4);
+  EXPECT_EQ(WeightProgrammer(kMlc, 4, {0.5, 0.0}).cells_per_weight(), 2);
+}
+
+TEST(Programmer, RejectsIndivisibleBits) {
+  EXPECT_THROW(WeightProgrammer(kMlc, 7, {0.5, 0.0}), std::invalid_argument);
+}
+
+TEST(Programmer, SliceLsbFirstSlc) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const auto s = p.slice(0b10110001);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s[0], 1);
+  EXPECT_EQ(s[1], 0);
+  EXPECT_EQ(s[4], 1);
+  EXPECT_EQ(s[7], 1);
+}
+
+TEST(Programmer, SliceLsbFirstMlc) {
+  WeightProgrammer p(kMlc, 8, {0.5, 0.0});
+  const auto s = p.slice(0xB4);  // 10 11 01 00 -> cells LSB-first: 0,1,3,2
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(s[0], 0);
+  EXPECT_EQ(s[1], 1);
+  EXPECT_EQ(s[2], 3);
+  EXPECT_EQ(s[3], 2);
+}
+
+TEST(Programmer, SliceRejectsOutOfRange) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  EXPECT_THROW(p.slice(-1), std::invalid_argument);
+  EXPECT_THROW(p.slice(256), std::invalid_argument);
+}
+
+TEST(Programmer, SliceComposeRoundTripIdeal) {
+  for (const CellModel& cell : {kSlc, kMlc}) {
+    WeightProgrammer p(cell, 8, {0.0, 0.0});
+    for (int v = 0; v <= 255; v += 13) {
+      const auto states = p.slice(v);
+      std::vector<double> vals(states.size());
+      for (std::size_t k = 0; k < states.size(); ++k) {
+        vals[k] = cell.read_value(states[k], 1.0);
+      }
+      EXPECT_NEAR(p.compose(vals), static_cast<double>(v), 1e-9);
+    }
+  }
+}
+
+TEST(Programmer, ZeroSigmaProgramIsExact) {
+  WeightProgrammer p(kMlc, 8, {0.0, 0.0});
+  Rng rng(1);
+  for (int v : {0, 1, 100, 200, 255}) {
+    EXPECT_NEAR(p.program(v, rng), static_cast<double>(v), 1e-9);
+  }
+}
+
+TEST(Programmer, ProgramMomentsMatchAnalytic) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  Rng rng(2);
+  for (int v : {37, 128, 255}) {
+    const int n = 20000;
+    double sum = 0.0, sum2 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double x = p.program(v, rng);
+      sum += x;
+      sum2 += x * x;
+    }
+    const double mean = sum / n;
+    const double var = sum2 / n - mean * mean;
+    EXPECT_NEAR(mean, p.analytic_mean(v),
+                0.02 * std::max(1.0, p.analytic_mean(v)));
+    EXPECT_NEAR(var, p.analytic_var(v), 0.1 * p.analytic_var(v) + 0.5);
+  }
+}
+
+TEST(Programmer, AnalyticMeanIsAffineInV) {
+  // E[R(v)] = M v + const: check three collinear points.
+  WeightProgrammer p(kMlc, 8, {0.7, 0.0});
+  const double d1 = p.analytic_mean(100) - p.analytic_mean(50);
+  const double d2 = p.analytic_mean(150) - p.analytic_mean(100);
+  EXPECT_NEAR(d1, d2, 1e-9);
+  EXPECT_NEAR(d1 / 50.0, (VariationModel{0.7, 0.0}).mean_factor(), 1e-9);
+}
+
+TEST(Programmer, VarianceDependsOnBitPatternNotMagnitude) {
+  // Var[R(128)] (single MSB device) must exceed Var[R(127)] (7 low
+  // devices) — the effect VAWO exploits to prefer low-bit-heavy CTWs.
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  EXPECT_GT(p.analytic_var(128), p.analytic_var(127));
+}
+
+TEST(Programmer, HigherSigmaRaisesVariance) {
+  WeightProgrammer lo(kSlc, 8, {0.2, 0.0});
+  WeightProgrammer hi(kSlc, 8, {1.0, 0.0});
+  for (int v : {10, 100, 250}) {
+    EXPECT_GT(hi.analytic_var(v), lo.analytic_var(v));
+  }
+}
+
+TEST(Programmer, ProgramWithDdvUsesPersistentComponent) {
+  // Pure DDV (ddv_fraction = 1): repeated cycles with fixed thetas give
+  // identical CRWs.
+  WeightProgrammer p(kSlc, 8, {0.5, 1.0});
+  Rng rng(3);
+  std::vector<double> ddv(static_cast<std::size_t>(p.cells_per_weight()));
+  for (auto& t : ddv) t = p.variation().sample_ddv_theta(rng);
+  const double a = p.program_with_ddv(200, ddv, rng);
+  const double b = p.program_with_ddv(200, ddv, rng);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Programmer, ProgramWithDdvCcvVariesAcrossCycles) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.5});
+  Rng rng(4);
+  std::vector<double> ddv(static_cast<std::size_t>(p.cells_per_weight()));
+  for (auto& t : ddv) t = p.variation().sample_ddv_theta(rng);
+  const double a = p.program_with_ddv(200, ddv, rng);
+  const double b = p.program_with_ddv(200, ddv, rng);
+  EXPECT_NE(a, b);
+}
+
+TEST(Programmer, ProgramWithDdvRejectsWrongThetaCount) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.5});
+  Rng rng(5);
+  std::vector<double> ddv(3);
+  EXPECT_THROW(p.program_with_ddv(10, ddv, rng), std::invalid_argument);
+}
+
+TEST(Programmer, StuckAtHrsPullsReadbackDown) {
+  WeightProgrammer healthy(kSlc, 8, {0.0, 0.0});
+  WeightProgrammer faulty(kSlc, 8, {0.0, 0.0}, {0.5, 0.0});
+  Rng rng(60);
+  double healthy_sum = 0.0, faulty_sum = 0.0;
+  for (int i = 0; i < 500; ++i) {
+    healthy_sum += healthy.program(255, rng);
+    faulty_sum += faulty.program(255, rng);
+  }
+  EXPECT_NEAR(healthy_sum / 500.0, 255.0, 1e-9);
+  // Half the cells stuck at HRS: expect roughly half the value.
+  EXPECT_NEAR(faulty_sum / 500.0, 127.5, 15.0);
+}
+
+TEST(Programmer, StuckAtLrsPushesReadbackUp) {
+  WeightProgrammer faulty(kSlc, 8, {0.0, 0.0}, {0.0, 0.5});
+  Rng rng(61);
+  double sum = 0.0;
+  for (int i = 0; i < 500; ++i) sum += faulty.program(0, rng);
+  EXPECT_GT(sum / 500.0, 100.0);  // ~half the cells read the top state
+}
+
+TEST(Programmer, StuckCellsHaveNoVariation) {
+  // All cells stuck: readback is exact and repeatable despite sigma.
+  WeightProgrammer faulty(kSlc, 8, {1.0, 0.0}, {1.0, 0.0});
+  Rng rng(62);
+  const double a = faulty.program(170, rng);
+  const double b = faulty.program(170, rng);
+  EXPECT_DOUBLE_EQ(a, 0.0);  // every cell stuck at HRS
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Programmer, FaultRatesCapturedByStatisticalLut) {
+  // The LUT protocol measures the same (simulated) devices, so a fault
+  // rate shifts E[R(v)] down for high targets — making VAWO fault-aware.
+  WeightProgrammer healthy(kSlc, 8, {0.3, 0.0});
+  WeightProgrammer faulty(kSlc, 8, {0.3, 0.0}, {0.2, 0.0});
+  const RLut lut_h = RLut::build(healthy, 16, 16, Rng(63));
+  const RLut lut_f = RLut::build(faulty, 16, 16, Rng(63));
+  EXPECT_LT(lut_f.mean(255), lut_h.mean(255) * 0.95);
+}
+
+class ProgrammerCellSweep
+    : public ::testing::TestWithParam<std::tuple<CellKind, double>> {};
+
+TEST_P(ProgrammerCellSweep, MeanFollowsAnalyticAcrossRange) {
+  const auto [kind, sigma] = GetParam();
+  WeightProgrammer p({kind, 200.0}, 8, {sigma, 0.0});
+  Rng rng(6);
+  for (int v = 0; v <= 255; v += 51) {
+    const int n = 4000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += p.program(v, rng);
+    EXPECT_NEAR(sum / n, p.analytic_mean(v),
+                0.05 * std::max(2.0, p.analytic_mean(v)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndSigmas, ProgrammerCellSweep,
+    ::testing::Combine(::testing::Values(CellKind::SLC, CellKind::MLC2),
+                       ::testing::Values(0.2, 0.5, 1.0)));

@@ -1,0 +1,197 @@
+// Post-writing tuning (paper §III-D): offsets trained by backprop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+using namespace rdo;
+using namespace rdo::core;
+
+namespace {
+
+struct Fixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+
+  Fixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.height = spec.width = 10;
+    spec.classes = 6;
+    spec.train_per_class = 25;
+    spec.test_per_class = 10;
+    spec.seed = 9;
+    ds = data::make_synthetic(spec);
+    nn::Rng rng(4);
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Dense>(100, 24, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(24, 6, rng);
+    nn::SGD opt(net.params(), 0.1f);
+    for (int e = 0; e < 8; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 16, rng);
+    }
+  }
+
+  DeployOptions options(Scheme s) const {
+    DeployOptions o;
+    o.scheme = s;
+    o.offsets.m = 8;
+    o.cell = {rram::CellKind::SLC, 200.0};
+    o.variation.sigma = 0.5;
+    o.lut_k_sets = 8;
+    o.lut_j_cycles = 8;
+    o.pwt.epochs = 3;
+    o.seed = 11;
+    return o;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+float deployed_loss(nn::Layer& net, const nn::DataView& data) {
+  return nn::evaluate(net, data, 64).loss;
+}
+
+}  // namespace
+
+TEST(Pwt, TuningReducesTrainingLoss) {
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::PWT);
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  const float loss_before = deployed_loss(f.net, f.ds.train());
+  dep.tune(f.ds.train());
+  const float loss_after = deployed_loss(f.net, f.ds.train());
+  EXPECT_LT(loss_after, loss_before);
+  dep.restore();
+}
+
+TEST(Pwt, TuningImprovesTestAccuracy) {
+  auto& f = fixture();
+  DeployOptions plain = f.options(Scheme::Plain);
+  DeployOptions pwt = f.options(Scheme::PWT);
+  const float a_plain =
+      run_scheme(f.net, plain, f.ds.train(), f.ds.test(), 2).mean_accuracy;
+  const float a_pwt =
+      run_scheme(f.net, pwt, f.ds.train(), f.ds.test(), 2).mean_accuracy;
+  EXPECT_GT(a_pwt, a_plain + 0.05f);
+}
+
+TEST(Pwt, OffsetsLandOnRegisterGrid) {
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::PWT);
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  dep.tune(f.ds.train());
+  for (const DeployedLayer& dl : dep.layers()) {
+    for (float b : dl.offsets) {
+      EXPECT_FLOAT_EQ(b, std::round(b));
+      EXPECT_GE(b, -128.0f);
+      EXPECT_LE(b, 127.0f);
+    }
+  }
+  dep.restore();
+}
+
+TEST(Pwt, SomeOffsetsBecomeNonZero) {
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::PWT);
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  dep.tune(f.ds.train());
+  int nonzero = 0;
+  for (const DeployedLayer& dl : dep.layers()) {
+    for (float b : dl.offsets) {
+      if (b != 0.0f) ++nonzero;
+    }
+  }
+  EXPECT_GT(nonzero, 0);
+  dep.restore();
+}
+
+TEST(Pwt, TuneIsNoOpForNonPwtSchemes) {
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::VAWOStar);
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  std::vector<float> before;
+  for (const DeployedLayer& dl : dep.layers()) {
+    before.insert(before.end(), dl.offsets.begin(), dl.offsets.end());
+  }
+  dep.tune(f.ds.train());
+  std::size_t k = 0;
+  for (const DeployedLayer& dl : dep.layers()) {
+    for (float b : dl.offsets) EXPECT_FLOAT_EQ(b, before[k++]);
+  }
+  dep.restore();
+}
+
+TEST(Pwt, EachCycleStartsFromAPrioriOffsets) {
+  // After tuning cycle 0, programming cycle 1 must reset the working
+  // offsets to the VAWO (a-priori) values before re-tuning.
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::VAWOStarPWT);
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  dep.tune(f.ds.train());
+  dep.program_cycle(1);
+  std::size_t k = 0;
+  for (const DeployedLayer& dl : dep.layers()) {
+    for (std::size_t i = 0; i < dl.offsets.size(); ++i, ++k) {
+      EXPECT_FLOAT_EQ(dl.offsets[i], dl.assign.offsets[i]);
+    }
+  }
+  dep.restore();
+}
+
+TEST(Pwt, DoesNotHurtACleanDeployment) {
+  // With zero variation there is nothing to repair; tuning must not make
+  // the deployed network meaningfully worse.
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::PWT);
+  o.variation.sigma = 0.0;
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  dep.program_cycle(0);
+  const float clean = dep.evaluate(f.ds.test());
+  dep.tune(f.ds.train());
+  const float tuned = dep.evaluate(f.ds.test());
+  EXPECT_GE(tuned, clean - 0.05f);
+  dep.restore();
+}
+
+TEST(Pwt, ComplementedGroupsTuneWithFlippedSign) {
+  // VAWO*+PWT on a high-variation deployment: tuning must still reduce
+  // the training loss even when many groups are stored complemented.
+  auto& f = fixture();
+  DeployOptions o = f.options(Scheme::VAWOStarPWT);
+  o.variation.sigma = 0.8;
+  Deployment dep(f.net, o);
+  dep.prepare(f.ds.train());
+  int complemented = 0;
+  for (const DeployedLayer& dl : dep.layers()) {
+    for (auto c : dl.assign.complemented) complemented += c;
+  }
+  ASSERT_GT(complemented, 0);  // the premise: some groups are inverted
+  dep.program_cycle(0);
+  const float before = deployed_loss(f.net, f.ds.train());
+  dep.tune(f.ds.train());
+  const float after = deployed_loss(f.net, f.ds.train());
+  EXPECT_LT(after, before + 1e-4f);
+  dep.restore();
+}

@@ -1,0 +1,195 @@
+// Weight quantization (NTW generation) and activation fake-quant.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "quant/act_quant.h"
+#include "quant/quantizer.h"
+
+using namespace rdo::nn;
+using namespace rdo::quant;
+
+namespace {
+
+Dense make_dense_with(const std::vector<float>& w, std::int64_t in,
+                      std::int64_t out) {
+  Rng rng(1);
+  Dense d(in, out, rng);
+  for (std::int64_t r = 0; r < in; ++r) {
+    for (std::int64_t c = 0; c < out; ++c) {
+      d.set_weight_at(r, c, w[static_cast<std::size_t>(r * out + c)]);
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+TEST(Quantizer, RoundTripErrorBoundedByHalfStep) {
+  Rng rng(2);
+  Dense d(16, 8, rng);
+  const LayerQuant lq = quantize_matrix(d, 8);
+  for (std::int64_t r = 0; r < 16; ++r) {
+    for (std::int64_t c = 0; c < 8; ++c) {
+      const float w = d.weight_at(r, c);
+      const float deq = lq.dequant(static_cast<float>(lq.at(r, c)));
+      EXPECT_LE(std::fabs(w - deq), 0.5f * lq.scale + 1e-6f);
+    }
+  }
+}
+
+TEST(Quantizer, IntegersWithinRange) {
+  Rng rng(3);
+  Dense d(32, 4, rng);
+  const LayerQuant lq = quantize_matrix(d, 8);
+  for (int v : lq.q) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 255);
+  }
+}
+
+TEST(Quantizer, ZeroIsExactlyRepresentable) {
+  const LayerQuant lq =
+      quantize_matrix(make_dense_with({-1.0f, 0.0f, 0.5f, 1.0f}, 4, 1), 8);
+  EXPECT_NEAR(lq.dequant(static_cast<float>(lq.zero)), 0.0f, 1e-7f);
+}
+
+TEST(Quantizer, ZeroPointIsAlwaysMidRange) {
+  // Symmetric quantization: the ISAAC weight shift is exactly half the
+  // integer range, so the near-zero weight cluster of any trained layer
+  // sits at 2^(bits-1), within reach of the signed offset registers.
+  const LayerQuant pos =
+      quantize_matrix(make_dense_with({0.5f, 1.0f, 1.5f, 2.0f}, 4, 1), 8);
+  EXPECT_EQ(pos.zero, 128);
+  EXPECT_NEAR(pos.dequant(static_cast<float>(pos.at(3, 0))), 2.0f,
+              pos.scale);
+  const LayerQuant neg = quantize_matrix(
+      make_dense_with({-2.0f, -1.5f, -1.0f, -0.5f}, 4, 1), 8);
+  EXPECT_EQ(neg.zero, 128);
+  EXPECT_NEAR(neg.dequant(static_cast<float>(neg.at(0, 0))), -2.0f,
+              neg.scale);
+}
+
+TEST(Quantizer, SymmetricRangeCoversMaxAbs) {
+  const LayerQuant lq =
+      quantize_matrix(make_dense_with({-0.3f, 1.2f, 0.1f, -0.9f}, 4, 1), 8);
+  EXPECT_NEAR(lq.scale * 127.0f, 1.2f, 0.02f);
+}
+
+TEST(Quantizer, FourBitMode) {
+  Rng rng(4);
+  Dense d(8, 8, rng);
+  const LayerQuant lq = quantize_matrix(d, 4);
+  EXPECT_EQ(lq.levels(), 15);
+  for (int v : lq.q) EXPECT_LE(v, 15);
+}
+
+TEST(Quantizer, RejectsBadBits) {
+  Rng rng(5);
+  Dense d(2, 2, rng);
+  EXPECT_THROW(quantize_matrix(d, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_matrix(d, 17), std::invalid_argument);
+}
+
+TEST(Quantizer, ApplyQuantizedWritesBack) {
+  Rng rng(6);
+  Dense d(4, 4, rng);
+  const LayerQuant lq = quantize_matrix(d, 8);
+  apply_quantized(d, lq);
+  for (std::int64_t r = 0; r < 4; ++r) {
+    for (std::int64_t c = 0; c < 4; ++c) {
+      EXPECT_FLOAT_EQ(d.weight_at(r, c),
+                      lq.dequant(static_cast<float>(lq.at(r, c))));
+    }
+  }
+}
+
+TEST(Quantizer, ConstantMatrixDoesNotBlowUp) {
+  const LayerQuant lq =
+      quantize_matrix(make_dense_with({0.0f, 0.0f, 0.0f, 0.0f}, 4, 1), 8);
+  EXPECT_GT(lq.scale, 0.0f);
+  EXPECT_NEAR(lq.dequant(static_cast<float>(lq.at(0, 0))), 0.0f, 1e-6f);
+}
+
+TEST(ActQuant, DisabledIsIdentity) {
+  ActQuant aq(8);
+  Tensor x({3});
+  x[0] = 0.123f;
+  x[1] = 4.567f;
+  x[2] = 0.0f;
+  Tensor y = aq.forward(x, false);
+  for (std::int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(y[i], x[i]);
+}
+
+TEST(ActQuant, ObservesMaxWhileDisabled) {
+  ActQuant aq(8);
+  Tensor x({2});
+  x[0] = 1.0f;
+  x[1] = 3.5f;
+  (void)aq.forward(x, false);
+  EXPECT_FLOAT_EQ(aq.observed_max(), 3.5f);
+}
+
+TEST(ActQuant, CalibratedSnapsToGrid) {
+  ActQuant aq(8);
+  aq.calibrate(255.0f);  // step = 1.0
+  Tensor x({3});
+  x[0] = 1.4f;
+  x[1] = 1.6f;
+  x[2] = 300.0f;  // above full scale -> clamp
+  Tensor y = aq.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1.0f);
+  EXPECT_FLOAT_EQ(y[1], 2.0f);
+  EXPECT_FLOAT_EQ(y[2], 255.0f);
+}
+
+TEST(ActQuant, ClampsNegativeToZero) {
+  ActQuant aq(8);
+  aq.calibrate(255.0f);
+  Tensor x({1});
+  x[0] = -3.0f;
+  Tensor y = aq.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+}
+
+TEST(ActQuant, QuantizationErrorBoundedByHalfStep) {
+  ActQuant aq(8);
+  aq.calibrate(1.0f);
+  const float step = 1.0f / 255.0f;
+  Rng rng(7);
+  Tensor x({100});
+  for (std::int64_t i = 0; i < 100; ++i) {
+    x[i] = static_cast<float>(rng.uniform(0.0, 1.0));
+  }
+  Tensor y = aq.forward(x, false);
+  for (std::int64_t i = 0; i < 100; ++i) {
+    EXPECT_LE(std::fabs(y[i] - x[i]), 0.5f * step + 1e-7f);
+  }
+}
+
+TEST(ActQuant, StraightThroughBackward) {
+  ActQuant aq(8);
+  aq.calibrate(1.0f);
+  Tensor x({2});
+  x[0] = 0.3f;
+  x[1] = 0.7f;
+  (void)aq.forward(x, false);
+  Tensor g({2});
+  g[0] = 1.5f;
+  g[1] = -2.0f;
+  Tensor gi = aq.backward(g);
+  EXPECT_FLOAT_EQ(gi[0], 1.5f);
+  EXPECT_FLOAT_EQ(gi[1], -2.0f);
+}
+
+TEST(ActQuant, DisableReenablesPassthrough) {
+  ActQuant aq(8);
+  aq.calibrate(1.0f);
+  EXPECT_TRUE(aq.enabled());
+  aq.disable();
+  EXPECT_FALSE(aq.enabled());
+  Tensor x({1});
+  x[0] = 0.12345f;
+  EXPECT_FLOAT_EQ(aq.forward(x, false)[0], 0.12345f);
+}

@@ -1,0 +1,108 @@
+// Statistical E[R(v)] / Var[R(v)] look-up table (paper §III-B protocol).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rram/rlut.h"
+
+using namespace rdo::rram;
+using rdo::nn::Rng;
+
+namespace {
+const CellModel kSlc{CellKind::SLC, 200.0};
+const CellModel kMlc{CellKind::MLC2, 200.0};
+}  // namespace
+
+TEST(RLut, AnalyticCoversFullRange) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut lut = RLut::build_analytic(p);
+  EXPECT_EQ(lut.max_weight(), 255);
+  EXPECT_LT(lut.mean_lo(), lut.mean_hi());
+}
+
+TEST(RLut, MonteCarloMatchesAnalytic) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut mc = RLut::build(p, /*k_sets=*/32, /*j_cycles=*/32, Rng(1));
+  const RLut an = RLut::build_analytic(p);
+  for (int v = 0; v <= 255; v += 17) {
+    EXPECT_NEAR(mc.mean(v), an.mean(v), 0.05 * std::max(4.0, an.mean(v)))
+        << "v=" << v;
+    EXPECT_NEAR(mc.var(v), an.var(v), 0.35 * an.var(v) + 1.0) << "v=" << v;
+  }
+}
+
+TEST(RLut, MeanIsMonotone) {
+  WeightProgrammer p(kMlc, 8, {0.8, 0.0});
+  const RLut lut = RLut::build(p, 8, 8, Rng(2));  // deliberately noisy
+  for (int v = 1; v <= 255; ++v) {
+    EXPECT_GT(lut.mean(v), lut.mean(v - 1));
+  }
+}
+
+TEST(RLut, InvertMeanRecoversV) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut lut = RLut::build_analytic(p);
+  for (int v = 0; v <= 255; v += 7) {
+    EXPECT_EQ(lut.invert_mean(lut.mean(v)), v);
+  }
+}
+
+TEST(RLut, InvertMeanPicksNearest) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut lut = RLut::build_analytic(p);
+  const double mid_lo = 0.75 * lut.mean(10) + 0.25 * lut.mean(11);
+  EXPECT_EQ(lut.invert_mean(mid_lo), 10);
+  const double mid_hi = 0.25 * lut.mean(10) + 0.75 * lut.mean(11);
+  EXPECT_EQ(lut.invert_mean(mid_hi), 11);
+}
+
+TEST(RLut, InvertMeanClampsOutOfRange) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut lut = RLut::build_analytic(p);
+  EXPECT_EQ(lut.invert_mean(lut.mean_lo() - 100.0), 0);
+  EXPECT_EQ(lut.invert_mean(lut.mean_hi() + 100.0), 255);
+}
+
+TEST(RLut, ZeroSigmaLutIsIdentity) {
+  WeightProgrammer p(kMlc, 8, {0.0, 0.0});
+  const RLut lut = RLut::build(p, 4, 4, Rng(3));
+  for (int v = 0; v <= 255; v += 15) {
+    EXPECT_NEAR(lut.mean(v), static_cast<double>(v), 1e-9);
+    EXPECT_NEAR(lut.var(v), 0.0, 1e-12);
+  }
+}
+
+TEST(RLut, VariancePatternPreservedByMonteCarlo) {
+  // Var[128] > Var[127] must survive the statistical measurement (this is
+  // what VAWO's objective feeds on).
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut lut = RLut::build(p, 32, 32, Rng(4));
+  EXPECT_GT(lut.var(128), lut.var(127));
+}
+
+TEST(RLut, BuildIsDeterministicInSeed) {
+  WeightProgrammer p(kSlc, 8, {0.5, 0.0});
+  const RLut a = RLut::build(p, 4, 4, Rng(5));
+  const RLut b = RLut::build(p, 4, 4, Rng(5));
+  for (int v = 0; v <= 255; v += 25) {
+    EXPECT_DOUBLE_EQ(a.mean(v), b.mean(v));
+    EXPECT_DOUBLE_EQ(a.var(v), b.var(v));
+  }
+}
+
+class RLutSweep
+    : public ::testing::TestWithParam<std::tuple<CellKind, double>> {};
+
+TEST_P(RLutSweep, MeanInflationMatchesLognormalFactor) {
+  const auto [kind, sigma] = GetParam();
+  WeightProgrammer p({kind, 200.0}, 8, {sigma, 0.0});
+  const RLut lut = RLut::build_analytic(p);
+  // Slope of the mean curve equals E[e^theta].
+  const double slope = (lut.mean(200) - lut.mean(100)) / 100.0;
+  EXPECT_NEAR(slope, (VariationModel{sigma, 0.0}).mean_factor(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsAndSigmas, RLutSweep,
+    ::testing::Combine(::testing::Values(CellKind::SLC, CellKind::MLC2),
+                       ::testing::Values(0.2, 0.5, 0.8, 1.0)));

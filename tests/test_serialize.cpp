@@ -1,0 +1,118 @@
+// Parameter save/load round-trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/serialize.h"
+
+using namespace rdo::nn;
+
+namespace {
+
+Sequential make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  Sequential s;
+  s.emplace<Dense>(4, 8, rng);
+  s.emplace<ReLU>();
+  s.emplace<Dense>(8, 3, rng);
+  return s;
+}
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+}  // namespace
+
+TEST(Serialize, RoundTripRestoresWeights) {
+  Sequential a = make_net(1);
+  const std::string path = temp_path("roundtrip.bin");
+  save_params(a, path);
+
+  Sequential b = make_net(2);  // different init
+  ASSERT_TRUE(load_params(b, path));
+  const auto pa = a.params(), pb = b.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    for (std::int64_t j = 0; j < pa[i]->value.size(); ++j) {
+      EXPECT_FLOAT_EQ(pa[i]->value[j], pb[i]->value[j]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  Sequential a = make_net(1);
+  EXPECT_FALSE(load_params(a, temp_path("does_not_exist.bin")));
+}
+
+TEST(Serialize, MismatchedNetworkThrows) {
+  Sequential a = make_net(1);
+  const std::string path = temp_path("mismatch.bin");
+  save_params(a, path);
+
+  Rng rng(3);
+  Sequential c;
+  c.emplace<Dense>(4, 8, rng);  // fewer params than saved
+  EXPECT_THROW(load_params(c, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MismatchedShapeThrows) {
+  Sequential a = make_net(1);
+  const std::string path = temp_path("shape.bin");
+  save_params(a, path);
+
+  Rng rng(3);
+  Sequential c;
+  c.emplace<Dense>(4, 9, rng);  // wrong width
+  c.emplace<ReLU>();
+  c.emplace<Dense>(9, 3, rng);
+  EXPECT_THROW(load_params(c, path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, BatchNormRunningStatsRoundTrip) {
+  // Running statistics are buffers, not params; a loaded model must
+  // evaluate identically — this is the regression that silently poisoned
+  // cached ResNets before buffers were serialized.
+  Rng rng(7);
+  Sequential a;
+  a.emplace<rdo::nn::Conv2D>(1, 2, 3, 1, 1, rng);
+  a.emplace<rdo::nn::BatchNorm2D>(2);
+  // Push the running stats away from their init by training forwards.
+  for (int i = 0; i < 10; ++i) {
+    Tensor x({4, 1, 4, 4});
+    x.uniform_init(rng, -2.0f, 5.0f);
+    (void)a.forward(x, /*train=*/true);
+  }
+  const std::string path = temp_path("bn_buffers.bin");
+  save_params(a, path);
+
+  Rng rng2(8);
+  Sequential b;
+  b.emplace<rdo::nn::Conv2D>(1, 2, 3, 1, 1, rng2);
+  b.emplace<rdo::nn::BatchNorm2D>(2);
+  ASSERT_TRUE(load_params(b, path));
+
+  Tensor probe({2, 1, 4, 4});
+  probe.uniform_init(rng, 0.0f, 1.0f);
+  Tensor ya = a.forward(probe, /*train=*/false);
+  Tensor yb = b.forward(probe, /*train=*/false);
+  for (std::int64_t i = 0; i < ya.size(); ++i) {
+    EXPECT_FLOAT_EQ(ya[i], yb[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, SaveToUnwritablePathThrows) {
+  Sequential a = make_net(1);
+  EXPECT_THROW(save_params(a, "/nonexistent_dir_xyz/params.bin"),
+               std::runtime_error);
+}

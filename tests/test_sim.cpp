@@ -1,0 +1,259 @@
+// Device-level crossbar executor: the hardware-faithful reference path,
+// and its equivalence with the effective-weight fast path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/crossbar_executor.h"
+
+using namespace rdo;
+using namespace rdo::sim;
+using rdo::nn::Rng;
+
+namespace {
+
+quant::LayerQuant make_lq(std::int64_t rows, std::int64_t cols,
+                          std::uint64_t seed) {
+  quant::LayerQuant lq;
+  lq.bits = 8;
+  lq.rows = rows;
+  lq.cols = cols;
+  lq.scale = 0.01f;
+  lq.zero = 128;
+  Rng rng(seed);
+  lq.q.resize(static_cast<std::size_t>(rows * cols));
+  for (auto& v : lq.q) v = static_cast<int>(rng.uniform_int(0, 255));
+  return lq;
+}
+
+ExecutorConfig small_cfg(rram::CellKind kind, double sigma,
+                         rram::VariationScope scope, int m = 8,
+                         int adc_bits = 0) {
+  ExecutorConfig cfg;
+  cfg.xbar.rows = 16;
+  cfg.xbar.cols = 32;
+  cfg.xbar.cell = {kind, 200.0};
+  cfg.xbar.variation = {sigma, 0.0, scope};
+  cfg.xbar.active_wordlines = 4;
+  cfg.xbar.adc_bits = adc_bits;
+  cfg.offsets.m = m;
+  return cfg;
+}
+
+std::vector<double> fast_path(const quant::LayerQuant& lq,
+                              const core::VawoResult& assign,
+                              const std::vector<double>& crw, int m,
+                              int maxw, const std::vector<double>& x) {
+  // Effective-weight computation: W_eff = scale * (NRW - zero).
+  std::vector<double> y(static_cast<std::size_t>(lq.cols), 0.0);
+  for (std::int64_t c = 0; c < lq.cols; ++c) {
+    double acc = 0.0;
+    for (std::int64_t r = 0; r < lq.rows; ++r) {
+      const std::size_t gi =
+          static_cast<std::size_t>(core::group_of_row(r, m) * lq.cols + c);
+      const double v = crw[static_cast<std::size_t>(r * lq.cols + c)];
+      const double b = assign.offsets[gi];
+      const double nrw =
+          assign.complemented[gi] ? static_cast<double>(maxw) - v - b
+                                  : v + b;
+      acc += x[static_cast<std::size_t>(r)] * lq.scale * (nrw - lq.zero);
+    }
+    y[static_cast<std::size_t>(c)] = acc;
+  }
+  return y;
+}
+
+}  // namespace
+
+TEST(Sim, RejectsMisalignedGranularity) {
+  const auto lq = make_lq(16, 4, 1);
+  const auto assign = core::plain_layer(lq, 6);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight, 6);
+  Rng rng(2);
+  EXPECT_THROW(CrossbarLayerExecutor(lq, assign, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(Sim, IdealDevicesReproduceIntegerMatrixProduct) {
+  const auto lq = make_lq(16, 4, 3);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight);
+  Rng rng(4);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  Rng xr(5);
+  std::vector<double> x(16);
+  for (auto& v : x) v = xr.uniform(0.0, 1.0);
+  const auto y = exec.forward(x);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    double expect = 0.0, sum_x = 0.0;
+    for (std::int64_t r = 0; r < 16; ++r) {
+      expect += x[static_cast<std::size_t>(r)] * lq.at(r, c);
+      sum_x += x[static_cast<std::size_t>(r)];
+    }
+    expect = lq.scale * (expect - lq.zero * sum_x);
+    EXPECT_NEAR(y[static_cast<std::size_t>(c)], expect, 1e-9);
+  }
+}
+
+TEST(Sim, MeasuredCrwMatchesCtwOnIdealDevices) {
+  const auto lq = make_lq(16, 4, 6);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::SLC, 0.0,
+                                 rram::VariationScope::PerWeight);
+  cfg.xbar.cols = 64;  // 8 SLC cells per weight, 8 weights per row
+  Rng rng(7);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  const auto crw = exec.measure_crw();
+  for (std::size_t i = 0; i < crw.size(); ++i) {
+    EXPECT_NEAR(crw[i], static_cast<double>(lq.q[i]), 1e-9);
+  }
+}
+
+class SimEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<rram::CellKind, rram::VariationScope, bool>> {};
+
+TEST_P(SimEquivalence, DeviceLevelForwardEqualsFastPathOnMeasuredCrws) {
+  // The key equivalence: the device-level pipeline (group reads, digital
+  // Sum+Multi, complement post-processing, ISAAC shift) equals the
+  // effective-weight computation on the measured CRWs — with an ideal ADC,
+  // exactly.
+  const auto [kind, scope, use_vawo] = GetParam();
+  const auto lq = make_lq(24, 4, 8);  // 2 row tiles (16 + 8 rows)
+  core::VawoResult assign;
+  if (use_vawo) {
+    rram::WeightProgrammer prog({kind, 200.0}, 8, {0.5, 0.0, scope});
+    const rram::RLut lut = rram::RLut::build_analytic(prog);
+    std::vector<double> grads(lq.q.size(), 1.0);
+    core::VawoOptions vopt;
+    vopt.offsets.m = 8;
+    vopt.use_complement = true;
+    assign = core::vawo_layer(lq, grads, lut, vopt);
+  } else {
+    assign = core::plain_layer(lq, 8);
+  }
+  ExecutorConfig cfg = small_cfg(kind, 0.5, scope);
+  if (kind == rram::CellKind::SLC) cfg.xbar.cols = 64;
+  Rng rng(9);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  const auto crw = exec.measure_crw();
+
+  Rng xr(10);
+  std::vector<double> x(24);
+  for (auto& v : x) v = xr.uniform(0.0, 1.0);
+  const auto y_device = exec.forward(x);
+  const auto y_fast = fast_path(lq, assign, crw, 8, 255, x);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(y_device[static_cast<std::size_t>(c)],
+                y_fast[static_cast<std::size_t>(c)],
+                1e-6 * std::max(1.0, std::fabs(y_fast[static_cast<std::size_t>(c)])));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CellsScopesSchemes, SimEquivalence,
+    ::testing::Combine(::testing::Values(rram::CellKind::SLC,
+                                         rram::CellKind::MLC2),
+                       ::testing::Values(rram::VariationScope::PerWeight,
+                                         rram::VariationScope::PerCell),
+                       ::testing::Bool()));
+
+TEST(Sim, AdcQuantizationBoundsTheFastPathGap) {
+  // With a finite ADC the device-level output deviates from the fast path
+  // by at most the accumulated per-group quantization error.
+  const auto lq = make_lq(16, 4, 11);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.3,
+                                 rram::VariationScope::PerWeight, 8,
+                                 /*adc_bits=*/8);
+  Rng rng(12);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  const auto crw = exec.measure_crw();
+  Rng xr(13);
+  std::vector<double> x(16);
+  for (auto& v : x) v = xr.uniform(0.0, 1.0);
+  const auto y_device = exec.forward(x);
+  const auto y_fast = fast_path(lq, assign, crw, 8, 255, x);
+  // 4 activation groups per VMM, 4 bit-slice columns with radix up to
+  // 4^3: worst-case half-step each, times the dequant scale.
+  const double full_scale = 4.0 * 3.0;
+  const double step = full_scale / 255.0;
+  const double radix_sum = 1 + 4 + 16 + 64;
+  const double bound = lq.scale * 4 * 0.5 * step * radix_sum + 1e-9;
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_LE(std::fabs(y_device[static_cast<std::size_t>(c)] -
+                        y_fast[static_cast<std::size_t>(c)]),
+              bound);
+  }
+}
+
+TEST(Sim, SetOffsetsChangesOutput) {
+  const auto lq = make_lq(16, 2, 14);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight);
+  Rng rng(15);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  std::vector<double> x(16, 1.0);
+  const auto y0 = exec.forward(x);
+  std::vector<float> offs(assign.offsets.size(), 5.0f);
+  exec.set_offsets(offs);
+  const auto y1 = exec.forward(x);
+  // b = 5 shared by all groups with sum(x) = 8 per group, 2 groups:
+  // integer output rises by 5 * 16; effective by scale * 80.
+  EXPECT_NEAR(y1[0] - y0[0], 0.01 * 5 * 16, 1e-6);
+}
+
+TEST(Sim, BitSerialEqualsDirectOnQuantizedInputs) {
+  // The whole pipeline is linear in x, so streaming input bits and
+  // shift-adding the partials reproduces the direct VMM on the quantized
+  // inputs exactly (ideal ADC) — ISAAC's compute scheme.
+  const auto lq = make_lq(16, 4, 20);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.4,
+                                 rram::VariationScope::PerWeight);
+  Rng rng(21);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  Rng xr(22);
+  std::vector<double> x(16);
+  for (auto& v : x) v = xr.uniform(0.0, 1.0);
+
+  const int input_bits = 8;
+  const double x_max = 1.0;
+  const int levels = (1 << input_bits) - 1;
+  std::vector<double> xq(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    xq[i] = std::round(x[i] * levels) / levels;
+  }
+  const auto y_serial = exec.forward_bit_serial(x, input_bits, x_max);
+  const auto y_direct = exec.forward(xq);
+  for (std::int64_t c = 0; c < 4; ++c) {
+    EXPECT_NEAR(y_serial[static_cast<std::size_t>(c)],
+                y_direct[static_cast<std::size_t>(c)], 1e-6);
+  }
+}
+
+TEST(Sim, BitSerialRejectsBadFormat) {
+  const auto lq = make_lq(16, 2, 23);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight);
+  Rng rng(24);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  std::vector<double> x(16, 0.5);
+  EXPECT_THROW(exec.forward_bit_serial(x, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(exec.forward_bit_serial(x, 8, 0.0), std::invalid_argument);
+}
+
+TEST(Sim, CrossbarCountMatchesTiling) {
+  const auto lq = make_lq(40, 10, 16);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight);
+  // 16 rows/tile -> 3 row tiles; 8 weights per tile row -> 2 col tiles.
+  Rng rng(17);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  EXPECT_EQ(exec.crossbar_count(), 6);
+}

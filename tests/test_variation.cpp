@@ -1,0 +1,121 @@
+// Log-normal variation model statistics and RNG determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rram/variation.h"
+
+using rdo::nn::Rng;
+using rdo::rram::VariationModel;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 5; ++i) {
+    if (a.normal() != b.normal()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng a(7);
+  Rng c1 = a.split(3), c2 = a.split(3), c3 = a.split(4);
+  EXPECT_DOUBLE_EQ(c1.normal(), c2.normal());
+  Rng c1b = Rng(7).split(3);
+  EXPECT_EQ(c1.seed(), c1b.seed());
+  EXPECT_NE(c1.seed(), c3.seed());
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(VariationModel, ClosedFormMoments) {
+  VariationModel v{0.5, 0.0};
+  EXPECT_NEAR(v.mean_factor(), std::exp(0.125), 1e-12);
+  const double s2 = 0.25;
+  EXPECT_NEAR(v.var_factor(), (std::exp(s2) - 1.0) * std::exp(s2), 1e-12);
+}
+
+TEST(VariationModel, SampleMomentsMatchClosedForm) {
+  VariationModel v{0.5, 0.0};
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double f = v.sample_factor(rng);
+    sum += f;
+    sum2 += f * f;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, v.mean_factor(), 0.02);
+  EXPECT_NEAR(var, v.var_factor(), 0.05);
+}
+
+TEST(VariationModel, ZeroSigmaIsDeterministicUnity) {
+  VariationModel v{0.0, 0.0};
+  Rng rng(12);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(v.sample_factor(rng), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(v.mean_factor(), 1.0);
+  EXPECT_DOUBLE_EQ(v.var_factor(), 0.0);
+}
+
+TEST(VariationModel, DdvSplitPreservesTotalVariance) {
+  VariationModel v{0.6, 0.4};
+  const double total = v.sigma_ddv() * v.sigma_ddv() +
+                       v.sigma_ccv() * v.sigma_ccv();
+  EXPECT_NEAR(total, 0.36, 1e-12);
+}
+
+TEST(VariationModel, PureDdvHasNoCcv) {
+  VariationModel v{0.5, 1.0};
+  Rng rng(13);
+  EXPECT_DOUBLE_EQ(v.sigma_ccv(), 0.0);
+  EXPECT_DOUBLE_EQ(v.sample_ccv_theta(rng), 0.0);
+}
+
+TEST(VariationModel, DdvComponentStatistics) {
+  VariationModel v{0.5, 0.5};
+  Rng rng(14);
+  const int n = 100000;
+  double sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double t = v.sample_ddv_theta(rng);
+    sum2 += t * t;
+  }
+  EXPECT_NEAR(sum2 / n, 0.125, 0.01);  // variance = 0.5 * 0.25
+}
+
+class VariationSigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(VariationSigmaSweep, MeanFactorGrowsWithSigma) {
+  const double sigma = GetParam();
+  VariationModel v{sigma, 0.0};
+  EXPECT_GE(v.mean_factor(), 1.0);
+  Rng rng(15);
+  // Empirical median should be near 1 (log-normal median = 1).
+  int below = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (v.sample_factor(rng) < 1.0) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, VariationSigmaSweep,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));

@@ -1,0 +1,213 @@
+// rdo_experiment — command-line experiment runner.
+//
+// Deploys a freshly-trained model onto simulated RRAM crossbars with any
+// combination of the paper's knobs and prints the measured accuracy and
+// hardware accounting. Intended for quick what-if studies without writing
+// code:
+//
+//   rdo_experiment --model lenet --scheme vawo*+pwt --sigma 0.5 --m 16
+//   rdo_experiment --model mlp --scheme plain --cell mlc2 --repeats 5
+//   rdo_experiment --model resnet --scheme vawo* --sigma 0.8 --ddv 0.5
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "arch/isaac_cost.h"
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "models/lenet.h"
+#include "models/resnet.h"
+#include "models/vgg.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/optimizer.h"
+#include "quant/act_quant.h"
+
+using namespace rdo;
+
+namespace {
+
+struct Args {
+  std::string model = "mlp";
+  std::string scheme = "vawo*+pwt";
+  std::string cell = "slc";
+  std::string scope = "per-weight";
+  double sigma = 0.5;
+  double ddv = 0.0;
+  int m = 16;
+  int repeats = 3;
+  int offset_bits = 8;
+  std::uint64_t seed = 1;
+  bool help = false;
+};
+
+void usage() {
+  std::printf(
+      "rdo_experiment — deploy a model onto simulated RRAM crossbars\n\n"
+      "  --model   mlp | lenet | resnet | vgg        (default mlp)\n"
+      "  --scheme  plain | vawo | vawo* | pwt | vawo*+pwt\n"
+      "  --cell    slc | mlc2                        (default slc)\n"
+      "  --scope   per-weight | per-cell             (default per-weight)\n"
+      "  --sigma   <double>   log-normal sigma       (default 0.5)\n"
+      "  --ddv     <double>   DDV share of variance  (default 0)\n"
+      "  --m       <int>      sharing granularity    (default 16)\n"
+      "  --bits    <int>      offset register width  (default 8)\n"
+      "  --repeats <int>      programming cycles     (default 3)\n"
+      "  --seed    <int>\n");
+}
+
+bool parse(int argc, char** argv, Args& a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--help" || flag == "-h") {
+      a.help = true;
+    } else if (flag == "--model") {
+      a.model = next("--model");
+    } else if (flag == "--scheme") {
+      a.scheme = next("--scheme");
+    } else if (flag == "--cell") {
+      a.cell = next("--cell");
+    } else if (flag == "--scope") {
+      a.scope = next("--scope");
+    } else if (flag == "--sigma") {
+      a.sigma = std::atof(next("--sigma"));
+    } else if (flag == "--ddv") {
+      a.ddv = std::atof(next("--ddv"));
+    } else if (flag == "--m") {
+      a.m = std::atoi(next("--m"));
+    } else if (flag == "--bits") {
+      a.offset_bits = std::atoi(next("--bits"));
+    } else if (flag == "--repeats") {
+      a.repeats = std::atoi(next("--repeats"));
+    } else if (flag == "--seed") {
+      a.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+core::Scheme parse_scheme(const std::string& s) {
+  if (s == "plain") return core::Scheme::Plain;
+  if (s == "vawo") return core::Scheme::VAWO;
+  if (s == "vawo*") return core::Scheme::VAWOStar;
+  if (s == "pwt") return core::Scheme::PWT;
+  if (s == "vawo*+pwt") return core::Scheme::VAWOStarPWT;
+  std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args a;
+  if (!parse(argc, argv, a)) {
+    usage();
+    return 2;
+  }
+  if (a.help) {
+    usage();
+    return 0;
+  }
+
+  // Dataset + model.
+  const bool is_cifar = a.model == "resnet" || a.model == "vgg";
+  data::SyntheticSpec spec =
+      is_cifar ? data::cifar_like() : data::mnist_like();
+  spec.train_per_class = 60;
+  spec.test_per_class = 20;
+  const data::SyntheticDataset ds = data::make_synthetic(spec);
+
+  nn::Rng rng(a.seed);
+  std::unique_ptr<nn::Sequential> net;
+  float lr = 0.02f;
+  int epochs = 10;
+  if (a.model == "mlp") {
+    net = std::make_unique<nn::Sequential>();
+    net->emplace<nn::Flatten>();
+    net->emplace<quant::ActQuant>(8);
+    net->emplace<nn::Dense>(28 * 28, 64, rng);
+    net->emplace<nn::ReLU>();
+    net->emplace<quant::ActQuant>(8);
+    net->emplace<nn::Dense>(64, 10, rng);
+    lr = 0.05f;
+    epochs = 6;
+  } else if (a.model == "lenet") {
+    net = models::make_lenet({}, rng);
+  } else if (a.model == "resnet") {
+    models::ResNetConfig cfg;
+    cfg.base_channels = 8;
+    net = models::make_resnet(cfg, rng);
+    epochs = 12;
+  } else if (a.model == "vgg") {
+    models::VggConfig cfg;
+    cfg.base_channels = 8;
+    net = models::make_vgg(cfg, rng);
+    epochs = 12;
+  } else {
+    std::fprintf(stderr, "unknown model '%s'\n", a.model.c_str());
+    usage();
+    return 2;
+  }
+
+  std::printf("training %s ...\n", a.model.c_str());
+  nn::SGD opt(net->params(), lr, 0.9f, 1e-4f);
+  for (int e = 0; e < epochs; ++e) {
+    nn::train_epoch(*net, opt, ds.train(), 32, rng);
+  }
+  const float ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
+  std::printf("ideal accuracy: %.2f%%\n\n", 100 * ideal);
+
+  // Deployment.
+  core::DeployOptions o;
+  o.scheme = parse_scheme(a.scheme);
+  o.offsets.m = a.m;
+  o.offsets.offset_bits = a.offset_bits;
+  o.cell = {a.cell == "mlc2" ? rram::CellKind::MLC2 : rram::CellKind::SLC,
+            200.0};
+  o.variation.sigma = a.sigma;
+  o.variation.ddv_fraction = a.ddv;
+  o.variation.scope = a.scope == "per-cell"
+                          ? rram::VariationScope::PerCell
+                          : rram::VariationScope::PerWeight;
+  o.seed = a.seed;
+
+  std::printf("deploying: scheme=%s cell=%s sigma=%.2f ddv=%.2f m=%d "
+              "bits=%d scope=%s repeats=%d\n",
+              core::to_string(o.scheme), a.cell.c_str(), a.sigma, a.ddv,
+              a.m, a.offset_bits, a.scope.c_str(), a.repeats);
+  const core::SchemeResult res =
+      core::run_scheme(*net, o, ds.train(), ds.test(), a.repeats);
+  std::printf("\naccuracy under variation: %.2f%% (loss vs ideal: %.2f%%)\n",
+              100 * res.mean_accuracy,
+              100 * (ideal - res.mean_accuracy));
+  std::printf("per-cycle:");
+  for (float acc : res.per_cycle) std::printf(" %.2f%%", 100 * acc);
+  std::printf("\n");
+
+  // Hardware accounting for the chosen configuration.
+  core::Deployment dep(*net, o);
+  dep.prepare(ds.train());
+  const double ratio = dep.assigned_read_power() / dep.plain_read_power();
+  std::printf("\ncrossbars (128x128): %lld\n",
+              static_cast<long long>(dep.total_crossbars()));
+  std::printf("offset registers: %lld\n",
+              static_cast<long long>(dep.total_offset_registers()));
+  std::printf("device reading power vs plain: %.1f%%\n", 100 * ratio);
+  const arch::TileOverhead ov = arch::tile_overhead(a.m, a.offset_bits,
+                                                    ratio);
+  std::printf("ISAAC tile overhead: +%.3f mm^2 (%.1f%%), %+.2f mW (%.1f%%)\n",
+              ov.area_mm2, ov.area_pct, ov.power_mw, ov.power_pct);
+  dep.restore();
+  return 0;
+}
