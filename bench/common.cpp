@@ -8,6 +8,7 @@
 #include "models/resnet.h"
 #include "models/vgg.h"
 #include "nn/optimizer.h"
+#include "nn/parallel.h"
 #include "nn/serialize.h"
 #include "nn/trainer.h"
 
@@ -77,14 +78,30 @@ data::SyntheticDataset bench_cifar() {
   return data::make_synthetic(spec);
 }
 
+std::unique_ptr<rdo::nn::Sequential> blank_lenet() {
+  rdo::nn::Rng rng(31);
+  return models::make_lenet({}, rng);
+}
+
+std::unique_ptr<rdo::nn::Sequential> blank_resnet() {
+  rdo::nn::Rng rng(41);
+  models::ResNetConfig cfg;
+  cfg.base_channels = 8;
+  cfg.blocks_per_stage = 1;
+  return models::make_resnet(cfg, rng);
+}
+
+std::unique_ptr<rdo::nn::Sequential> blank_vgg() {
+  rdo::nn::Rng rng(51);
+  models::VggConfig cfg;
+  cfg.base_channels = 8;
+  return models::make_vgg(cfg, rng);
+}
+
 std::unique_ptr<rdo::nn::Sequential> cached_lenet(
     const data::SyntheticDataset& ds, float* ideal) {
   return train_or_load(
-      "lenet", ds, ideal,
-      [] {
-        rdo::nn::Rng rng(31);
-        return models::make_lenet({}, rng);
-      },
+      "lenet", ds, ideal, [] { return blank_lenet(); },
       [&](rdo::nn::Sequential& net) {
         rdo::nn::Rng rng(32);
         rdo::nn::SGD opt(net.params(), 0.02f, 0.9f, 1e-4f);
@@ -97,14 +114,7 @@ std::unique_ptr<rdo::nn::Sequential> cached_lenet(
 std::unique_ptr<rdo::nn::Sequential> cached_resnet(
     const data::SyntheticDataset& ds, float* ideal) {
   return train_or_load(
-      "resnet", ds, ideal,
-      [] {
-        rdo::nn::Rng rng(41);
-        models::ResNetConfig cfg;
-        cfg.base_channels = 8;
-        cfg.blocks_per_stage = 1;
-        return models::make_resnet(cfg, rng);
-      },
+      "resnet", ds, ideal, [] { return blank_resnet(); },
       [&](rdo::nn::Sequential& net) {
         rdo::nn::Rng rng(42);
         rdo::nn::SGD opt(net.params(), 0.02f, 0.9f, 1e-4f);
@@ -118,13 +128,7 @@ std::unique_ptr<rdo::nn::Sequential> cached_resnet(
 std::unique_ptr<rdo::nn::Sequential> cached_vgg(
     const data::SyntheticDataset& ds, float* ideal) {
   return train_or_load(
-      "vgg", ds, ideal,
-      [] {
-        rdo::nn::Rng rng(51);
-        models::VggConfig cfg;
-        cfg.base_channels = 8;
-        return models::make_vgg(cfg, rng);
-      },
+      "vgg", ds, ideal, [] { return blank_vgg(); },
       [&](rdo::nn::Sequential& net) {
         rdo::nn::Rng rng(52);
         rdo::nn::SGD opt(net.params(), 0.02f, 0.9f, 1e-4f);
@@ -138,13 +142,7 @@ std::unique_ptr<rdo::nn::Sequential> cached_vgg(
 std::unique_ptr<rdo::nn::Sequential> cached_dva_vgg(
     const data::SyntheticDataset& ds, float* ideal) {
   return train_or_load(
-      "vgg_dva", ds, ideal,
-      [] {
-        rdo::nn::Rng rng(51);  // same init as cached_vgg
-        models::VggConfig cfg;
-        cfg.base_channels = 8;
-        return models::make_vgg(cfg, rng);
-      },
+      "vgg_dva", ds, ideal, [] { return blank_vgg(); },  // same init as vgg
       [&](rdo::nn::Sequential& net) {
         // Same pretraining as cached_vgg, then DVA fine-tuning.
         rdo::nn::Rng rng(52);
@@ -178,6 +176,44 @@ rdo::core::DeployOptions bench_options(rdo::core::Scheme scheme, int m,
   o.pwt.max_samples = 400;
   o.seed = 2021;  // DATE 2021
   return o;
+}
+
+std::vector<rdo::core::SchemeResult> run_grid(
+    rdo::nn::Sequential& master,
+    const std::function<std::unique_ptr<rdo::nn::Sequential>()>& make_blank,
+    const std::vector<rdo::core::DeployOptions>& points,
+    const rdo::nn::DataView& train, const rdo::nn::DataView& test,
+    int repeats) {
+  const std::int64_t npoints = static_cast<std::int64_t>(points.size());
+  std::vector<rdo::core::SchemeResult> results(points.size());
+  for (auto& r : results) {
+    r.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+  }
+  // One task per (point, trial): finer than per-point tasks, so a grid
+  // keeps every core busy even when repeats < cores. Each task gets a
+  // private clone of the trained network; `master` is only read.
+  rdo::nn::parallel_for(npoints * repeats, [&](std::int64_t t0,
+                                               std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t point = t / repeats;
+      const std::int64_t trial = t % repeats;
+      auto net = make_blank();
+      rdo::nn::copy_state(*net, master);
+      rdo::core::Deployment dep(*net,
+                                points[static_cast<std::size_t>(point)]);
+      dep.prepare(train);
+      dep.program_cycle(static_cast<std::uint64_t>(trial));
+      dep.tune(train);
+      results[static_cast<std::size_t>(point)]
+          .per_cycle[static_cast<std::size_t>(trial)] = dep.evaluate(test);
+    }
+  });
+  for (auto& r : results) {
+    double total = 0.0;
+    for (float a : r.per_cycle) total += a;
+    r.mean_accuracy = static_cast<float>(total / std::max(1, repeats));
+  }
+  return results;
 }
 
 }  // namespace rdo::bench

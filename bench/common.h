@@ -13,8 +13,10 @@
 // sigma rows.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/deploy.h"
 #include "data/synthetic.h"
@@ -44,6 +46,27 @@ std::unique_ptr<rdo::nn::Sequential> cached_dva_vgg(
 rdo::core::DeployOptions bench_options(rdo::core::Scheme scheme, int m,
                                        rdo::rram::CellKind cell,
                                        double sigma);
+
+/// Untrained networks with the exact architectures the cached_* models
+/// use. Combined with nn::copy_state these clone a trained model for a
+/// parallel Monte-Carlo trial.
+std::unique_ptr<rdo::nn::Sequential> blank_lenet();
+std::unique_ptr<rdo::nn::Sequential> blank_resnet();
+std::unique_ptr<rdo::nn::Sequential> blank_vgg();
+
+/// Parallel Monte-Carlo sweep over a figure's grid: every (grid point,
+/// programming trial) pair runs as one independent task on a private
+/// clone of `master` built via `make_blank` + nn::copy_state, spread
+/// over the nn/parallel.h pool (RDO_THREADS). Cycle randomness derives
+/// from Rng(opt.seed).split(trial) streams, so results[i].per_cycle is
+/// bit-identical to calling core::run_scheme(master, points[i], ...)
+/// serially — for any thread count.
+std::vector<rdo::core::SchemeResult> run_grid(
+    rdo::nn::Sequential& master,
+    const std::function<std::unique_ptr<rdo::nn::Sequential>()>& make_blank,
+    const std::vector<rdo::core::DeployOptions>& points,
+    const rdo::nn::DataView& train, const rdo::nn::DataView& test,
+    int repeats);
 
 /// Number of programming cycles averaged per data point (paper used 5).
 inline constexpr int kRepeats = 3;

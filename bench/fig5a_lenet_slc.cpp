@@ -6,9 +6,12 @@
 //   m128 ~ m16 | PWT ~ ideal for both m | VAWO*+PWT = ideal.
 // This harness reports the calibrated sigma* (same operating regime on
 // the scaled substrate, see EXPERIMENTS.md) and the nominal sigma = 0.5.
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
+#include "nn/parallel.h"
 
 using namespace rdo;
 using namespace rdo::bench;
@@ -25,7 +28,28 @@ int main() {
   const int ms[] = {16, 64, 128};
   const Scheme schemes[] = {Scheme::Plain, Scheme::VAWO, Scheme::VAWOStar,
                             Scheme::PWT, Scheme::VAWOStarPWT};
-  for (double sigma : {kSigmaStar, 0.5}) {
+  const double sigmas[] = {kSigmaStar, 0.5};
+
+  // Every (scheme, m, sigma, trial) cell is one independent Monte-Carlo
+  // task; run_grid spreads them over RDO_THREADS workers with results
+  // bit-identical to the serial per-cell run_scheme loop.
+  std::vector<core::DeployOptions> jobs;
+  for (double sigma : sigmas) {
+    for (Scheme s : schemes) {
+      for (int m : ms) {
+        jobs.push_back(bench_options(s, m, rram::CellKind::SLC, sigma));
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto grid =
+      run_grid(*net, blank_lenet, jobs, ds.train(), ds.test(), kRepeats);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t j = 0;
+  for (double sigma : sigmas) {
     std::printf("\n-- sigma = %.2f%s --\n", sigma,
                 sigma == kSigmaStar ? " (calibrated sigma*)" : " (nominal)");
     std::printf("%-12s", "scheme");
@@ -33,16 +57,14 @@ int main() {
     std::printf("\n");
     for (Scheme s : schemes) {
       std::printf("%-12s", core::to_string(s));
-      for (int m : ms) {
-        const auto o = bench_options(s, m, rram::CellKind::SLC, sigma);
-        const auto res =
-            core::run_scheme(*net, o, ds.train(), ds.test(), kRepeats);
-        std::printf("  %5.1f%%", 100 * res.mean_accuracy);
-        std::fflush(stdout);
+      for ([[maybe_unused]] int m : ms) {
+        std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
       }
       std::printf("\n");
     }
   }
+  std::fprintf(stderr, "[bench] deployment sweep: %.1f s (RDO_THREADS=%d)\n",
+               secs, nn::thread_count());
   std::printf(
       "\nexpected shape: plain ~ chance; VAWO recovers, degrades with m;\n"
       "VAWO* >= VAWO and flat in m; PWT ~ ideal (LeNet); VAWO*+PWT ~ ideal.\n");

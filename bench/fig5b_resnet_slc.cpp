@@ -4,9 +4,12 @@
 // Paper reference (ResNet-18 + CIFAR-10, SLC, sigma = 0.5, ideal 94.14%):
 //   plain collapses; VAWO* alone NOT sufficient; PWT alone ineffective;
 //   VAWO*+PWT recovers to 91.37% at m = 16 (2.77% drop).
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
+#include "nn/parallel.h"
 
 using namespace rdo;
 using namespace rdo::bench;
@@ -23,7 +26,25 @@ int main() {
   const int ms[] = {16, 64, 128};
   const Scheme schemes[] = {Scheme::Plain, Scheme::VAWO, Scheme::VAWOStar,
                             Scheme::PWT, Scheme::VAWOStarPWT};
-  for (double sigma : {kSigmaStar, 0.5}) {
+  const double sigmas[] = {kSigmaStar, 0.5};
+
+  std::vector<core::DeployOptions> jobs;
+  for (double sigma : sigmas) {
+    for (Scheme s : schemes) {
+      for (int m : ms) {
+        jobs.push_back(bench_options(s, m, rram::CellKind::SLC, sigma));
+      }
+    }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto grid =
+      run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), kRepeats);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::size_t j = 0;
+  for (double sigma : sigmas) {
     std::printf("\n-- sigma = %.2f%s --\n", sigma,
                 sigma == kSigmaStar ? " (calibrated sigma*)" : " (nominal)");
     std::printf("%-12s", "scheme");
@@ -31,16 +52,14 @@ int main() {
     std::printf("\n");
     for (Scheme s : schemes) {
       std::printf("%-12s", core::to_string(s));
-      for (int m : ms) {
-        const auto o = bench_options(s, m, rram::CellKind::SLC, sigma);
-        const auto res =
-            core::run_scheme(*net, o, ds.train(), ds.test(), kRepeats);
-        std::printf("  %5.1f%%", 100 * res.mean_accuracy);
-        std::fflush(stdout);
+      for ([[maybe_unused]] int m : ms) {
+        std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
       }
       std::printf("\n");
     }
   }
+  std::fprintf(stderr, "[bench] deployment sweep: %.1f s (RDO_THREADS=%d)\n",
+               secs, nn::thread_count());
   std::printf(
       "\nexpected shape: deeper net => VAWO*/PWT alone leave a larger gap\n"
       "than on LeNet; the combination VAWO*+PWT recovers most of it.\n");

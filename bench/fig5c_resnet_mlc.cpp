@@ -4,9 +4,12 @@
 // Paper reference (ResNet-18 + CIFAR-10, 2-bit MLC, VAWO*+PWT):
 //   m = 16 stays > 90% up to sigma = 0.7; m = 128 stays ~ 80% even at
 //   sigma = 1.0; accuracy decreases with sigma, finer m degrades slower.
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "common.h"
+#include "nn/parallel.h"
 
 using namespace rdo;
 using namespace rdo::bench;
@@ -21,20 +24,33 @@ int main() {
       "===\n");
   std::printf("ideal (float) accuracy: %.2f%%   [paper: 94.14%%]\n",
               100 * ideal);
-  std::printf("\n%-8s  m=16    m=128\n", "sigma");
-  for (double sigma : {0.2, 0.4, 0.6, 0.8, 1.0}) {
-    std::printf("%-8.1f", sigma);
+  const double sigmas[] = {0.2, 0.4, 0.6, 0.8, 1.0};
+  std::vector<core::DeployOptions> jobs;
+  for (double sigma : sigmas) {
     for (int m : {16, 128}) {
       auto o = bench_options(core::Scheme::VAWOStarPWT, m,
                              rram::CellKind::MLC2, sigma);
       o.pwt.max_samples = 300;
-      const auto res =
-          core::run_scheme(*net, o, ds.train(), ds.test(), 2);
-      std::printf("  %5.1f%%", 100 * res.mean_accuracy);
-      std::fflush(stdout);
+      jobs.push_back(o);
     }
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto grid =
+      run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), 2);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::printf("\n%-8s  m=16    m=128\n", "sigma");
+  std::size_t j = 0;
+  for (double sigma : sigmas) {
+    std::printf("%-8.1f", sigma);
+    std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
+    std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
     std::printf("\n");
   }
+  std::fprintf(stderr, "[bench] deployment sweep: %.1f s (RDO_THREADS=%d)\n",
+               secs, nn::thread_count());
   std::printf(
       "\nexpected shape: monotone decrease in sigma; m = 16 degrades\n"
       "slower than m = 128 (finer offset sharing).\n");

@@ -3,9 +3,12 @@
 // conv lowering.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+
 #include "core/vawo.h"
 #include "nn/conv2d.h"
 #include "nn/gemm.h"
+#include "nn/parallel.h"
 #include "rram/crossbar.h"
 #include "rram/rlut.h"
 
@@ -99,8 +102,12 @@ void BM_VawoSolveGroup(benchmark::State& state) {
 }
 BENCHMARK(BM_VawoSolveGroup)->Arg(16)->Arg(64)->Arg(128);
 
+// Args: {matrix size, pool threads}. The thread sweep is the speedup
+// table recorded in EXPERIMENTS.md; results are bit-identical across the
+// sweep (asserted in tests/test_parallel.cpp).
 void BM_Gemm(benchmark::State& state) {
   const std::int64_t n = state.range(0);
+  nn::set_thread_count(static_cast<int>(state.range(1)));
   std::vector<float> a(static_cast<std::size_t>(n * n)),
       b(static_cast<std::size_t>(n * n)), c(static_cast<std::size_t>(n * n));
   Rng rng(6);
@@ -111,8 +118,49 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+  nn::set_thread_count(0);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128);
+BENCHMARK(BM_Gemm)
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({512, 1})
+    ->Args({512, 4});
+
+void BM_GemmAtB(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  nn::set_thread_count(static_cast<int>(state.range(1)));
+  std::vector<float> a(static_cast<std::size_t>(n * n)),
+      b(static_cast<std::size_t>(n * n)),
+      c(static_cast<std::size_t>(n * n), 0.0f);
+  Rng rng(8);
+  for (auto& v : a) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1, 1));
+  for (auto _ : state) {
+    nn::gemm_at_b_accumulate(a.data(), b.data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n * 2);
+  nn::set_thread_count(0);
+}
+BENCHMARK(BM_GemmAtB)->Args({256, 1})->Args({256, 4});
+
+// Dispatch overhead of one parallel_for over a trivial body: the floor
+// under which kernels should not bother going parallel.
+void BM_ParallelForDispatch(benchmark::State& state) {
+  nn::set_thread_count(static_cast<int>(state.range(0)));
+  std::atomic<std::int64_t> sink{0};
+  for (auto _ : state) {
+    nn::parallel_for(1024, [&](std::int64_t b, std::int64_t e) {
+      sink.fetch_add(e - b, std::memory_order_relaxed);
+    });
+  }
+  benchmark::DoNotOptimize(sink.load());
+  nn::set_thread_count(0);
+}
+BENCHMARK(BM_ParallelForDispatch)->Arg(1)->Arg(4);
 
 void BM_Conv2DForward(benchmark::State& state) {
   Rng rng(7);

@@ -14,6 +14,8 @@
 #include "data/synthetic.h"
 #include "models/lenet.h"
 #include "nn/optimizer.h"
+#include "nn/parallel.h"
+#include "nn/serialize.h"
 #include "nn/trainer.h"
 
 using namespace rdo;
@@ -38,7 +40,19 @@ int main() {
   const float ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
   std::printf("\nideal accuracy: %.2f%%\n", 100 * ideal);
 
-  // 2+3. Deploy across the variation sweep.
+  // 2+3. Deploy across the variation sweep. The programming-cycle trials
+  // are Monte-Carlo repeats (each cycle's devices are seeded from
+  // Rng::split(trial)), so they run in parallel on private clones of the
+  // trained network — results are bit-identical to the serial
+  // core::run_scheme for any RDO_THREADS.
+  const auto clone_net = [&net]() -> std::unique_ptr<nn::Layer> {
+    nn::Rng blank_rng(7);
+    auto c = models::make_lenet({}, blank_rng);
+    nn::copy_state(*c, *net);
+    return c;
+  };
+  std::printf("\ndeploying with %d threads (RDO_THREADS to override)\n",
+              nn::thread_count());
   std::printf("\n%-8s %-10s %-12s\n", "sigma", "plain", "VAWO*+PWT");
   for (double sigma : {0.2, 0.3, 0.5}) {
     core::DeployOptions base;
@@ -53,10 +67,11 @@ int main() {
     full.scheme = core::Scheme::VAWOStarPWT;
 
     const float a_plain =
-        core::run_scheme(*net, plain, ds.train(), ds.test(), 2)
+        core::run_scheme_parallel(clone_net, plain, ds.train(), ds.test(), 2)
             .mean_accuracy;
     const float a_full =
-        core::run_scheme(*net, full, ds.train(), ds.test(), 2).mean_accuracy;
+        core::run_scheme_parallel(clone_net, full, ds.train(), ds.test(), 2)
+            .mean_accuracy;
     std::printf("%-8.1f %8.2f%% %10.2f%%\n", sigma, 100 * a_plain,
                 100 * a_full);
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/parallel.h"
 #include "rram/tiler.h"
 
 namespace rdo::core {
@@ -288,6 +289,30 @@ SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
   dep.restore();
   res.mean_accuracy =
       static_cast<float>(total / std::max(1, repeats));
+  return res;
+}
+
+SchemeResult run_scheme_parallel(
+    const std::function<std::unique_ptr<rdo::nn::Layer>()>& make_net,
+    const DeployOptions& opt, const rdo::nn::DataView& train,
+    const rdo::nn::DataView& test, int repeats, std::int64_t eval_batch) {
+  SchemeResult res;
+  if (repeats <= 0) return res;
+  res.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+  rdo::nn::parallel_for(repeats, [&](std::int64_t t0, std::int64_t t1) {
+    for (std::int64_t trial = t0; trial < t1; ++trial) {
+      std::unique_ptr<rdo::nn::Layer> net = make_net();
+      Deployment dep(*net, opt);
+      dep.prepare(train);
+      dep.program_cycle(static_cast<std::uint64_t>(trial));
+      dep.tune(train);
+      res.per_cycle[static_cast<std::size_t>(trial)] =
+          dep.evaluate(test, eval_batch);
+    }
+  });
+  double total = 0.0;
+  for (float a : res.per_cycle) total += a;
+  res.mean_accuracy = static_cast<float>(total / repeats);
   return res;
 }
 

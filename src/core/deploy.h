@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -161,5 +163,24 @@ SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
                         const rdo::nn::DataView& train,
                         const rdo::nn::DataView& test, int repeats,
                         std::int64_t eval_batch = 64);
+
+/// Parallel Monte-Carlo variant of run_scheme: the `repeats` programming
+/// cycles are embarrassingly parallel (each cycle's devices are drawn
+/// from Rng(seed).split(cycle)-derived streams and cycles share no
+/// mutable state), so each trial runs as an independent task on a
+/// private network produced by `make_net`.
+///
+/// `make_net` must return a fresh network in the same state run_scheme
+/// would see (e.g. construct the architecture and nn::copy_state the
+/// trained weights in); it is called concurrently from worker threads.
+/// Every per-cycle accuracy is bit-identical to the serial run_scheme
+/// for any thread count — prepare() is deterministic, and in the serial
+/// harness each cycle already recomputes CRWs, offsets and effective
+/// weights from scratch (asserted in tests/test_parallel.cpp).
+SchemeResult run_scheme_parallel(
+    const std::function<std::unique_ptr<rdo::nn::Layer>()>& make_net,
+    const DeployOptions& opt, const rdo::nn::DataView& train,
+    const rdo::nn::DataView& test, int repeats,
+    std::int64_t eval_batch = 64);
 
 }  // namespace rdo::core

@@ -1,21 +1,51 @@
 #include "nn/gemm.h"
 
+#include <algorithm>
 #include <cstring>
+
+#include "nn/parallel.h"
 
 namespace rdo::nn {
 
+namespace {
+
+/// B-panel height kept hot in cache while sweeping a block of C rows.
+/// Blocking over k only reorders *whole rows* of the p loop per output
+/// element (p still increases monotonically), so results are bitwise
+/// identical to the unblocked kernel.
+constexpr std::int64_t kPanelK = 256;
+
+/// Minimum multiply-adds one chunk should amortize the dispatch over.
+constexpr std::int64_t kGrainFlops = 1 << 15;
+
+std::int64_t row_grain(std::int64_t k, std::int64_t n) {
+  const std::int64_t per_row = std::max<std::int64_t>(1, k * n);
+  return std::max<std::int64_t>(1, kGrainFlops / per_row);
+}
+
+}  // namespace
+
 void gemm_accumulate(const float* a, const float* b, float* c, std::int64_t m,
                      std::int64_t k, std::int64_t n) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0f) continue;  // im2col matrices are often sparse (ReLU)
-      const float* brow = b + p * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t p0 = 0; p0 < k; p0 += kPanelK) {
+          const std::int64_t p1 = std::min(k, p0 + kPanelK);
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float* arow = a + i * k;
+            float* crow = c + i * n;
+            for (std::int64_t p = p0; p < p1; ++p) {
+              const float av = arow[p];
+              // im2col matrices are often sparse (ReLU)
+              if (av == 0.0f) continue;
+              const float* brow = b + p * n;
+              for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+            }
+          }
+        }
+      },
+      row_grain(k, n));
 }
 
 void gemm(const float* a, const float* b, float* c, std::int64_t m,
@@ -26,32 +56,44 @@ void gemm(const float* a, const float* b, float* c, std::int64_t m,
 
 void gemm_at_b_accumulate(const float* a, const float* b, float* c,
                           std::int64_t m, std::int64_t k, std::int64_t n) {
-  // A is [K, M]; we compute C[i, j] += sum_p A[p, i] * B[p, j].
-  for (std::int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0f) continue;
-      float* crow = c + i * n;
-      for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // A is [K, M]; we compute C[i, j] += sum_p A[p, i] * B[p, j]. Each
+  // chunk owns rows [i0, i1) of C and walks p in the serial order, so
+  // every C element sees the exact serial accumulation sequence.
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t p = 0; p < k; ++p) {
+          const float* arow = a + p * m;
+          const float* brow = b + p * n;
+          for (std::int64_t i = i0; i < i1; ++i) {
+            const float av = arow[i];
+            if (av == 0.0f) continue;
+            float* crow = c + i * n;
+            for (std::int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      row_grain(k, n));
 }
 
 void gemm_a_bt_accumulate(const float* a, const float* b, float* c,
                           std::int64_t m, std::int64_t k, std::int64_t n) {
   // B is [N, K]; we compute C[i, j] += sum_p A[i, p] * B[j, p].
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      float acc = 0.0f;
-      for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
-      crow[j] += acc;
-    }
-  }
+  parallel_for(
+      m,
+      [&](std::int64_t i0, std::int64_t i1) {
+        for (std::int64_t i = i0; i < i1; ++i) {
+          const float* arow = a + i * k;
+          float* crow = c + i * n;
+          for (std::int64_t j = 0; j < n; ++j) {
+            const float* brow = b + j * k;
+            float acc = 0.0f;
+            for (std::int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+            crow[j] += acc;
+          }
+        }
+      },
+      row_grain(k, n));
 }
 
 }  // namespace rdo::nn

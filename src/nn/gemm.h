@@ -1,8 +1,11 @@
-// Small single-threaded GEMM kernels used by Dense and Conv2D layers.
+// Blocked, parallel GEMM kernels used by Dense and Conv2D layers.
 //
-// These are deliberately simple (ikj loop order, -O3 auto-vectorized) —
-// adequate for the scaled-down networks this reproduction trains on a
-// single CPU core.
+// Kernels keep the ikj loop order (-O3 auto-vectorized inner j loop),
+// block over k to keep the B panel cache-resident, and tile the M
+// dimension across the nn/parallel.h thread pool. Every output row is
+// owned by exactly one chunk and the per-element accumulation order is
+// unchanged, so results are bit-identical to the serial kernels for any
+// thread count (see tests/test_parallel.cpp). Small problems run inline.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,177 @@
+#include "nn/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace rdo::nn {
+
+namespace {
+
+thread_local bool tls_in_parallel = false;
+
+int default_thread_count() {
+  if (const char* s = std::getenv("RDO_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 512));
+    }
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+std::atomic<int> g_thread_override{0};  // <= 0: use the env/hw default
+
+/// One parallel_for invocation. Chunks are claimed with an atomic
+/// counter; completion is signalled when the last chunk retires, so the
+/// caller never waits on helper threads that found nothing to steal.
+struct ForLoop {
+  std::int64_t n = 0;
+  std::int64_t chunk = 1;
+  std::int64_t num_chunks = 0;
+  const std::function<void(std::int64_t, std::int64_t)>* body = nullptr;
+  std::atomic<std::int64_t> next{0};
+  std::atomic<std::int64_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+  std::exception_ptr error;  // first failure wins; guarded by mu
+
+  void work() {
+    const bool was_in_parallel = tls_in_parallel;
+    tls_in_parallel = true;
+    for (;;) {
+      const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= num_chunks) break;
+      const std::int64_t begin = i * chunk;
+      const std::int64_t end = std::min(n, begin + chunk);
+      try {
+        (*body)(begin, end);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
+        std::lock_guard<std::mutex> lock(mu);  // pairs with the waiter
+        cv.notify_all();
+      }
+    }
+    tls_in_parallel = was_in_parallel;
+  }
+};
+
+/// Lazily started persistent worker pool. Workers pull whole ForLoops
+/// from a queue and drain chunks from them; several concurrent
+/// parallel_for calls (from distinct user threads) simply enqueue more
+/// entries.
+class Pool {
+ public:
+  static Pool& instance() {
+    static Pool pool;
+    return pool;
+  }
+
+  void post(const std::shared_ptr<ForLoop>& loop, int copies) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ensure_workers(copies);
+    for (int i = 0; i < copies; ++i) queue_.push_back(loop);
+    lock.unlock();
+    cv_.notify_all();
+  }
+
+  ~Pool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+  }
+
+ private:
+  // Grow-only: shrinking would require draining in-flight work; unused
+  // workers just sleep on the queue.
+  void ensure_workers(int target) {
+    while (static_cast<int>(workers_.size()) < target) {
+      workers_.emplace_back([this] { worker_main(); });
+    }
+  }
+
+  void worker_main() {
+    for (;;) {
+      std::shared_ptr<ForLoop> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_) return;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task->work();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<ForLoop>> queue_;
+  std::vector<std::thread> workers_;
+  bool stop_ = false;
+};
+
+}  // namespace
+
+int thread_count() {
+  const int override = g_thread_override.load(std::memory_order_relaxed);
+  if (override >= 1) return override;
+  static const int resolved = default_thread_count();
+  return resolved;
+}
+
+void set_thread_count(int n) {
+  g_thread_override.store(n >= 1 ? n : 0, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return tls_in_parallel; }
+
+void parallel_for(std::int64_t n,
+                  const std::function<void(std::int64_t, std::int64_t)>& body,
+                  std::int64_t grain) {
+  if (n <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = thread_count();
+  if (threads <= 1 || tls_in_parallel || n <= grain) {
+    body(0, n);
+    return;
+  }
+  auto loop = std::make_shared<ForLoop>();
+  loop->n = n;
+  // ~4 chunks per thread absorbs per-chunk load imbalance without
+  // shrinking chunks below `grain`.
+  loop->chunk = std::max<std::int64_t>(
+      grain, (n + static_cast<std::int64_t>(threads) * 4 - 1) /
+                 (static_cast<std::int64_t>(threads) * 4));
+  loop->num_chunks = (n + loop->chunk - 1) / loop->chunk;
+  loop->body = &body;
+  const int helpers = static_cast<int>(std::min<std::int64_t>(
+      threads - 1, loop->num_chunks - 1));
+  if (helpers > 0) Pool::instance().post(loop, helpers);
+  loop->work();  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lock(loop->mu);
+    loop->cv.wait(lock, [&] {
+      return loop->done.load(std::memory_order_acquire) == loop->num_chunks;
+    });
+  }
+  if (loop->error) std::rethrow_exception(loop->error);
+}
+
+}  // namespace rdo::nn

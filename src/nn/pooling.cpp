@@ -12,30 +12,15 @@ Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
   in_shape_ = x.shape();
   Tensor y({n, c, oh, ow});
   argmax_.assign(static_cast<std::size_t>(y.size()), 0);
-  std::int64_t oi = 0;
+  const std::int64_t in_plane = c * h * w;
+  const std::int64_t out_plane = c * oh * ow;
   for (std::int64_t s = 0; s < n; ++s) {
-    for (std::int64_t ch = 0; ch < c; ++ch) {
-      const float* img = x.data() + (s * c + ch) * h * w;
-      for (std::int64_t oy = 0; oy < oh; ++oy) {
-        for (std::int64_t ox = 0; ox < ow; ++ox, ++oi) {
-          float best = -std::numeric_limits<float>::infinity();
-          std::int64_t best_idx = 0;
-          for (std::int64_t ky = 0; ky < window_; ++ky) {
-            for (std::int64_t kx = 0; kx < window_; ++kx) {
-              const std::int64_t iy = oy * window_ + ky;
-              const std::int64_t ix = ox * window_ + kx;
-              const float v = img[iy * w + ix];
-              if (v > best) {
-                best = v;
-                best_idx = (s * c + ch) * h * w + iy * w + ix;
-              }
-            }
-          }
-          y[oi] = best;
-          argmax_[static_cast<std::size_t>(oi)] = best_idx;
-        }
-      }
-    }
+    std::int64_t* amax = argmax_.data() + s * out_plane;
+    maxpool2d_image(x.data() + s * in_plane, c, h, w, window_,
+                    y.data() + s * out_plane, amax);
+    // The helper reports indices within the image; backward() needs them
+    // within the batch tensor.
+    for (std::int64_t i = 0; i < out_plane; ++i) amax[i] += s * in_plane;
   }
   return y;
 }

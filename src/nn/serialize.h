@@ -19,4 +19,11 @@ void save_params(Layer& net, const std::string& path);
 /// not exist; throws if it exists but does not match the network.
 bool load_params(Layer& net, const std::string& path);
 
+/// Copy every parameter and buffer (e.g. batch-norm running statistics)
+/// from `src` into the identically-constructed network `dst`. Used to
+/// clone a trained network for parallel Monte-Carlo deployment trials;
+/// `src` is only read, so several clones may be taken concurrently.
+/// Throws if the two networks do not match.
+void copy_state(Layer& dst, Layer& src);
+
 }  // namespace rdo::nn

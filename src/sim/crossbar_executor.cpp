@@ -24,6 +24,17 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
         "CrossbarLayerExecutor: m must be a multiple of the activated "
         "wordlines (paper Sec. III-A)");
   }
+  if (cfg_.xbar.rows % cfg_.offsets.m != 0) {
+    // A value like m = 96 on 128-row crossbars would let one offset
+    // group straddle a row-tile boundary, splitting a single logical
+    // offset register across two physical tiles — the forward pass would
+    // then apply one tile's group offset to rows belonging to the next
+    // group (violates the Sec. III-A geometry, src/core/offset.h).
+    throw std::invalid_argument(
+        "CrossbarLayerExecutor: crossbar rows must be a multiple of m so "
+        "offset groups never straddle a row-tile boundary (paper Sec. "
+        "III-A)");
+  }
   if (assign_.ctw.size() != lq_.q.size()) {
     throw std::invalid_argument("CrossbarLayerExecutor: assignment mismatch");
   }
@@ -153,6 +164,13 @@ std::vector<double> CrossbarLayerExecutor::forward_bit_serial(
   const int levels = (1 << input_bits) - 1;
   std::vector<int> xq(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < 0.0) {
+      // Silently clamping would corrupt results for non-ReLU inputs; the
+      // paper assumes unsigned DAC inputs, so reject instead.
+      throw std::invalid_argument(
+          "forward_bit_serial: negative input (DAC inputs are unsigned; "
+          "rescale or rectify activations first)");
+    }
     const double q = std::round(x[i] / x_max * levels);
     xq[i] = static_cast<int>(std::clamp(q, 0.0, static_cast<double>(levels)));
   }

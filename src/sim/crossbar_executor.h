@@ -42,6 +42,12 @@ class CrossbarLayerExecutor {
 
   /// Device-level forward: x has lq.rows entries (activation units);
   /// returns lq.cols effective (dequantized) outputs.
+  ///
+  /// Thread safety: const and touches only state that is immutable after
+  /// construction (crossbar cells, CTWs, offsets), so any number of
+  /// threads may call forward()/forward_bit_serial()/measure_crw()
+  /// concurrently. set_offsets() is the only mutator and must not race
+  /// with concurrent forwards.
   [[nodiscard]] std::vector<double> forward(
       const std::vector<double>& x) const;
 

@@ -7,6 +7,7 @@
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/im2col.h"
+#include "nn/parallel.h"
 #include "nn/pooling.h"
 #include "quant/act_quant.h"
 #include "rram/rlut.h"
@@ -144,25 +145,11 @@ std::vector<double> NetworkExecutor::forward_image(
           throw std::logic_error("NetworkExecutor: pooling needs an image");
         }
         const int oh = hh / s.pool_window, ow = ww / s.pool_window;
-        std::vector<double> y(static_cast<std::size_t>(c) * oh * ow,
-                              -1e300);
-        for (int ch = 0; ch < c; ++ch) {
-          for (int oy = 0; oy < oh; ++oy) {
-            for (int ox = 0; ox < ow; ++ox) {
-              double best = -1e300;
-              for (int ky = 0; ky < s.pool_window; ++ky) {
-                for (int kx = 0; kx < s.pool_window; ++kx) {
-                  const int iy = oy * s.pool_window + ky;
-                  const int ix = ox * s.pool_window + kx;
-                  best = std::max(
-                      best, h[static_cast<std::size_t>(
-                                (ch * hh + iy) * ww + ix)]);
-                }
-              }
-              y[static_cast<std::size_t>((ch * oh + oy) * ow + ox)] = best;
-            }
-          }
-        }
+        std::vector<double> y(static_cast<std::size_t>(c) * oh * ow);
+        // Same kernel as the float nn::MaxPool2D layer, so the device
+        // and float paths cannot drift (asserted in test_equivalence).
+        rdo::nn::maxpool2d_image(h.data(), c, hh, ww, s.pool_window,
+                                 y.data());
         h = std::move(y);
         hh = oh;
         ww = ow;
@@ -187,20 +174,29 @@ std::vector<double> NetworkExecutor::forward_image(
         rdo::nn::im2col(img.data(), c, hh, ww, s.kernel, s.kernel, s.stride,
                         s.pad, cols.data());
         std::vector<double> y(static_cast<std::size_t>(oc) * oh * ow, 0.0);
-        std::vector<double> row(static_cast<std::size_t>(fin));
-        for (int p = 0; p < oh * ow; ++p) {
-          for (std::int64_t j = 0; j < fin; ++j) {
-            row[static_cast<std::size_t>(j)] =
-                cols[static_cast<std::size_t>(p) * fin +
-                     static_cast<std::size_t>(j)];
-          }
-          const std::vector<double> out = s.exec->forward(row);
-          for (std::int64_t k = 0; k < oc; ++k) {
-            y[static_cast<std::size_t>(k * oh * ow + p)] =
-                out[static_cast<std::size_t>(k)] +
-                s.bias[static_cast<std::size_t>(k)];
-          }
-        }
+        // Each im2col row is one independent VMM through the (read-only)
+        // crossbars; dispatch them across the pool. Every output
+        // position is written by exactly one task, so results are
+        // bit-identical for any thread count. Runs inline when already
+        // inside evaluate()'s per-image parallelism.
+        rdo::nn::parallel_for(
+            oh * ow,
+            [&](std::int64_t p0, std::int64_t p1) {
+              std::vector<double> row(static_cast<std::size_t>(fin));
+              for (std::int64_t p = p0; p < p1; ++p) {
+                for (std::int64_t j = 0; j < fin; ++j) {
+                  row[static_cast<std::size_t>(j)] =
+                      cols[static_cast<std::size_t>(p) * fin +
+                           static_cast<std::size_t>(j)];
+                }
+                const std::vector<double> out = s.exec->forward(row);
+                for (std::int64_t k = 0; k < oc; ++k) {
+                  y[static_cast<std::size_t>(k * oh * ow + p)] =
+                      out[static_cast<std::size_t>(k)] +
+                      s.bias[static_cast<std::size_t>(k)];
+                }
+              }
+            });
         h = std::move(y);
         c = static_cast<int>(oc);
         hh = oh;
@@ -229,19 +225,29 @@ float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
   const int channels = static_cast<int>(test.images->dim(1));
   const int height = static_cast<int>(test.images->dim(2));
   const int width = static_cast<int>(test.images->dim(3));
-  int correct = 0;
-  std::vector<double> x(static_cast<std::size_t>(sample));
-  for (std::int64_t i = 0; i < n; ++i) {
-    const float* src = test.images->data() + i * sample;
-    for (std::int64_t j = 0; j < sample; ++j) {
-      x[static_cast<std::size_t>(j)] = src[j];
+  // Batched inference: forward_image is const and every stage reads only
+  // state frozen at construction time (see CrossbarLayerExecutor::forward),
+  // so images classify concurrently. Each image's verdict lands in its
+  // own slot and the final reduction is an integer sum — the accuracy is
+  // bit-identical for any thread count.
+  std::vector<unsigned char> hit(static_cast<std::size_t>(n), 0);
+  rdo::nn::parallel_for(n, [&](std::int64_t i0, std::int64_t i1) {
+    std::vector<double> x(static_cast<std::size_t>(sample));
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* src = test.images->data() + i * sample;
+      for (std::int64_t j = 0; j < sample; ++j) {
+        x[static_cast<std::size_t>(j)] = src[j];
+      }
+      const std::vector<double> logits =
+          forward_image(x, channels, height, width);
+      const std::int64_t arg = static_cast<std::int64_t>(
+          std::max_element(logits.begin(), logits.end()) - logits.begin());
+      hit[static_cast<std::size_t>(i)] =
+          arg == (*test.labels)[static_cast<std::size_t>(i)] ? 1 : 0;
     }
-    const std::vector<double> logits =
-        forward_image(x, channels, height, width);
-    const std::int64_t arg = static_cast<std::int64_t>(
-        std::max_element(logits.begin(), logits.end()) - logits.begin());
-    if (arg == (*test.labels)[static_cast<std::size_t>(i)]) ++correct;
-  }
+  });
+  int correct = 0;
+  for (unsigned char b : hit) correct += b;
   return static_cast<float>(correct) / static_cast<float>(n);
 }
 

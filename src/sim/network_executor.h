@@ -47,12 +47,18 @@ class NetworkExecutor {
       const std::vector<double>& x) const;
 
   /// Device-level logits for one image of the given shape (CNNs).
+  /// Thread-safe: const, and every stage reads only state frozen at
+  /// construction (apply_mean_init_offsets is the only mutator and must
+  /// not race with forwards). Conv stages dispatch their im2col rows
+  /// across the nn/parallel.h pool when called from a serial context.
   [[nodiscard]] std::vector<double> forward_image(
       const std::vector<double>& x, int channels, int height,
       int width) const;
 
-  /// Device-level test accuracy. Convolution lowering makes this slow;
-  /// `max_samples` (0 = all) bounds the pass.
+  /// Device-level test accuracy. Images are classified in parallel
+  /// across the nn/parallel.h pool (RDO_THREADS); the result is
+  /// bit-identical for any thread count. Convolution lowering still
+  /// makes this slow; `max_samples` (0 = all) bounds the pass.
   [[nodiscard]] float evaluate(const rdo::nn::DataView& test,
                                std::int64_t max_samples = 0) const;
 

@@ -11,6 +11,7 @@
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/optimizer.h"
+#include "nn/pooling.h"
 #include "nn/sequential.h"
 #include "rram/crossbar.h"
 
@@ -197,6 +198,55 @@ TEST(Equivalence, ComplementIdentityOnDeviceLevelCrossbar) {
   const double direct = dot_via_crossbar(w);
   const double via_complement = 255.0 * sum_x - dot_via_crossbar(wbar);
   EXPECT_NEAR(direct, via_complement, 1e-9);
+}
+
+TEST(Equivalence, MaxPoolDeviceAndFloatPathsShareOneKernel) {
+  // The float MaxPool2D layer and the device-level executor both call
+  // nn::maxpool2d_image, so their pooling semantics cannot drift. Assert
+  // parity of the shared kernel (double, as the device path uses it)
+  // with the layer's float forward on the same data.
+  nn::Rng rng(41);
+  const std::int64_t c = 3, h = 8, w = 8, window = 2;
+  nn::Tensor x({1, c, h, w});
+  for (std::int64_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(rng.uniform(-2.0, 2.0));
+  }
+  nn::MaxPool2D layer(window);
+  const nn::Tensor y_layer = layer.forward(x, /*train=*/false);
+
+  std::vector<double> img(static_cast<std::size_t>(c * h * w));
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = x.data()[i];
+  std::vector<double> y_dev(
+      static_cast<std::size_t>(c * (h / window) * (w / window)));
+  nn::maxpool2d_image(img.data(), c, h, w, window, y_dev.data());
+
+  ASSERT_EQ(static_cast<std::int64_t>(y_dev.size()), y_layer.size());
+  for (std::int64_t i = 0; i < y_layer.size(); ++i) {
+    EXPECT_DOUBLE_EQ(y_dev[static_cast<std::size_t>(i)],
+                     static_cast<double>(y_layer[i]));
+  }
+}
+
+TEST(Equivalence, MaxPoolArgmaxBackwardUnchanged) {
+  // The refactor onto the shared kernel must keep batch-global argmax
+  // indices for backward: a gradient routed through a 2-sample batch
+  // lands on each sample's own maximum.
+  nn::Tensor x({2, 1, 2, 2});
+  const float vals[] = {1.0f, 5.0f, 2.0f, 3.0f,   // sample 0: max at idx 1
+                        9.0f, 0.0f, 4.0f, 7.0f};  // sample 1: max at idx 4
+  for (std::int64_t i = 0; i < x.size(); ++i) x[i] = vals[i];
+  nn::MaxPool2D layer(2);
+  const nn::Tensor y = layer.forward(x, /*train=*/true);
+  EXPECT_FLOAT_EQ(y[0], 5.0f);
+  EXPECT_FLOAT_EQ(y[1], 9.0f);
+  nn::Tensor g({2, 1, 1, 1});
+  g[0] = 1.0f;
+  g[1] = 2.0f;
+  const nn::Tensor gx = layer.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 1.0f);  // sample 0's max
+  EXPECT_FLOAT_EQ(gx[4], 2.0f);  // sample 1's max (batch-global index)
+  EXPECT_FLOAT_EQ(gx[0], 0.0f);
+  EXPECT_FLOAT_EQ(gx[5], 0.0f);
 }
 
 TEST(Equivalence, OffsetLinearityEq1) {

@@ -1,0 +1,296 @@
+// Deterministic thread-pool execution layer (nn/parallel.h): coverage,
+// nesting and exception semantics of parallel_for, bitwise determinism
+// of the parallel GEMM kernels, and the headline guarantee — parallel
+// Monte-Carlo deployment trials and batched device-level inference are
+// bit-identical to the serial path for any thread count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/gemm.h"
+#include "nn/optimizer.h"
+#include "nn/parallel.h"
+#include "nn/pooling.h"
+#include "nn/serialize.h"
+#include "nn/trainer.h"
+#include "sim/network_executor.h"
+
+using namespace rdo;
+
+namespace {
+
+/// RAII thread-count override so a failing assertion cannot leak a
+/// forced pool size into other tests.
+struct ThreadGuard {
+  explicit ThreadGuard(int n) { nn::set_thread_count(n); }
+  ~ThreadGuard() { nn::set_thread_count(0); }
+};
+
+}  // namespace
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  ThreadGuard guard(4);
+  const std::int64_t n = 1237;  // prime: uneven chunking
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  nn::parallel_for(n, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsGrainAndEmptyRange) {
+  ThreadGuard guard(4);
+  int calls = 0;
+  nn::parallel_for(
+      10, [&](std::int64_t b, std::int64_t e) {
+        EXPECT_EQ(b, 0);
+        EXPECT_EQ(e, 10);
+        ++calls;
+      },
+      /*grain=*/10);  // n <= grain: must run inline as one chunk
+  EXPECT_EQ(calls, 1);
+  nn::parallel_for(0, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 1);  // empty range: body never invoked
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadGuard guard(4);
+  std::atomic<int> inner_total{0};
+  EXPECT_FALSE(nn::in_parallel_region());
+  nn::parallel_for(8, [&](std::int64_t b, std::int64_t e) {
+    EXPECT_TRUE(nn::in_parallel_region());
+    for (std::int64_t i = b; i < e; ++i) {
+      nn::parallel_for(4, [&](std::int64_t ib, std::int64_t ie) {
+        inner_total.fetch_add(static_cast<int>(ie - ib));
+      });
+    }
+  });
+  EXPECT_FALSE(nn::in_parallel_region());
+  EXPECT_EQ(inner_total.load(), 32);
+}
+
+TEST(ParallelFor, PropagatesFirstException) {
+  ThreadGuard guard(4);
+  EXPECT_THROW(
+      nn::parallel_for(64,
+                       [&](std::int64_t b, std::int64_t) {
+                         if (b >= 16) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<int> total{0};
+  nn::parallel_for(16, [&](std::int64_t b, std::int64_t e) {
+    total.fetch_add(static_cast<int>(e - b));
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+TEST(ParallelGemm, BitIdenticalAcrossThreadCounts) {
+  // Odd sizes so chunk boundaries fall mid-structure; zeros exercise the
+  // sparsity skip.
+  const std::int64_t m = 97, k = 63, n = 41;
+  nn::Rng rng(123);
+  std::vector<float> a(static_cast<std::size_t>(m * k)),
+      at(static_cast<std::size_t>(k * m)), b(static_cast<std::size_t>(k * n)),
+      bt(static_cast<std::size_t>(n * k));
+  for (auto& v : a) {
+    v = rng.uniform(0.0, 1.0) < 0.3
+            ? 0.0f
+            : static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  for (auto& v : at) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : b) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& v : bt) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  const auto run_all = [&](std::vector<float>& c1, std::vector<float>& c2,
+                           std::vector<float>& c3) {
+    c1.assign(static_cast<std::size_t>(m * n), 0.5f);
+    c2.assign(static_cast<std::size_t>(m * n), 0.5f);
+    c3.assign(static_cast<std::size_t>(m * n), 0.5f);
+    nn::gemm_accumulate(a.data(), b.data(), c1.data(), m, k, n);
+    nn::gemm_at_b_accumulate(at.data(), b.data(), c2.data(), m, k, n);
+    nn::gemm_a_bt_accumulate(a.data(), bt.data(), c3.data(), m, k, n);
+  };
+
+  std::vector<float> s1, s2, s3;
+  {
+    ThreadGuard guard(1);
+    run_all(s1, s2, s3);
+  }
+  for (int threads : {2, 4, 7}) {
+    ThreadGuard guard(threads);
+    std::vector<float> p1, p2, p3;
+    run_all(p1, p2, p3);
+    EXPECT_EQ(0, std::memcmp(s1.data(), p1.data(), s1.size() * sizeof(float)))
+        << "gemm_accumulate differs at " << threads << " threads";
+    EXPECT_EQ(0, std::memcmp(s2.data(), p2.data(), s2.size() * sizeof(float)))
+        << "gemm_at_b_accumulate differs at " << threads << " threads";
+    EXPECT_EQ(0, std::memcmp(s3.data(), p3.data(), s3.size() * sizeof(float)))
+        << "gemm_a_bt_accumulate differs at " << threads << " threads";
+  }
+}
+
+namespace {
+
+/// Small trained MLP + dataset for the deployment determinism tests.
+struct DeployFixture {
+  data::SyntheticDataset ds;
+  nn::Sequential net;
+
+  DeployFixture() {
+    data::SyntheticSpec spec = data::mnist_like();
+    spec.height = spec.width = 8;
+    spec.classes = 4;
+    spec.train_per_class = 20;
+    spec.test_per_class = 8;
+    spec.seed = 51;
+    ds = data::make_synthetic(spec);
+    nn::Rng rng(14);
+    net.emplace<nn::Flatten>();
+    net.emplace<nn::Dense>(64, 16, rng);
+    net.emplace<nn::ReLU>();
+    net.emplace<nn::Dense>(16, 4, rng);
+    nn::SGD opt(net.params(), 0.1f);
+    for (int e = 0; e < 5; ++e) {
+      nn::train_epoch(net, opt, ds.train(), 16, rng);
+    }
+  }
+
+  std::unique_ptr<nn::Layer> clone() {
+    nn::Rng rng(14);
+    auto c = std::make_unique<nn::Sequential>();
+    c->emplace<nn::Flatten>();
+    c->emplace<nn::Dense>(64, 16, rng);
+    c->emplace<nn::ReLU>();
+    c->emplace<nn::Dense>(16, 4, rng);
+    nn::copy_state(*c, net);
+    return c;
+  }
+};
+
+DeployFixture& deploy_fixture() {
+  static DeployFixture f;
+  return f;
+}
+
+core::DeployOptions deploy_opts(rram::CellKind cell) {
+  core::DeployOptions o;
+  o.scheme = core::Scheme::VAWOStarPWT;  // exercises VAWO*, PWT, evaluate
+  o.offsets.m = 8;
+  o.cell = {cell, 200.0};
+  o.variation.sigma = 0.4;
+  o.lut_k_sets = 4;
+  o.lut_j_cycles = 4;
+  o.grad_samples = 64;
+  o.pwt.epochs = 1;
+  o.pwt.max_samples = 48;
+  o.seed = 77;
+  return o;
+}
+
+}  // namespace
+
+TEST(Determinism, ParallelTrialsMatchSerialRunSchemeSlcAndMlc) {
+  // The headline guarantee: same seed, 1 vs N threads, identical
+  // per-trial deployment accuracies (exact float equality) — for SLC and
+  // MLC2 cells. Each trial's devices are drawn from
+  // Rng(seed).split(trial)-derived streams, never from shared state.
+  auto& f = deploy_fixture();
+  const int repeats = 2;
+  for (rram::CellKind cell : {rram::CellKind::SLC, rram::CellKind::MLC2}) {
+    const core::DeployOptions o = deploy_opts(cell);
+    core::SchemeResult serial, par1, par4;
+    {
+      ThreadGuard guard(1);
+      serial = core::run_scheme(f.net, o, f.ds.train(), f.ds.test(), repeats);
+      par1 = core::run_scheme_parallel([&] { return f.clone(); }, o,
+                                       f.ds.train(), f.ds.test(), repeats);
+    }
+    {
+      ThreadGuard guard(4);
+      par4 = core::run_scheme_parallel([&] { return f.clone(); }, o,
+                                       f.ds.train(), f.ds.test(), repeats);
+    }
+    ASSERT_EQ(serial.per_cycle.size(), static_cast<std::size_t>(repeats));
+    ASSERT_EQ(par1.per_cycle.size(), static_cast<std::size_t>(repeats));
+    ASSERT_EQ(par4.per_cycle.size(), static_cast<std::size_t>(repeats));
+    for (int t = 0; t < repeats; ++t) {
+      const auto i = static_cast<std::size_t>(t);
+      EXPECT_EQ(serial.per_cycle[i], par1.per_cycle[i])
+          << "trial " << t << " (1 thread) diverged from serial";
+      EXPECT_EQ(serial.per_cycle[i], par4.per_cycle[i])
+          << "trial " << t << " (4 threads) diverged from serial";
+    }
+    EXPECT_EQ(serial.mean_accuracy, par4.mean_accuracy);
+  }
+}
+
+TEST(Determinism, DeviceLevelEvaluateMatchesAcrossThreadCounts) {
+  // Batched device-level inference: a small CNN exercises the parallel
+  // im2col-row dispatch, the shared max-pool kernel and per-image
+  // evaluate parallelism. Same executor, 1 vs 4 threads, identical
+  // logits and accuracy.
+  data::SyntheticSpec spec = data::mnist_like();
+  spec.height = spec.width = 8;
+  spec.classes = 4;
+  spec.train_per_class = 16;
+  spec.test_per_class = 8;
+  spec.seed = 61;
+  const data::SyntheticDataset ds = data::make_synthetic(spec);
+  nn::Rng rng(21);
+  nn::Sequential net;
+  net.emplace<nn::Conv2D>(1, 4, 3, 1, 1, rng);
+  net.emplace<nn::ReLU>();
+  net.emplace<nn::MaxPool2D>(2);
+  net.emplace<nn::Flatten>();
+  net.emplace<nn::Dense>(64, 4, rng);
+  nn::SGD opt(net.params(), 0.05f);
+  for (int e = 0; e < 3; ++e) {
+    nn::train_epoch(net, opt, ds.train(), 16, rng);
+  }
+
+  sim::NetworkExecutorOptions o;
+  o.exec.xbar.rows = 16;
+  o.exec.xbar.cols = 32;
+  o.exec.xbar.cell = {rram::CellKind::MLC2, 200.0};
+  o.exec.xbar.variation.sigma = 0.3;
+  o.exec.xbar.active_wordlines = 4;
+  o.exec.offsets.m = 8;
+  o.lut_k_sets = 4;
+  o.lut_j_cycles = 4;
+  o.grad_samples = 32;
+  o.seed = 19;
+  const sim::NetworkExecutor exec(net, ds.train(), o);
+
+  std::vector<double> x(64);
+  const float* img = ds.test().images->data();
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = img[i];
+
+  float acc1 = 0.0f, acc4 = 0.0f;
+  std::vector<double> logits1, logits4;
+  {
+    ThreadGuard guard(1);
+    logits1 = exec.forward_image(x, 1, 8, 8);
+    acc1 = exec.evaluate(ds.test());
+  }
+  {
+    ThreadGuard guard(4);
+    logits4 = exec.forward_image(x, 1, 8, 8);
+    acc4 = exec.evaluate(ds.test());
+  }
+  ASSERT_EQ(logits1.size(), logits4.size());
+  for (std::size_t i = 0; i < logits1.size(); ++i) {
+    EXPECT_EQ(logits1[i], logits4[i]) << "logit " << i;
+  }
+  EXPECT_EQ(acc1, acc4);
+}

@@ -247,6 +247,46 @@ TEST(Sim, BitSerialRejectsBadFormat) {
   EXPECT_THROW(exec.forward_bit_serial(x, 8, 0.0), std::invalid_argument);
 }
 
+TEST(Sim, RejectsGroupStraddlingRowTileBoundary) {
+  // m = 12 passes the active-wordline check (12 % 4 == 0) but does not
+  // divide the 16-row crossbar: the second offset group (rows 12..23)
+  // would straddle the tile boundary, splitting one logical offset
+  // register across two physical tiles (cf. m = 96 on 128-row crossbars).
+  const auto lq = make_lq(32, 4, 25);
+  const auto assign = core::plain_layer(lq, 12);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight, 12);
+  Rng rng(26);
+  EXPECT_THROW(CrossbarLayerExecutor(lq, assign, cfg, rng),
+               std::invalid_argument);
+}
+
+TEST(Sim, AcceptsWholeTileGroups) {
+  // m equal to the tile height (one group per tile column) is legal.
+  const auto lq = make_lq(32, 4, 27);
+  const auto assign = core::plain_layer(lq, 16);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight, 16);
+  Rng rng(28);
+  EXPECT_NO_THROW(CrossbarLayerExecutor(lq, assign, cfg, rng));
+}
+
+TEST(Sim, BitSerialRejectsNegativeInputs) {
+  // The DAC streams unsigned magnitudes; silently clamping a negative
+  // activation to 0 would corrupt non-ReLU inputs, so it must throw.
+  const auto lq = make_lq(16, 2, 29);
+  const auto assign = core::plain_layer(lq, 8);
+  ExecutorConfig cfg = small_cfg(rram::CellKind::MLC2, 0.0,
+                                 rram::VariationScope::PerWeight);
+  Rng rng(30);
+  CrossbarLayerExecutor exec(lq, assign, cfg, rng);
+  std::vector<double> x(16, 0.5);
+  x[3] = -0.25;
+  EXPECT_THROW(exec.forward_bit_serial(x, 8, 1.0), std::invalid_argument);
+  x[3] = 0.25;
+  EXPECT_NO_THROW(exec.forward_bit_serial(x, 8, 1.0));
+}
+
 TEST(Sim, CrossbarCountMatchesTiling) {
   const auto lq = make_lq(40, 10, 16);
   const auto assign = core::plain_layer(lq, 8);
