@@ -5,6 +5,9 @@
 //   D. offset register width (4/6/8/10 bits)
 // Uses a small MLP so the whole ablation matrix runs in under a minute.
 #include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "common.h"
 #include "nn/activations.h"
@@ -42,25 +45,47 @@ struct Fixture {
     ideal = nn::evaluate(net, ds.test(), 64).accuracy;
   }
 
-  float run(core::DeployOptions o) {
-    return core::run_scheme(net, o, ds.train(), ds.test(), kRepeats)
-        .mean_accuracy;
+  /// Runs one ablation cell, records it under `label`, and turns an
+  /// exception into a recorded failure (NaN accuracy) so one bad cell
+  /// doesn't kill the matrix.
+  float run(obs::BenchReport& rep, const std::string& label,
+            core::DeployOptions o) {
+    try {
+      obs::PhaseTimer t(rep.recorder(), "ablation_sweep");
+      const auto res =
+          core::run_scheme(net, o, ds.train(), ds.test(), kRepeats);
+      record_scheme_result(rep, label, o, res);
+      return res.mean_accuracy;
+    } catch (const std::exception& e) {
+      rep.add_failure(label, e.what());
+      return std::numeric_limits<float>::quiet_NaN();
+    }
   }
 };
 
 }  // namespace
 
 int main() {
-  Fixture f;
+  obs::BenchReport rep("ablation_design", 2021);
+
+  std::unique_ptr<Fixture> f;
+  {
+    obs::PhaseTimer t(rep.recorder(), "train_models");
+    f = std::make_unique<Fixture>();
+  }
+  rep.results()["ideal_accuracy"] = static_cast<double>(f->ideal);
+
   std::printf("=== ablations (MLP, SLC, sigma = 0.5, m = 16) ===\n");
-  std::printf("ideal accuracy: %.2f%%\n", 100 * f.ideal);
+  std::printf("ideal accuracy: %.2f%%\n", 100 * f->ideal);
 
   std::printf("\n[A] VAWO objective: bias-penalized vs strict Eq. 5\n");
   for (bool penalize : {true, false}) {
     auto o = bench_options(Scheme::VAWOStar, 16, rram::CellKind::SLC, 0.5);
     o.penalize_bias = penalize;
+    const std::string label =
+        std::string("A/penalize_bias=") + (penalize ? "true" : "false");
     std::printf("  penalize_bias=%-5s  VAWO* accuracy %.1f%%\n",
-                penalize ? "true" : "false", 100 * f.run(o));
+                penalize ? "true" : "false", 100 * f->run(rep, label, o));
   }
 
   std::printf("\n[B] PWT warm start: measured group-mean vs gradient-only\n");
@@ -68,8 +93,10 @@ int main() {
     auto o =
         bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
     o.pwt.mean_init = mean_init;
+    const std::string label =
+        std::string("B/mean_init=") + (mean_init ? "true" : "false");
     std::printf("  mean_init=%-5s      VAWO*+PWT accuracy %.1f%%\n",
-                mean_init ? "true" : "false", 100 * f.run(o));
+                mean_init ? "true" : "false", 100 * f->run(rep, label, o));
   }
 
   std::printf("\n[C] variation scope (same total sigma)\n");
@@ -78,11 +105,12 @@ int main() {
     auto o =
         bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
     o.variation.scope = scope;
+    const bool per_weight = scope == rram::VariationScope::PerWeight;
+    const std::string label =
+        std::string("C/scope=") + (per_weight ? "per-weight" : "per-cell");
     std::printf("  %-22s VAWO*+PWT accuracy %.1f%%\n",
-                scope == rram::VariationScope::PerWeight
-                    ? "per-weight (paper)"
-                    : "per-cell (Fig. 3)",
-                100 * f.run(o));
+                per_weight ? "per-weight (paper)" : "per-cell (Fig. 3)",
+                100 * f->run(rep, label, o));
   }
 
   std::printf("\n[D] offset register width\n");
@@ -90,13 +118,14 @@ int main() {
     auto o =
         bench_options(Scheme::VAWOStarPWT, 16, rram::CellKind::SLC, 0.5);
     o.offsets.offset_bits = bits;
+    const std::string label = "D/offset_bits=" + std::to_string(bits);
     std::printf("  %2d-bit offsets       VAWO*+PWT accuracy %.1f%%\n", bits,
-                100 * f.run(o));
+                100 * f->run(rep, label, o));
   }
   std::printf(
       "\nexpected: [A] penalty helps when the unbiased constraint is\n"
       "unreachable; [B] warm start dominates gradient-only tuning; [C]\n"
       "both scopes are handled; [D] accuracy saturates around 8 bits —\n"
       "the paper's register width.\n");
-  return 0;
+  return finish_report(rep);
 }

@@ -188,32 +188,111 @@ std::vector<rdo::core::SchemeResult> run_grid(
   std::vector<rdo::core::SchemeResult> results(points.size());
   for (auto& r : results) {
     r.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+    r.errors.assign(static_cast<std::size_t>(repeats), "");
   }
+  std::vector<rdo::core::DeployStats> trial_stats(
+      static_cast<std::size_t>(npoints * repeats));
   // One task per (point, trial): finer than per-point tasks, so a grid
   // keeps every core busy even when repeats < cores. Each task gets a
-  // private clone of the trained network; `master` is only read.
+  // private clone of the trained network; `master` is only read. A
+  // throwing trial is recorded, not propagated — one bad grid point
+  // must not discard the rest of the sweep.
   rdo::nn::parallel_for(npoints * repeats, [&](std::int64_t t0,
                                                std::int64_t t1) {
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t point = t / repeats;
       const std::int64_t trial = t % repeats;
-      auto net = make_blank();
-      rdo::nn::copy_state(*net, master);
-      rdo::core::Deployment dep(*net,
-                                points[static_cast<std::size_t>(point)]);
-      dep.prepare(train);
-      dep.program_cycle(static_cast<std::uint64_t>(trial));
-      dep.tune(train);
-      results[static_cast<std::size_t>(point)]
-          .per_cycle[static_cast<std::size_t>(trial)] = dep.evaluate(test);
+      try {
+        auto net = make_blank();
+        rdo::nn::copy_state(*net, master);
+        rdo::core::Deployment dep(*net,
+                                  points[static_cast<std::size_t>(point)]);
+        dep.prepare(train);
+        dep.program_cycle(static_cast<std::uint64_t>(trial));
+        dep.tune(train);
+        results[static_cast<std::size_t>(point)]
+            .per_cycle[static_cast<std::size_t>(trial)] = dep.evaluate(test);
+        trial_stats[static_cast<std::size_t>(t)] = dep.stats();
+      } catch (const std::exception& e) {
+        results[static_cast<std::size_t>(point)]
+            .errors[static_cast<std::size_t>(trial)] = e.what();
+      } catch (...) {
+        results[static_cast<std::size_t>(point)]
+            .errors[static_cast<std::size_t>(trial)] = "unknown exception";
+      }
     }
   });
-  for (auto& r : results) {
+  // Merge trial stats in trial order (outside the parallel region) so
+  // aggregated counters and traces are thread-count independent.
+  for (std::int64_t p = 0; p < npoints; ++p) {
+    auto& r = results[static_cast<std::size_t>(p)];
+    for (std::int64_t trial = 0; trial < repeats; ++trial) {
+      r.stats.merge(trial_stats[static_cast<std::size_t>(p * repeats + trial)]);
+    }
     double total = 0.0;
     for (float a : r.per_cycle) total += a;
     r.mean_accuracy = static_cast<float>(total / std::max(1, repeats));
   }
   return results;
+}
+
+void record_scheme_result(rdo::obs::BenchReport& rep,
+                          const std::string& label,
+                          const rdo::core::DeployOptions& opt,
+                          const rdo::core::SchemeResult& res) {
+  rdo::obs::Json point = rdo::obs::Json::object();
+  point["label"] = label;
+  point["scheme"] = rdo::core::to_string(opt.scheme);
+  point["m"] = opt.offsets.m;
+  point["cell"] = rdo::rram::to_string(opt.cell.kind);
+  point["sigma"] = opt.variation.sigma;
+  point["mean_accuracy"] = static_cast<double>(res.mean_accuracy);
+  rdo::obs::Json per_cycle = rdo::obs::Json::array();
+  for (float a : res.per_cycle) per_cycle.push_back(static_cast<double>(a));
+  point["per_cycle"] = std::move(per_cycle);
+  point["stats"] = rdo::core::deploy_stats_json(res.stats);
+  rdo::obs::Json errors = rdo::obs::Json::array();
+  for (const std::string& e : res.errors) errors.push_back(e);
+  point["errors"] = std::move(errors);
+  rep.results()["grid"].push_back(std::move(point));
+
+  rdo::core::add_deploy_phase_times(rep.recorder(), res.stats);
+  rdo::obs::Recorder& rec = rep.recorder();
+  rec.incr("grid_points");
+  rec.incr("trials", static_cast<std::int64_t>(res.errors.size()));
+  rec.incr("cycles", res.stats.cycles);
+  rec.incr("weights_programmed", res.stats.weights_programmed);
+  rec.incr("device_pulses", res.stats.device_pulses);
+  rec.incr("pwt_epochs", res.stats.pwt_epochs);
+  rec.incr("pwt_batches", res.stats.pwt_batches);
+  rec.incr("pwt_offset_updates", res.stats.pwt_offset_updates);
+
+  for (std::size_t trial = 0; trial < res.errors.size(); ++trial) {
+    if (!res.errors[trial].empty()) {
+      rep.add_failure(label + " trial " + std::to_string(trial),
+                      res.errors[trial]);
+    }
+  }
+}
+
+void record_measurement(rdo::obs::BenchReport& rep, const std::string& label,
+                        double value) {
+  rdo::obs::Json m = rdo::obs::Json::object();
+  m["label"] = label;
+  m["value"] = value;
+  rep.results()["measurements"].push_back(std::move(m));
+}
+
+int finish_report(rdo::obs::BenchReport& rep) {
+  try {
+    const std::string path = rep.write();
+    std::fprintf(stderr, "[bench] wrote %s\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[bench] cannot write structured results: %s\n",
+                 e.what());
+    return 1;
+  }
+  return rep.exit_code();
 }
 
 }  // namespace rdo::bench

@@ -21,6 +21,7 @@
 #include "core/deploy.h"
 #include "data/synthetic.h"
 #include "nn/sequential.h"
+#include "obs/report.h"
 
 namespace rdo::bench {
 
@@ -61,12 +62,35 @@ std::unique_ptr<rdo::nn::Sequential> blank_vgg();
 /// from Rng(opt.seed).split(trial) streams, so results[i].per_cycle is
 /// bit-identical to calling core::run_scheme(master, points[i], ...)
 /// serially — for any thread count.
+///
+/// A trial that throws does not abort the grid: its accuracy stays 0,
+/// the exception message lands in results[i].errors[trial], and the
+/// harness surfaces it via record_scheme_result + a nonzero exit code.
 std::vector<rdo::core::SchemeResult> run_grid(
     rdo::nn::Sequential& master,
     const std::function<std::unique_ptr<rdo::nn::Sequential>()>& make_blank,
     const std::vector<rdo::core::DeployOptions>& points,
     const rdo::nn::DataView& train, const rdo::nn::DataView& test,
     int repeats);
+
+/// Append one grid-point result to rep.results()["grid"] (config,
+/// per-cycle accuracies, deterministic pipeline counters, per-trial
+/// errors), fold its wall times into the recorder's "deploy:*" phases,
+/// aggregate global counters, and register any failed trials so the
+/// harness exits nonzero. Call in grid order — the JSON is positional.
+void record_scheme_result(rdo::obs::BenchReport& rep,
+                          const std::string& label,
+                          const rdo::core::DeployOptions& opt,
+                          const rdo::core::SchemeResult& res);
+
+/// Record a single named accuracy measurement (Table-style harnesses)
+/// under rep.results()["measurements"].
+void record_measurement(rdo::obs::BenchReport& rep, const std::string& label,
+                        double value);
+
+/// Write BENCH_<name>.json next to the stdout report and convert any
+/// recorded failures into the process exit code.
+int finish_report(rdo::obs::BenchReport& rep);
 
 /// Number of programming cycles averaged per data point (paper used 5).
 inline constexpr int kRepeats = 3;

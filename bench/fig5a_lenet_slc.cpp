@@ -18,9 +18,16 @@ using namespace rdo::bench;
 using core::Scheme;
 
 int main() {
+  obs::BenchReport rep("fig5a_lenet_slc", 2021);
+
   const data::SyntheticDataset ds = bench_mnist();
   float ideal = 0.0f;
-  auto net = cached_lenet(ds, &ideal);
+  std::unique_ptr<nn::Sequential> net;
+  {
+    obs::PhaseTimer t(rep.recorder(), "train_models");
+    net = cached_lenet(ds, &ideal);
+  }
+  rep.results()["ideal_accuracy"] = static_cast<double>(ideal);
 
   std::printf("=== Fig 5(a): LeNet + MNIST-like, SLC cells ===\n");
   std::printf("ideal (float) accuracy: %.2f%%   [paper: 99.17%%]\n", 100 * ideal);
@@ -42,8 +49,11 @@ int main() {
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const auto grid =
-      run_grid(*net, blank_lenet, jobs, ds.train(), ds.test(), kRepeats);
+  std::vector<core::SchemeResult> grid;
+  {
+    obs::PhaseTimer t(rep.recorder(), "deployment_sweep");
+    grid = run_grid(*net, blank_lenet, jobs, ds.train(), ds.test(), kRepeats);
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -58,7 +68,12 @@ int main() {
     for (Scheme s : schemes) {
       std::printf("%-12s", core::to_string(s));
       for ([[maybe_unused]] int m : ms) {
-        std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
+        std::printf("  %5.1f%%", 100 * grid[j].mean_accuracy);
+        char label[64];
+        std::snprintf(label, sizeof(label), "sigma%.2f/%s/m%d", sigma,
+                      core::to_string(s), jobs[j].offsets.m);
+        record_scheme_result(rep, label, jobs[j], grid[j]);
+        ++j;
       }
       std::printf("\n");
     }
@@ -68,5 +83,5 @@ int main() {
   std::printf(
       "\nexpected shape: plain ~ chance; VAWO recovers, degrades with m;\n"
       "VAWO* >= VAWO and flat in m; PWT ~ ideal (LeNet); VAWO*+PWT ~ ideal.\n");
-  return 0;
+  return finish_report(rep);
 }

@@ -16,9 +16,16 @@ using namespace rdo::bench;
 using core::Scheme;
 
 int main() {
+  obs::BenchReport rep("fig5b_resnet_slc", 2021);
+
   const data::SyntheticDataset ds = bench_cifar();
   float ideal = 0.0f;
-  auto net = cached_resnet(ds, &ideal);
+  std::unique_ptr<nn::Sequential> net;
+  {
+    obs::PhaseTimer t(rep.recorder(), "train_models");
+    net = cached_resnet(ds, &ideal);
+  }
+  rep.results()["ideal_accuracy"] = static_cast<double>(ideal);
 
   std::printf("=== Fig 5(b): ResNet (scaled) + CIFAR-like, SLC cells ===\n");
   std::printf("ideal (float) accuracy: %.2f%%   [paper: 94.14%%]\n", 100 * ideal);
@@ -37,8 +44,11 @@ int main() {
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const auto grid =
-      run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), kRepeats);
+  std::vector<core::SchemeResult> grid;
+  {
+    obs::PhaseTimer t(rep.recorder(), "deployment_sweep");
+    grid = run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), kRepeats);
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -53,7 +63,12 @@ int main() {
     for (Scheme s : schemes) {
       std::printf("%-12s", core::to_string(s));
       for ([[maybe_unused]] int m : ms) {
-        std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
+        std::printf("  %5.1f%%", 100 * grid[j].mean_accuracy);
+        char label[64];
+        std::snprintf(label, sizeof(label), "sigma%.2f/%s/m%d", sigma,
+                      core::to_string(s), jobs[j].offsets.m);
+        record_scheme_result(rep, label, jobs[j], grid[j]);
+        ++j;
       }
       std::printf("\n");
     }
@@ -63,5 +78,5 @@ int main() {
   std::printf(
       "\nexpected shape: deeper net => VAWO*/PWT alone leave a larger gap\n"
       "than on LeNet; the combination VAWO*+PWT recovers most of it.\n");
-  return 0;
+  return finish_report(rep);
 }

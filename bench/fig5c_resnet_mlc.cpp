@@ -15,9 +15,16 @@ using namespace rdo;
 using namespace rdo::bench;
 
 int main() {
+  obs::BenchReport rep("fig5c_resnet_mlc", 2021);
+
   const data::SyntheticDataset ds = bench_cifar();
   float ideal = 0.0f;
-  auto net = cached_resnet(ds, &ideal);
+  std::unique_ptr<nn::Sequential> net;
+  {
+    obs::PhaseTimer t(rep.recorder(), "train_models");
+    net = cached_resnet(ds, &ideal);
+  }
+  rep.results()["ideal_accuracy"] = static_cast<double>(ideal);
 
   std::printf(
       "=== Fig 5(c): ResNet (scaled) + CIFAR-like, 2-bit MLC, VAWO*+PWT "
@@ -35,8 +42,11 @@ int main() {
     }
   }
   const auto t0 = std::chrono::steady_clock::now();
-  const auto grid =
-      run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), 2);
+  std::vector<core::SchemeResult> grid;
+  {
+    obs::PhaseTimer t(rep.recorder(), "deployment_sweep");
+    grid = run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), 2);
+  }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -45,8 +55,14 @@ int main() {
   std::size_t j = 0;
   for (double sigma : sigmas) {
     std::printf("%-8.1f", sigma);
-    std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
-    std::printf("  %5.1f%%", 100 * grid[j++].mean_accuracy);
+    for (int rep_m = 0; rep_m < 2; ++rep_m) {
+      std::printf("  %5.1f%%", 100 * grid[j].mean_accuracy);
+      char label[64];
+      std::snprintf(label, sizeof(label), "sigma%.2f/m%d", sigma,
+                    jobs[j].offsets.m);
+      record_scheme_result(rep, label, jobs[j], grid[j]);
+      ++j;
+    }
     std::printf("\n");
   }
   std::fprintf(stderr, "[bench] deployment sweep: %.1f s (RDO_THREADS=%d)\n",
@@ -54,5 +70,5 @@ int main() {
   std::printf(
       "\nexpected shape: monotone decrease in sigma; m = 16 degrades\n"
       "slower than m = 128 (finer offset sharing).\n");
-  return 0;
+  return finish_report(rep);
 }

@@ -2,12 +2,105 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "nn/parallel.h"
+#include "obs/stopwatch.h"
 #include "rram/tiler.h"
 
 namespace rdo::core {
+
+void DeployStats::merge(const DeployStats& other) {
+  lut_build_s += other.lut_build_s;
+  prepare_s += other.prepare_s;
+  vawo_solve_s += other.vawo_solve_s;
+  program_s += other.program_s;
+  tune_s += other.tune_s;
+  eval_s += other.eval_s;
+  cycles += other.cycles;
+  weights_programmed += other.weights_programmed;
+  device_pulses += other.device_pulses;
+  pwt_epochs += other.pwt_epochs;
+  pwt_batches += other.pwt_batches;
+  pwt_offset_updates += other.pwt_offset_updates;
+  pwt_epoch_loss.insert(pwt_epoch_loss.end(), other.pwt_epoch_loss.begin(),
+                        other.pwt_epoch_loss.end());
+  eval_accuracy.insert(eval_accuracy.end(), other.eval_accuracy.begin(),
+                       other.eval_accuracy.end());
+}
+
+rdo::obs::Json deploy_stats_json(const DeployStats& s) {
+  rdo::obs::Json j = rdo::obs::Json::object();
+  j["cycles"] = s.cycles;
+  j["weights_programmed"] = s.weights_programmed;
+  j["device_pulses"] = s.device_pulses;
+  j["pwt_epochs"] = s.pwt_epochs;
+  j["pwt_batches"] = s.pwt_batches;
+  j["pwt_offset_updates"] = s.pwt_offset_updates;
+  rdo::obs::Json losses = rdo::obs::Json::array();
+  for (float l : s.pwt_epoch_loss) losses.push_back(static_cast<double>(l));
+  j["pwt_epoch_loss"] = std::move(losses);
+  rdo::obs::Json accs = rdo::obs::Json::array();
+  for (float a : s.eval_accuracy) accs.push_back(static_cast<double>(a));
+  j["eval_accuracy"] = std::move(accs);
+  return j;
+}
+
+void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s) {
+  rec.add_phase("deploy:lut_build", s.lut_build_s);
+  rec.add_phase("deploy:prepare", s.prepare_s);
+  rec.add_phase("deploy:vawo_solve", s.vawo_solve_s);
+  rec.add_phase("deploy:program", s.program_s);
+  rec.add_phase("deploy:tune", s.tune_s);
+  rec.add_phase("deploy:evaluate", s.eval_s);
+}
+
+namespace {
+
+/// Build the deployment LUT, timing the construction. When the
+/// RDO_LUT_CACHE_DIR environment variable names a directory, tables are
+/// cached there under their config fingerprint: a stale or corrupt
+/// entry is rebuilt (never silently reused — see RLut::load), and the
+/// file is written atomically (temp + rename) so concurrent deployments
+/// sharing a cache directory only ever observe complete tables.
+rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
+                         const DeployOptions& opt, DeployStats& stats) {
+  rdo::obs::ScopedTimer timer(&stats.lut_build_s);
+  const rdo::nn::Rng lut_rng = rdo::nn::Rng(opt.seed).split(0x11A7);
+  const char* dir = std::getenv("RDO_LUT_CACHE_DIR");
+  std::string path;
+  std::uint64_t fp = 0;
+  if (dir != nullptr && dir[0] != '\0') {
+    fp = rdo::rram::RLut::fingerprint(prog, opt.lut_k_sets,
+                                      opt.lut_j_cycles, opt.seed);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    path = std::string(dir) + "/rlut_" + hex + ".bin";
+    rdo::rram::RLut cached;
+    try {
+      if (rdo::rram::RLut::load(path, fp, cached)) return cached;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[deploy] corrupt LUT cache entry %s (%s); "
+                   "rebuilding\n", path.c_str(), e.what());
+    }
+  }
+  rdo::rram::RLut lut = rdo::rram::RLut::build(prog, opt.lut_k_sets,
+                                               opt.lut_j_cycles, lut_rng);
+  if (!path.empty()) {
+    try {
+      lut.save(path, fp);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[deploy] cannot cache LUT to %s: %s\n",
+                   path.c_str(), e.what());
+    }
+  }
+  return lut;
+}
+
+}  // namespace
 
 const char* to_string(Scheme s) {
   switch (s) {
@@ -24,8 +117,7 @@ Deployment::Deployment(rdo::nn::Layer& net, DeployOptions opt)
     : net_(net),
       opt_(opt),
       prog_(opt.cell, opt.weight_bits, opt.variation, opt.faults),
-      lut_(rdo::rram::RLut::build(prog_, opt.lut_k_sets, opt.lut_j_cycles,
-                                  rdo::nn::Rng(opt.seed).split(0x11A7))) {
+      lut_(make_lut(prog_, opt_, stats_)) {
   std::vector<rdo::nn::Layer*> all;
   collect_layers(&net_, all);
   for (rdo::nn::Layer* l : all) {
@@ -78,6 +170,7 @@ void Deployment::calibrate_act_quant(const rdo::nn::DataView& data) {
 }
 
 void Deployment::prepare(const rdo::nn::DataView& train) {
+  rdo::obs::ScopedTimer timer(&stats_.prepare_s);
   // 1. Quantize every crossbar layer and move the network to the
   //    quantized operating point (NTW round-trip).
   for (DeployedLayer& dl : layers_) {
@@ -94,6 +187,7 @@ void Deployment::prepare(const rdo::nn::DataView& train) {
     vopt.offsets = opt_.offsets;
     vopt.use_complement = scheme_uses_complement(opt_.scheme);
     vopt.penalize_bias = opt_.penalize_bias;
+    rdo::obs::ScopedTimer solve_timer(&stats_.vawo_solve_s);
     for (DeployedLayer& dl : layers_) {
       std::vector<double> grads(static_cast<std::size_t>(dl.lq.rows *
                                                          dl.lq.cols));
@@ -116,6 +210,7 @@ void Deployment::prepare(const rdo::nn::DataView& train) {
 
 void Deployment::program_cycle(std::uint64_t cycle_salt) {
   if (!prepared_) throw std::logic_error("Deployment: prepare() first");
+  rdo::obs::ScopedTimer timer(&stats_.program_s);
   rdo::nn::Rng rng =
       rdo::nn::Rng(opt_.seed).split(0xC0DEull + cycle_salt * 7919ull);
   for (std::size_t li = 0; li < layers_.size(); ++li) {
@@ -125,10 +220,15 @@ void Deployment::program_cycle(std::uint64_t cycle_salt) {
     for (std::size_t i = 0; i < dl.assign.ctw.size(); ++i) {
       dl.crw[i] = prog_.program(dl.assign.ctw[i], lrng);
     }
+    stats_.weights_programmed +=
+        static_cast<std::int64_t>(dl.assign.ctw.size());
+    stats_.device_pulses += static_cast<std::int64_t>(dl.assign.ctw.size()) *
+                            prog_.cells_per_weight();
     // Each cycle starts from the a-priori (VAWO or zero) offsets; PWT then
     // adapts them to this cycle's CRWs.
     dl.offsets = dl.assign.offsets;
   }
+  ++stats_.cycles;
   apply_effective_weights();
 }
 
@@ -168,6 +268,7 @@ void Deployment::apply_group_delta(DeployedLayer& dl, std::int64_t c,
 
 void Deployment::tune(const rdo::nn::DataView& train) {
   if (!scheme_uses_pwt(opt_.scheme)) return;
+  rdo::obs::ScopedTimer timer(&stats_.tune_s);
   const float lo = static_cast<float>(opt_.offsets.offset_min());
   const float hi = static_cast<float>(opt_.offsets.offset_max());
   if (opt_.pwt.mean_init) {
@@ -211,7 +312,10 @@ float Deployment::evaluate(const rdo::nn::DataView& test,
   if (!weights_deployed_) {
     throw std::logic_error("Deployment: program_cycle() first");
   }
-  return rdo::nn::evaluate(net_, test, batch).accuracy;
+  rdo::obs::ScopedTimer timer(&stats_.eval_s);
+  const float acc = rdo::nn::evaluate(net_, test, batch).accuracy;
+  stats_.eval_accuracy.push_back(acc);
+  return acc;
 }
 
 void Deployment::restore() {
@@ -289,6 +393,8 @@ SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
   dep.restore();
   res.mean_accuracy =
       static_cast<float>(total / std::max(1, repeats));
+  res.stats = dep.stats();
+  res.errors.assign(static_cast<std::size_t>(std::max(0, repeats)), "");
   return res;
 }
 
@@ -299,6 +405,8 @@ SchemeResult run_scheme_parallel(
   SchemeResult res;
   if (repeats <= 0) return res;
   res.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+  res.errors.assign(static_cast<std::size_t>(repeats), "");
+  std::vector<DeployStats> trial_stats(static_cast<std::size_t>(repeats));
   rdo::nn::parallel_for(repeats, [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t trial = t0; trial < t1; ++trial) {
       std::unique_ptr<rdo::nn::Layer> net = make_net();
@@ -308,8 +416,12 @@ SchemeResult run_scheme_parallel(
       dep.tune(train);
       res.per_cycle[static_cast<std::size_t>(trial)] =
           dep.evaluate(test, eval_batch);
+      trial_stats[static_cast<std::size_t>(trial)] = dep.stats();
     }
   });
+  // Merge in trial order so the aggregated traces are identical to the
+  // serial run for any thread count.
+  for (const DeployStats& s : trial_stats) res.stats.merge(s);
   double total = 0.0;
   for (float a : res.per_cycle) total += a;
   res.mean_accuracy = static_cast<float>(total / repeats);

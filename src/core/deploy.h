@@ -20,6 +20,8 @@
 #include "core/vawo.h"
 #include "nn/layer.h"
 #include "nn/trainer.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
 #include "quant/act_quant.h"
 #include "rram/crossbar.h"
 #include "rram/rlut.h"
@@ -75,6 +77,47 @@ struct DeployOptions {
   std::uint64_t seed = 1;     ///< master seed (LUT build, programming base)
 };
 
+/// Per-deployment observability record, accumulated across the
+/// prepare -> program_cycle -> tune -> evaluate pipeline.
+///
+/// The struct is split along the determinism boundary of the BENCH_*.json
+/// schema (see obs/report.h): wall times are volatile; every counter and
+/// trace below them is derived from the seeded computation and is
+/// bit-identical for any RDO_THREADS setting.
+struct DeployStats {
+  // --- volatile wall times (seconds) ---
+  double lut_build_s = 0.0;   ///< statistical LUT construction (K x J)
+  double prepare_s = 0.0;     ///< quantize + calibrate + gradients + VAWO
+  double vawo_solve_s = 0.0;  ///< CTW/offset assignment inside prepare
+  double program_s = 0.0;     ///< device programming per cycle
+  double tune_s = 0.0;        ///< PWT (warm start + gradient epochs + snap)
+  double eval_s = 0.0;        ///< test-set evaluation
+
+  // --- deterministic counters and traces ---
+  std::int64_t cycles = 0;              ///< program_cycle() calls
+  std::int64_t weights_programmed = 0;  ///< CTWs written across all cycles
+  std::int64_t device_pulses = 0;       ///< per-cell programming pulses
+  std::int64_t pwt_epochs = 0;
+  std::int64_t pwt_batches = 0;
+  std::int64_t pwt_offset_updates = 0;  ///< nonzero offset moves applied
+  std::vector<float> pwt_epoch_loss;    ///< mean train loss per PWT epoch
+  std::vector<float> eval_accuracy;     ///< one entry per evaluate() call
+
+  /// Accumulate `other` into this record: times and counters add,
+  /// traces append in call order. Used to fold per-trial stats into a
+  /// per-point record deterministically (trials merge in trial order).
+  void merge(const DeployStats& other);
+};
+
+/// Deterministic portion of a DeployStats as a JSON object (counters
+/// and traces only — wall times are intentionally excluded so the
+/// result can live in the deterministic `results` section).
+[[nodiscard]] rdo::obs::Json deploy_stats_json(const DeployStats& s);
+
+/// Fold the volatile wall times into a Recorder's phase table under
+/// "deploy:*" names (aggregates across calls).
+void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s);
+
 /// One crossbar-mapped layer of the deployed network.
 struct DeployedLayer {
   rdo::nn::MatrixOp* op = nullptr;
@@ -121,6 +164,9 @@ class Deployment {
     return prog_;
   }
   [[nodiscard]] const DeployOptions& options() const { return opt_; }
+  /// Per-phase wall times and deterministic pipeline counters,
+  /// accumulated since construction.
+  [[nodiscard]] const DeployStats& stats() const { return stats_; }
 
   /// Nominal device read power of the assigned CTWs (Table I numerator).
   [[nodiscard]] double assigned_read_power() const;
@@ -136,6 +182,7 @@ class Deployment {
   rdo::nn::Layer& net_;
   DeployOptions opt_;
   rdo::rram::WeightProgrammer prog_;
+  DeployStats stats_;  ///< declared before lut_: timed during its init
   rdo::rram::RLut lut_;
   std::vector<DeployedLayer> layers_;
   std::vector<std::vector<float>> float_backup_;
@@ -155,6 +202,20 @@ class Deployment {
 struct SchemeResult {
   float mean_accuracy = 0.0f;
   std::vector<float> per_cycle;
+  /// Pipeline stats aggregated over the cycles (run_scheme) or merged
+  /// over the independent trials in trial order (parallel harnesses).
+  DeployStats stats;
+  /// One entry per cycle/trial: empty string when the trial succeeded,
+  /// the exception message otherwise (bench::run_grid records failures
+  /// instead of aborting the whole grid).
+  std::vector<std::string> errors;
+
+  [[nodiscard]] bool failed() const {
+    for (const std::string& e : errors) {
+      if (!e.empty()) return true;
+    }
+    return false;
+  }
 };
 
 /// Convenience harness: prepare once, then `repeats` program/tune/evaluate

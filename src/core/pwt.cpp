@@ -38,6 +38,8 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
 
   float lr = popt.lr;
   for (int epoch = 0; epoch < popt.epochs; ++epoch) {
+    double epoch_loss = 0.0;
+    std::int64_t epoch_batches = 0;
     std::shuffle(order.begin(), order.end(), rng.engine());
     for (std::int64_t start = 0; start < n; start += popt.batch_size) {
       const std::int64_t end = std::min(n, start + popt.batch_size);
@@ -54,7 +56,8 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
       // Eval-mode forward: the deployed accelerator runs with frozen
       // batch-norm statistics; PWT tunes offsets at that operating point.
       rdo::nn::Tensor logits = net_.forward(batch, /*train=*/false);
-      loss.forward(logits, labels);
+      epoch_loss += loss.forward(logits, labels);
+      ++epoch_batches;
       net_.backward(loss.backward());
 
       for (DeployedLayer& dl : layers_) {
@@ -91,12 +94,20 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
             if (delta != 0.0f) {
               dl.offsets[gi] = b_new;
               apply_group_delta(dl, c, g, delta);
+              ++stats_.pwt_offset_updates;
             }
           }
         }
       }
     }
     lr *= 0.5f;  // simple decay; two epochs suffice in practice
+    ++stats_.pwt_epochs;
+    stats_.pwt_batches += epoch_batches;
+    // Mean training loss per epoch: the convergence trace recorded in
+    // structured results (deterministic — the forward pass is seeded).
+    stats_.pwt_epoch_loss.push_back(static_cast<float>(
+        epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches)
+                          : 0.0));
   }
   for (rdo::nn::Param* p : net_.params()) p->zero_grad();
 }

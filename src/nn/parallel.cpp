@@ -32,6 +32,13 @@ int default_thread_count() {
 
 std::atomic<int> g_thread_override{0};  // <= 0: use the env/hw default
 
+// Execution-layer statistics (see PoolStats). Relaxed atomics: the
+// counts are observability data, not synchronization.
+std::atomic<std::int64_t> g_parallel_loops{0};
+std::atomic<std::int64_t> g_inline_loops{0};
+std::atomic<std::int64_t> g_chunks_executed{0};
+std::atomic<std::int64_t> g_chunks_stolen{0};
+
 /// One parallel_for invocation. Chunks are claimed with an atomic
 /// counter; completion is signalled when the last chunk retires, so the
 /// caller never waits on helper threads that found nothing to steal.
@@ -46,12 +53,14 @@ struct ForLoop {
   std::condition_variable cv;
   std::exception_ptr error;  // first failure wins; guarded by mu
 
-  void work() {
+  void work(bool helper) {
     const bool was_in_parallel = tls_in_parallel;
     tls_in_parallel = true;
+    std::int64_t executed = 0;
     for (;;) {
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_chunks) break;
+      ++executed;
       const std::int64_t begin = i * chunk;
       const std::int64_t end = std::min(n, begin + chunk);
       try {
@@ -66,6 +75,12 @@ struct ForLoop {
       }
     }
     tls_in_parallel = was_in_parallel;
+    if (executed > 0) {
+      g_chunks_executed.fetch_add(executed, std::memory_order_relaxed);
+      if (helper) {
+        g_chunks_stolen.fetch_add(executed, std::memory_order_relaxed);
+      }
+    }
   }
 };
 
@@ -116,7 +131,7 @@ class Pool {
         task = std::move(queue_.front());
         queue_.pop_front();
       }
-      task->work();
+      task->work(/*helper=*/true);
     }
   }
 
@@ -142,6 +157,22 @@ void set_thread_count(int n) {
 
 bool in_parallel_region() { return tls_in_parallel; }
 
+PoolStats pool_stats() {
+  PoolStats s;
+  s.parallel_loops = g_parallel_loops.load(std::memory_order_relaxed);
+  s.inline_loops = g_inline_loops.load(std::memory_order_relaxed);
+  s.chunks_executed = g_chunks_executed.load(std::memory_order_relaxed);
+  s.chunks_stolen = g_chunks_stolen.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_pool_stats() {
+  g_parallel_loops.store(0, std::memory_order_relaxed);
+  g_inline_loops.store(0, std::memory_order_relaxed);
+  g_chunks_executed.store(0, std::memory_order_relaxed);
+  g_chunks_stolen.store(0, std::memory_order_relaxed);
+}
+
 void parallel_for(std::int64_t n,
                   const std::function<void(std::int64_t, std::int64_t)>& body,
                   std::int64_t grain) {
@@ -149,9 +180,11 @@ void parallel_for(std::int64_t n,
   if (grain < 1) grain = 1;
   const int threads = thread_count();
   if (threads <= 1 || tls_in_parallel || n <= grain) {
+    g_inline_loops.fetch_add(1, std::memory_order_relaxed);
     body(0, n);
     return;
   }
+  g_parallel_loops.fetch_add(1, std::memory_order_relaxed);
   auto loop = std::make_shared<ForLoop>();
   loop->n = n;
   // ~4 chunks per thread absorbs per-chunk load imbalance without
@@ -164,7 +197,7 @@ void parallel_for(std::int64_t n,
   const int helpers = static_cast<int>(std::min<std::int64_t>(
       threads - 1, loop->num_chunks - 1));
   if (helpers > 0) Pool::instance().post(loop, helpers);
-  loop->work();  // the caller is a worker too
+  loop->work(/*helper=*/false);  // the caller is a worker too
   {
     std::unique_lock<std::mutex> lock(loop->mu);
     loop->cv.wait(lock, [&] {

@@ -36,6 +36,20 @@ void set_thread_count(int n);
 /// nested parallel_for calls detect this and run inline.
 [[nodiscard]] bool in_parallel_region();
 
+/// Cumulative execution-layer statistics since process start (or the
+/// last reset_pool_stats()). Counters are advisory observability data:
+/// they vary with thread count and load and belong in the *volatile*
+/// `pool` section of structured reports, never in deterministic results.
+struct PoolStats {
+  std::int64_t parallel_loops = 0;   ///< loops dispatched to the pool
+  std::int64_t inline_loops = 0;     ///< loops run inline (serial/nested/small)
+  std::int64_t chunks_executed = 0;  ///< chunks retired across all loops
+  std::int64_t chunks_stolen = 0;    ///< chunks claimed by helper workers
+};
+
+[[nodiscard]] PoolStats pool_stats();
+void reset_pool_stats();
+
 /// Chunked parallel loop over [0, n). `body(begin, end)` receives
 /// half-open disjoint ranges covering [0, n); chunks are claimed by an
 /// atomic counter (cheap work stealing) so load imbalance between chunks

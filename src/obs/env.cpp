@@ -1,0 +1,43 @@
+#include "obs/env.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "nn/parallel.h"
+
+#ifndef RDO_GIT_SHA
+#define RDO_GIT_SHA "unknown"
+#endif
+#ifndef RDO_BUILD_TYPE
+#define RDO_BUILD_TYPE "unknown"
+#endif
+
+namespace rdo::obs {
+
+const char* build_git_sha() { return RDO_GIT_SHA; }
+
+const char* build_type() { return RDO_BUILD_TYPE; }
+
+Json capture_env(std::uint64_t seed) {
+  Json env = Json::object();
+  env["threads"] = rdo::nn::thread_count();
+  const char* raw = std::getenv("RDO_THREADS");
+  env["rdo_threads_env"] = raw != nullptr ? raw : "";
+  env["hardware_concurrency"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  env["build_type"] = build_type();
+  env["git_sha"] = build_git_sha();
+  env["seed"] = seed;
+#if defined(__clang__)
+  env["compiler"] = std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  env["compiler"] = std::string("gcc ") + std::to_string(__GNUC__) + "." +
+                    std::to_string(__GNUC_MINOR__) + "." +
+                    std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  env["compiler"] = "unknown";
+#endif
+  return env;
+}
+
+}  // namespace rdo::obs

@@ -1,0 +1,67 @@
+// Named phase timers, counters and gauges for one harness run.
+//
+// Split along the determinism boundary the BENCH_*.json schema encodes:
+// phases are wall-clock measurements (volatile across machines and
+// RDO_THREADS settings), counters and gauges are derived from the
+// seeded computation and must be identical for any thread count.
+// A Recorder is thread-safe so parallel Monte-Carlo tasks can report
+// into one instance; merge order never affects the serialized output
+// because entries accumulate under stable insertion-ordered names.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/stopwatch.h"
+
+namespace rdo::obs {
+
+class Recorder {
+ public:
+  /// Add wall-clock seconds to phase `name` (created on first use;
+  /// phases keep first-use order in the serialized report).
+  void add_phase(const std::string& name, double seconds);
+
+  /// Increment counter `name` by `delta`.
+  void incr(const std::string& name, std::int64_t delta = 1);
+
+  /// Set gauge `name` (last write wins).
+  void set_gauge(const std::string& name, double value);
+
+  [[nodiscard]] double phase_seconds(const std::string& name) const;
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+
+  /// `[{"name": ..., "seconds": ...}, ...]` — volatile timing section.
+  [[nodiscard]] Json phases_json() const;
+  /// `{name: count, ...}` — deterministic.
+  [[nodiscard]] Json counters_json() const;
+  /// `{name: value, ...}` — deterministic.
+  [[nodiscard]] Json gauges_json() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, std::int64_t>> counters_;
+  std::vector<std::pair<std::string, double>> gauges_;
+};
+
+/// RAII helper timing one phase of a Recorder.
+class PhaseTimer {
+ public:
+  PhaseTimer(Recorder& rec, std::string name)
+      : rec_(rec), name_(std::move(name)) {}
+  ~PhaseTimer() { rec_.add_phase(name_, watch_.seconds()); }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  Recorder& rec_;
+  std::string name_;
+  Stopwatch watch_;
+};
+
+}  // namespace rdo::obs

@@ -1,0 +1,211 @@
+#include "obs/report.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#include "nn/parallel.h"
+#include "obs/env.h"
+
+namespace rdo::obs {
+
+BenchReport::BenchReport(std::string name, std::uint64_t seed)
+    : name_(std::move(name)), seed_(seed) {}
+
+void BenchReport::add_failure(const std::string& where,
+                              const std::string& what) {
+  Json f = Json::object();
+  f["where"] = where;
+  f["what"] = what;
+  failures_.push_back(std::move(f));
+}
+
+Json BenchReport::document() const {
+  Json doc = Json::object();
+  doc["schema_version"] = kBenchSchemaVersion;
+  doc["name"] = name_;
+  doc["env"] = capture_env(seed_);
+
+  Json timing = Json::object();
+  timing["total_seconds"] = total_.seconds();
+  timing["phases"] = rec_.phases_json();
+  doc["timing"] = std::move(timing);
+
+  const rdo::nn::PoolStats ps = rdo::nn::pool_stats();
+  Json pool = Json::object();
+  pool["threads"] = rdo::nn::thread_count();
+  pool["parallel_loops"] = ps.parallel_loops;
+  pool["inline_loops"] = ps.inline_loops;
+  pool["chunks_executed"] = ps.chunks_executed;
+  pool["chunks_stolen"] = ps.chunks_stolen;
+  pool["steal_ratio"] = ps.chunks_executed > 0
+                            ? static_cast<double>(ps.chunks_stolen) /
+                                  static_cast<double>(ps.chunks_executed)
+                            : 0.0;
+  doc["pool"] = std::move(pool);
+
+  doc["counters"] = rec_.counters_json();
+  doc["gauges"] = rec_.gauges_json();
+  doc["results"] = results_;
+  doc["failures"] = failures_;
+  return doc;
+}
+
+std::string BenchReport::deterministic_dump() const {
+  Json det = Json::object();
+  det["counters"] = rec_.counters_json();
+  det["gauges"] = rec_.gauges_json();
+  det["results"] = results_;
+  det["failures"] = failures_;
+  return det.dump();
+}
+
+std::string BenchReport::write() const {
+  std::string dir = ".";
+  if (const char* d = std::getenv("RDO_BENCH_DIR")) {
+    if (d[0] != '\0') {
+      dir = d;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);  // write_to reports errors
+    }
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  write_to(path);
+  return path;
+}
+
+void BenchReport::write_to(const std::string& path) const {
+  write_json_file(document(), path);
+}
+
+int BenchReport::exit_code() const {
+  if (!any_failure()) return 0;
+  std::fprintf(stderr, "[bench] %zu unit(s) of work failed; see the "
+               "\"failures\" section of BENCH_%s.json\n",
+               failure_count(), name_.c_str());
+  return 1;
+}
+
+namespace {
+
+bool check(bool cond, const std::string& what, std::string* err) {
+  if (cond) return true;
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+const Json* require_member(const Json& doc, const char* key,
+                           Json::Type type, std::string* err) {
+  const Json* v = doc.find(key);
+  if (v == nullptr) {
+    if (err != nullptr) *err = std::string("missing member \"") + key + '"';
+    return nullptr;
+  }
+  const bool ok =
+      v->type() == type ||
+      (type == Json::Type::Double && v->type() == Json::Type::Int);
+  if (!ok) {
+    if (err != nullptr) *err = std::string("member \"") + key + "\" has wrong type";
+    return nullptr;
+  }
+  return v;
+}
+
+}  // namespace
+
+bool validate_bench_document(const Json& doc, std::string* err) {
+  if (!check(doc.is_object(), "document is not an object", err)) return false;
+
+  const Json* ver =
+      require_member(doc, "schema_version", Json::Type::Int, err);
+  if (ver == nullptr) return false;
+  if (!check(ver->as_int() == kBenchSchemaVersion,
+             "unsupported schema_version " + std::to_string(ver->as_int()),
+             err)) {
+    return false;
+  }
+  const Json* name = require_member(doc, "name", Json::Type::String, err);
+  if (name == nullptr) return false;
+  if (!check(!name->as_string().empty(), "empty name", err)) return false;
+
+  const Json* env = require_member(doc, "env", Json::Type::Object, err);
+  if (env == nullptr) return false;
+  for (const char* key : {"threads", "seed"}) {
+    if (require_member(*env, key, Json::Type::Int, err) == nullptr) {
+      return false;
+    }
+  }
+  for (const char* key : {"build_type", "git_sha", "compiler"}) {
+    if (require_member(*env, key, Json::Type::String, err) == nullptr) {
+      return false;
+    }
+  }
+
+  const Json* timing = require_member(doc, "timing", Json::Type::Object, err);
+  if (timing == nullptr) return false;
+  if (require_member(*timing, "total_seconds", Json::Type::Double, err) ==
+      nullptr) {
+    return false;
+  }
+  const Json* phases =
+      require_member(*timing, "phases", Json::Type::Array, err);
+  if (phases == nullptr) return false;
+  for (std::size_t i = 0; i < phases->size(); ++i) {
+    const Json& p = phases->at(i);
+    if (!check(p.is_object(), "phase entry is not an object", err)) {
+      return false;
+    }
+    if (require_member(p, "name", Json::Type::String, err) == nullptr ||
+        require_member(p, "seconds", Json::Type::Double, err) == nullptr) {
+      return false;
+    }
+  }
+
+  const Json* pool = require_member(doc, "pool", Json::Type::Object, err);
+  if (pool == nullptr) return false;
+  for (const char* key : {"threads", "parallel_loops", "inline_loops",
+                          "chunks_executed", "chunks_stolen"}) {
+    if (require_member(*pool, key, Json::Type::Int, err) == nullptr) {
+      return false;
+    }
+  }
+
+  const Json* counters =
+      require_member(doc, "counters", Json::Type::Object, err);
+  if (counters == nullptr) return false;
+  for (const auto& [key, value] : counters->members()) {
+    if (!check(value.is_int(), "counter \"" + key + "\" is not an int",
+               err)) {
+      return false;
+    }
+  }
+  const Json* gauges = require_member(doc, "gauges", Json::Type::Object, err);
+  if (gauges == nullptr) return false;
+  for (const auto& [key, value] : gauges->members()) {
+    if (!check(value.is_number(), "gauge \"" + key + "\" is not a number",
+               err)) {
+      return false;
+    }
+  }
+
+  if (require_member(doc, "results", Json::Type::Object, err) == nullptr) {
+    return false;
+  }
+  const Json* failures =
+      require_member(doc, "failures", Json::Type::Array, err);
+  if (failures == nullptr) return false;
+  for (std::size_t i = 0; i < failures->size(); ++i) {
+    const Json& f = failures->at(i);
+    if (!check(f.is_object(), "failure entry is not an object", err)) {
+      return false;
+    }
+    if (require_member(f, "where", Json::Type::String, err) == nullptr ||
+        require_member(f, "what", Json::Type::String, err) == nullptr) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rdo::obs

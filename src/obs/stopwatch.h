@@ -1,0 +1,44 @@
+// Monotonic wall-clock helpers for phase timing. Header-only.
+//
+// Timing never feeds back into any computation — clocks are read only to
+// fill the volatile `timing` section of a report — so instrumented code
+// keeps PR 1's bit-identical determinism guarantee.
+#pragma once
+
+#include <chrono>
+
+namespace rdo::obs {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// RAII phase timer: adds the scope's wall time to `*accumulator` on
+/// destruction. Safe against exceptions unwinding through the scope.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(double* accumulator) : acc_(accumulator) {}
+  ~ScopedTimer() {
+    if (acc_ != nullptr) *acc_ += watch_.seconds();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* acc_;
+  Stopwatch watch_;
+};
+
+}  // namespace rdo::obs

@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace rdo::rram {
 
@@ -67,31 +70,97 @@ void RLut::enforce_monotone_mean() {
 }
 
 namespace {
-constexpr std::uint32_t kLutMagic = 0x524C5531;  // "RLU1"
+
+// Bumped from "RLU1": version 1 headers carried no config fingerprint,
+// so a cached table could silently load for a different device
+// configuration. A v1 file now fails the magic check and reads as
+// corrupt — callers rebuild, which is the correct recovery either way.
+constexpr std::uint32_t kLutMagic = 0x524C5532;  // "RLU2"
+
+/// FNV-1a over a byte span.
+void fnv1a(const void* data, std::size_t n, std::uint64_t& h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
 }
 
-void RLut::save(const std::string& path) const {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("RLut::save: cannot open " + path);
-  const std::uint64_t n = mean_.size();
-  f.write(reinterpret_cast<const char*>(&kLutMagic), sizeof(kLutMagic));
-  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
-  f.write(reinterpret_cast<const char*>(mean_.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  f.write(reinterpret_cast<const char*>(var_.data()),
-          static_cast<std::streamsize>(n * sizeof(double)));
-  if (!f) throw std::runtime_error("RLut::save: write failed for " + path);
+void fnv1a_u64(std::uint64_t v, std::uint64_t& h) { fnv1a(&v, sizeof(v), h); }
+
+void fnv1a_double(double v, std::uint64_t& h) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv1a_u64(bits, h);
 }
 
-bool RLut::load(const std::string& path, RLut& out) {
+}  // namespace
+
+std::uint64_t RLut::fingerprint(const WeightProgrammer& prog, int k_sets,
+                                int j_cycles, std::uint64_t seed) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  fnv1a_u64(static_cast<std::uint64_t>(prog.cell().kind ==
+                                       CellKind::SLC ? 1 : 2), h);
+  fnv1a_double(prog.cell().on_off_ratio, h);
+  fnv1a_u64(static_cast<std::uint64_t>(prog.weight_bits()), h);
+  const VariationModel& var = prog.variation();
+  fnv1a_double(var.sigma, h);
+  fnv1a_double(var.ddv_fraction, h);
+  fnv1a_u64(var.scope == VariationScope::PerWeight ? 1u : 2u, h);
+  const FaultModel& faults = prog.faults();
+  fnv1a_double(faults.stuck_hrs_rate, h);
+  fnv1a_double(faults.stuck_lrs_rate, h);
+  fnv1a_u64(static_cast<std::uint64_t>(k_sets), h);
+  fnv1a_u64(static_cast<std::uint64_t>(j_cycles), h);
+  fnv1a_u64(seed, h);
+  return h;
+}
+
+void RLut::save(const std::string& path, std::uint64_t fingerprint) const {
+  // Write-then-rename: concurrent loaders (parallel Monte-Carlo trials
+  // sharing RDO_LUT_CACHE_DIR) only ever see complete tables.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("RLut::save: cannot open " + tmp);
+    const std::uint64_t n = mean_.size();
+    f.write(reinterpret_cast<const char*>(&kLutMagic), sizeof(kLutMagic));
+    f.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
+    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+    f.write(reinterpret_cast<const char*>(mean_.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+    f.write(reinterpret_cast<const char*>(var_.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+    if (!f) throw std::runtime_error("RLut::save: write failed for " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("RLut::save: cannot rename into " + path);
+  }
+}
+
+bool RLut::load(const std::string& path, std::uint64_t fingerprint,
+                RLut& out) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return false;
   std::uint32_t magic = 0;
+  std::uint64_t stored_fp = 0;
   std::uint64_t n = 0;
   f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  f.read(reinterpret_cast<char*>(&stored_fp), sizeof(stored_fp));
   f.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (magic != kLutMagic || n == 0 || n > (1u << 20)) {
+  if (!f || magic != kLutMagic || n == 0 || n > (1u << 20)) {
     throw std::runtime_error("RLut::load: corrupt file " + path);
+  }
+  if (stored_fp != fingerprint) {
+    // Stale cache: the table was measured for a different device
+    // configuration (or protocol/seed). Not corruption — the caller
+    // rebuilds and overwrites.
+    return false;
   }
   out.mean_.resize(n);
   out.var_.resize(n);

@@ -8,6 +8,7 @@
 // provided as a cross-check oracle.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -44,12 +45,26 @@ class RLut {
   /// clamps outside the representable range).
   [[nodiscard]] int invert_mean(double target) const;
 
-  /// Persist the table (device characterization is expensive on real
-  /// hardware; cache it). Throws on I/O failure.
-  void save(const std::string& path) const;
+  /// 64-bit fingerprint of everything a cached table depends on: cell
+  /// kind and ON/OFF ratio, weight bits, the sigma/DDV variation split
+  /// and scope, stuck-at-fault rates, the K x J testing protocol and
+  /// the build seed. Two configurations that would measure different
+  /// statistics never share a fingerprint (up to hash collisions).
+  [[nodiscard]] static std::uint64_t fingerprint(const WeightProgrammer& prog,
+                                                 int k_sets, int j_cycles,
+                                                 std::uint64_t seed);
+
+  /// Persist the table together with its config fingerprint (device
+  /// characterization is expensive on real hardware; cache it). Writes
+  /// atomically via a temp file + rename so a concurrent load never
+  /// observes a half-written table. Throws on I/O failure.
+  void save(const std::string& path, std::uint64_t fingerprint) const;
   /// Load a table saved by save(). Returns false if the file does not
-  /// exist; throws on a corrupt file.
-  static bool load(const std::string& path, RLut& out);
+  /// exist, or if its stored fingerprint differs from `fingerprint`
+  /// (stale cache for another device configuration — the caller
+  /// rebuilds); throws on a corrupt or truncated file.
+  static bool load(const std::string& path, std::uint64_t fingerprint,
+                   RLut& out);
 
  private:
   std::vector<double> mean_;

@@ -161,10 +161,11 @@ TEST(AlexNet, HasSixCrossbarLayers) {
 TEST(RLutIo, RoundTrip) {
   rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
   const rram::RLut lut = rram::RLut::build(prog, 8, 8, Rng(4));
+  const std::uint64_t fp = rram::RLut::fingerprint(prog, 8, 8, 4);
   const std::string path = std::string(::testing::TempDir()) + "lut.bin";
-  lut.save(path);
+  lut.save(path, fp);
   rram::RLut loaded;
-  ASSERT_TRUE(rram::RLut::load(path, loaded));
+  ASSERT_TRUE(rram::RLut::load(path, fp, loaded));
   for (int v = 0; v <= 255; v += 15) {
     EXPECT_DOUBLE_EQ(loaded.mean(v), lut.mean(v));
     EXPECT_DOUBLE_EQ(loaded.var(v), lut.var(v));
@@ -175,7 +176,7 @@ TEST(RLutIo, RoundTrip) {
 TEST(RLutIo, MissingFileReturnsFalse) {
   rram::RLut lut;
   EXPECT_FALSE(rram::RLut::load(
-      std::string(::testing::TempDir()) + "nope.bin", lut));
+      std::string(::testing::TempDir()) + "nope.bin", 0, lut));
 }
 
 TEST(RLutIo, CorruptFileThrows) {
@@ -186,7 +187,49 @@ TEST(RLutIo, CorruptFileThrows) {
     std::fclose(f);
   }
   rram::RLut lut;
-  EXPECT_THROW(rram::RLut::load(path, lut), std::runtime_error);
+  EXPECT_THROW(rram::RLut::load(path, 0, lut), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(RLutIo, StaleConfigFingerprintIsRejectedAndRebuilt) {
+  // The PR-2 satellite bugfix: a cached table saved for one device
+  // configuration must not load for another. Every knob the statistics
+  // depend on feeds the fingerprint.
+  const rram::WeightProgrammer slc({rram::CellKind::SLC, 200.0}, 8,
+                                   {0.5, 0.0});
+  const std::uint64_t fp_slc = rram::RLut::fingerprint(slc, 8, 8, 4);
+
+  // Each single-knob change must produce a distinct fingerprint.
+  const rram::WeightProgrammer mlc({rram::CellKind::MLC2, 200.0}, 8,
+                                   {0.5, 0.0});
+  const rram::WeightProgrammer sigma({rram::CellKind::SLC, 200.0}, 8,
+                                     {0.8, 0.0});
+  const rram::WeightProgrammer ddv({rram::CellKind::SLC, 200.0}, 8,
+                                   {0.5, 0.5});
+  const rram::WeightProgrammer bits({rram::CellKind::SLC, 200.0}, 6,
+                                    {0.5, 0.0});
+  rram::WeightProgrammer faulty({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0},
+                                {0.01, 0.0});
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(mlc, 8, 8, 4));
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(sigma, 8, 8, 4));
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(ddv, 8, 8, 4));
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(bits, 8, 8, 4));
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(faulty, 8, 8, 4));
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(slc, 16, 8, 4));  // K
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(slc, 8, 4, 4));   // J
+  EXPECT_NE(fp_slc, rram::RLut::fingerprint(slc, 8, 8, 5));   // seed
+
+  // Stale entry on disk: load reports a miss (not corruption), the
+  // caller rebuilds and overwrites, and the fresh entry then hits.
+  const std::string path = std::string(::testing::TempDir()) + "stale.bin";
+  rram::RLut::build(slc, 8, 8, Rng(4)).save(path, fp_slc);
+  const std::uint64_t fp_sigma = rram::RLut::fingerprint(sigma, 8, 8, 4);
+  rram::RLut out;
+  EXPECT_FALSE(rram::RLut::load(path, fp_sigma, out));
+  const rram::RLut rebuilt = rram::RLut::build(sigma, 8, 8, Rng(4));
+  rebuilt.save(path, fp_sigma);
+  ASSERT_TRUE(rram::RLut::load(path, fp_sigma, out));
+  EXPECT_DOUBLE_EQ(out.mean(128), rebuilt.mean(128));
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,278 @@
+// Tests for the observability layer (src/obs): JSON round-trips, the
+// recorder, BENCH document schema validation, and the end-to-end
+// determinism contract — the deterministic sections of a report are
+// byte-identical across RDO_THREADS settings for a fixed seed.
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/deploy.h"
+#include "data/synthetic.h"
+#include "nn/activations.h"
+#include "nn/dense.h"
+#include "nn/parallel.h"
+#include "nn/sequential.h"
+#include "obs/env.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
+#include "obs/report.h"
+#include "quant/act_quant.h"
+
+using rdo::obs::Json;
+
+namespace {
+
+/// Restores the pool width on scope exit (pattern from test_parallel.cpp).
+class ThreadGuard {
+ public:
+  explicit ThreadGuard(int n) : prev_(rdo::nn::thread_count()) {
+    rdo::nn::set_thread_count(n);
+  }
+  ~ThreadGuard() { rdo::nn::set_thread_count(prev_); }
+
+ private:
+  int prev_;
+};
+
+Json sample_doc() {
+  Json doc = Json::object();
+  doc["int"] = std::int64_t{42};
+  doc["negative"] = -7;
+  doc["pi"] = 3.141592653589793;
+  doc["tenth"] = 0.1;
+  doc["third"] = 1.0 / 3.0;
+  doc["tiny"] = 1.25e-7;
+  doc["flag"] = true;
+  doc["off"] = false;
+  doc["nothing"];  // null
+  doc["text"] = "quote \" backslash \\ newline \n tab \t";
+  Json arr = Json::array();
+  arr.push_back(1);
+  arr.push_back(2.5);
+  arr.push_back("three");
+  doc["list"] = std::move(arr);
+  Json nested = Json::object();
+  nested["a"] = 1;
+  nested["b"] = Json::array();
+  doc["nested"] = std::move(nested);
+  return doc;
+}
+
+}  // namespace
+
+TEST(Json, CompactRoundTripIsByteStable) {
+  const Json doc = sample_doc();
+  const std::string once = doc.dump();
+  const Json reparsed = Json::parse(once);
+  EXPECT_EQ(reparsed.dump(), once);
+}
+
+TEST(Json, PrettyFormParsesToTheSameDocument) {
+  const Json doc = sample_doc();
+  const Json reparsed = Json::parse(doc.dump(2));
+  EXPECT_EQ(reparsed.dump(), doc.dump());
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json doc = Json::object();
+  doc["zebra"] = 1;
+  doc["alpha"] = 2;
+  doc["mid"] = 3;
+  EXPECT_EQ(doc.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+}
+
+TEST(Json, NumbersKeepTheirTypeThroughAReparse) {
+  const Json i = Json::parse("7");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_EQ(i.as_int(), 7);
+  const Json d = Json::parse("7.0");
+  EXPECT_TRUE(d.is_double());
+  EXPECT_DOUBLE_EQ(d.as_double(), 7.0);
+  // A dumped Double reparses as Double even for integral values.
+  const Json round = Json::parse(Json(2.0).dump());
+  EXPECT_TRUE(round.is_double());
+}
+
+TEST(Json, DoubleFormattingRoundTripsExactly) {
+  for (double v : {0.1, 1.0 / 3.0, 2.5, 1e-7, 123456789.125,
+                   -0.0078125, 3.141592653589793}) {
+    const Json parsed = Json::parse(Json(v).dump());
+    EXPECT_EQ(parsed.as_double(), v) << Json(v).dump();
+  }
+}
+
+TEST(Json, UnicodeEscapesParse) {
+  const Json j = Json::parse("\"\\u0041\\u0042\"");
+  EXPECT_EQ(j.as_string(), "AB");
+}
+
+TEST(Json, MalformedInputThrows) {
+  for (const char* bad :
+       {"", "{", "[1,", "tru", "1 2", "{\"a\":}", "\"unterminated",
+        "{\"a\" 1}", "[1 2]", "nul"}) {
+    EXPECT_THROW(Json::parse(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Json j = Json::parse("{\"a\":1}");
+  EXPECT_THROW((void)j.as_string(), std::logic_error);
+  EXPECT_THROW((void)j.as_int(), std::logic_error);
+  EXPECT_EQ(j.find("a")->as_int(), 1);
+  EXPECT_EQ(j.find("missing"), nullptr);
+}
+
+TEST(Json, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdo_test_obs.json").string();
+  const Json doc = sample_doc();
+  rdo::obs::write_json_file(doc, path);
+  const Json back = rdo::obs::read_json_file(path);
+  EXPECT_EQ(back.dump(), doc.dump());
+  std::filesystem::remove(path);
+}
+
+TEST(Recorder, AccumulatesPhasesCountersGauges) {
+  rdo::obs::Recorder rec;
+  rec.add_phase("alpha", 1.5);
+  rec.add_phase("alpha", 0.5);
+  rec.add_phase("beta", 0.25);
+  rec.incr("widgets");
+  rec.incr("widgets", 4);
+  rec.set_gauge("ratio", 0.75);
+  rec.set_gauge("ratio", 0.5);  // last write wins
+  EXPECT_DOUBLE_EQ(rec.phase_seconds("alpha"), 2.0);
+  EXPECT_DOUBLE_EQ(rec.phase_seconds("beta"), 0.25);
+  EXPECT_EQ(rec.counter("widgets"), 5);
+  EXPECT_EQ(rec.counters_json().dump(), "{\"widgets\":5}");
+  EXPECT_EQ(rec.gauges_json().dump(), "{\"ratio\":0.5}");
+  // Phases keep first-use order.
+  const Json phases = rec.phases_json();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases.at(0).find("name")->as_string(), "alpha");
+}
+
+TEST(BenchReport, DocumentValidatesAgainstSchema) {
+  rdo::obs::BenchReport rep("unit_test", 99);
+  rep.recorder().incr("things", 3);
+  rep.recorder().set_gauge("level", 0.5);
+  rep.results()["answer"] = 42;
+  const Json doc = rep.document();
+  std::string err;
+  EXPECT_TRUE(rdo::obs::validate_bench_document(doc, &err)) << err;
+  EXPECT_EQ(doc.find("schema_version")->as_int(),
+            rdo::obs::kBenchSchemaVersion);
+  EXPECT_EQ(doc.find("name")->as_string(), "unit_test");
+  EXPECT_EQ(doc.find("env")->find("seed")->as_int(), 99);
+  EXPECT_EQ(rep.exit_code(), 0);
+}
+
+TEST(BenchReport, ValidationCatchesBrokenDocuments) {
+  rdo::obs::BenchReport rep("unit_test", 1);
+  std::string err;
+
+  Json wrong_version = rep.document();
+  wrong_version["schema_version"] = 999;
+  EXPECT_FALSE(rdo::obs::validate_bench_document(wrong_version, &err));
+
+  Json no_name = rep.document();
+  no_name["name"] = "";
+  EXPECT_FALSE(rdo::obs::validate_bench_document(no_name, &err));
+
+  Json bad_counters = rep.document();
+  bad_counters["counters"]["oops"] = "not a number";
+  EXPECT_FALSE(rdo::obs::validate_bench_document(bad_counters, &err));
+
+  EXPECT_FALSE(rdo::obs::validate_bench_document(Json::parse("[]"), &err));
+}
+
+TEST(BenchReport, FailuresDriveTheExitCode) {
+  rdo::obs::BenchReport rep("unit_test", 1);
+  EXPECT_EQ(rep.exit_code(), 0);
+  rep.add_failure("grid point 3", "boom");
+  EXPECT_TRUE(rep.any_failure());
+  EXPECT_EQ(rep.failure_count(), 1u);
+  EXPECT_EQ(rep.exit_code(), 1);
+  std::string err;
+  const Json doc = rep.document();
+  EXPECT_TRUE(rdo::obs::validate_bench_document(doc, &err)) << err;
+  ASSERT_NE(doc.find("failures"), nullptr);
+  EXPECT_EQ(doc.find("failures")->at(0).find("what")->as_string(), "boom");
+}
+
+TEST(Env, CaptureHasTheContractedKeys) {
+  const Json env = rdo::obs::capture_env(7);
+  EXPECT_EQ(env.find("seed")->as_int(), 7);
+  EXPECT_GE(env.find("threads")->as_int(), 1);
+  EXPECT_FALSE(env.find("build_type")->as_string().empty());
+  EXPECT_FALSE(env.find("git_sha")->as_string().empty());
+}
+
+namespace {
+
+/// Runs a small deployment under `threads` pool threads and returns the
+/// deterministic sections of the resulting report.
+std::string deterministic_report(int threads) {
+  ThreadGuard guard(threads);
+
+  rdo::data::SyntheticSpec spec = rdo::data::mnist_like();
+  spec.train_per_class = 20;
+  spec.test_per_class = 10;
+  const rdo::data::SyntheticDataset ds = rdo::data::make_synthetic(spec);
+
+  const auto make_net = []() -> std::unique_ptr<rdo::nn::Layer> {
+    rdo::nn::Rng rng(11);
+    auto net = std::make_unique<rdo::nn::Sequential>();
+    net->emplace<rdo::nn::Flatten>();
+    net->emplace<rdo::quant::ActQuant>(8);
+    net->emplace<rdo::nn::Dense>(28 * 28, 16, rng);
+    net->emplace<rdo::nn::ReLU>();
+    net->emplace<rdo::quant::ActQuant>(8);
+    net->emplace<rdo::nn::Dense>(16, 10, rng);
+    return net;
+  };
+
+  rdo::core::DeployOptions o;
+  o.scheme = rdo::core::Scheme::VAWOStarPWT;
+  o.offsets.m = 8;
+  o.cell = {rdo::rram::CellKind::SLC, 200.0};
+  o.variation.sigma = 0.4;
+  o.lut_k_sets = 4;
+  o.lut_j_cycles = 2;
+  o.grad_samples = 32;
+  o.pwt.epochs = 1;
+  o.pwt.max_samples = 64;
+  o.seed = 7;
+
+  const rdo::core::SchemeResult res = rdo::core::run_scheme_parallel(
+      make_net, o, ds.train(), ds.test(), /*repeats=*/3);
+
+  rdo::obs::BenchReport rep("determinism_probe", o.seed);
+  rep.results()["stats"] = rdo::core::deploy_stats_json(res.stats);
+  Json per_cycle = Json::array();
+  for (float a : res.per_cycle) per_cycle.push_back(static_cast<double>(a));
+  rep.results()["per_cycle"] = std::move(per_cycle);
+  rep.recorder().incr("cycles", res.stats.cycles);
+  rep.recorder().incr("device_pulses", res.stats.device_pulses);
+  rdo::core::add_deploy_phase_times(rep.recorder(), res.stats);
+  for (const std::string& e : res.errors) {
+    if (!e.empty()) rep.add_failure("trial", e);
+  }
+  return rep.deterministic_dump();
+}
+
+}  // namespace
+
+TEST(Determinism, ReportIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = deterministic_report(1);
+  const std::string parallel = deterministic_report(8);
+  EXPECT_EQ(serial, parallel);
+  // Sanity: the probe actually ran the pipeline.
+  const Json doc = Json::parse(serial);
+  EXPECT_EQ(doc.find("counters")->find("cycles")->as_int(), 3);
+  EXPECT_GT(doc.find("counters")->find("device_pulses")->as_int(), 0);
+}

@@ -8,117 +8,57 @@
 //   rdo_experiment --model lenet --scheme vawo*+pwt --sigma 0.5 --m 16
 //   rdo_experiment --model mlp --scheme plain --cell mlc2 --repeats 5
 //   rdo_experiment --model resnet --scheme vawo* --sigma 0.8 --ddv 0.5
+//   rdo_experiment --model mlp --json results.json
+//
+// Flag parsing lives in experiment_args.{h,cpp} (strict, bounds-checked;
+// malformed input exits 2). With --json the run also writes the same
+// schema-versioned document the bench harnesses emit (see EXPERIMENTS.md).
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
+#include <memory>
 #include <string>
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
 #include "data/synthetic.h"
+#include "experiment_args.h"
 #include "models/lenet.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/optimizer.h"
+#include "obs/report.h"
 #include "quant/act_quant.h"
 
 using namespace rdo;
 
 namespace {
 
-struct Args {
-  std::string model = "mlp";
-  std::string scheme = "vawo*+pwt";
-  std::string cell = "slc";
-  std::string scope = "per-weight";
-  double sigma = 0.5;
-  double ddv = 0.0;
-  int m = 16;
-  int repeats = 3;
-  int offset_bits = 8;
-  std::uint64_t seed = 1;
-  bool help = false;
-};
-
-void usage() {
-  std::printf(
-      "rdo_experiment — deploy a model onto simulated RRAM crossbars\n\n"
-      "  --model   mlp | lenet | resnet | vgg        (default mlp)\n"
-      "  --scheme  plain | vawo | vawo* | pwt | vawo*+pwt\n"
-      "  --cell    slc | mlc2                        (default slc)\n"
-      "  --scope   per-weight | per-cell             (default per-weight)\n"
-      "  --sigma   <double>   log-normal sigma       (default 0.5)\n"
-      "  --ddv     <double>   DDV share of variance  (default 0)\n"
-      "  --m       <int>      sharing granularity    (default 16)\n"
-      "  --bits    <int>      offset register width  (default 8)\n"
-      "  --repeats <int>      programming cycles     (default 3)\n"
-      "  --seed    <int>\n");
-}
-
-bool parse(int argc, char** argv, Args& a) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    auto next = [&](const char* name) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", name);
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (flag == "--help" || flag == "-h") {
-      a.help = true;
-    } else if (flag == "--model") {
-      a.model = next("--model");
-    } else if (flag == "--scheme") {
-      a.scheme = next("--scheme");
-    } else if (flag == "--cell") {
-      a.cell = next("--cell");
-    } else if (flag == "--scope") {
-      a.scope = next("--scope");
-    } else if (flag == "--sigma") {
-      a.sigma = std::atof(next("--sigma"));
-    } else if (flag == "--ddv") {
-      a.ddv = std::atof(next("--ddv"));
-    } else if (flag == "--m") {
-      a.m = std::atoi(next("--m"));
-    } else if (flag == "--bits") {
-      a.offset_bits = std::atoi(next("--bits"));
-    } else if (flag == "--repeats") {
-      a.repeats = std::atoi(next("--repeats"));
-    } else if (flag == "--seed") {
-      a.seed = static_cast<std::uint64_t>(std::atoll(next("--seed")));
-    } else {
-      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
-      return false;
-    }
-  }
-  return true;
-}
-
-core::Scheme parse_scheme(const std::string& s) {
+core::Scheme to_scheme(const std::string& s) {
   if (s == "plain") return core::Scheme::Plain;
   if (s == "vawo") return core::Scheme::VAWO;
   if (s == "vawo*") return core::Scheme::VAWOStar;
   if (s == "pwt") return core::Scheme::PWT;
-  if (s == "vawo*+pwt") return core::Scheme::VAWOStarPWT;
-  std::fprintf(stderr, "unknown scheme '%s'\n", s.c_str());
-  std::exit(2);
+  return core::Scheme::VAWOStarPWT;  // "vawo*+pwt" (validated by the parser)
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args a;
-  if (!parse(argc, argv, a)) {
-    usage();
+  tools::ExperimentArgs a;
+  const tools::ParseOutcome parsed =
+      tools::parse_experiment_args(argc, argv, a);
+  if (!parsed.ok) {
+    std::fprintf(stderr, "rdo_experiment: %s\n\n%s", parsed.error.c_str(),
+                 tools::experiment_usage());
     return 2;
   }
   if (a.help) {
-    usage();
+    std::fputs(tools::experiment_usage(), stdout);
     return 0;
   }
+
+  obs::BenchReport rep("rdo_experiment", a.seed);
 
   // Dataset + model.
   const bool is_cifar = a.model == "resnet" || a.model == "vgg";
@@ -149,28 +89,28 @@ int main(int argc, char** argv) {
     cfg.base_channels = 8;
     net = models::make_resnet(cfg, rng);
     epochs = 12;
-  } else if (a.model == "vgg") {
+  } else {  // "vgg" (validated by the parser)
     models::VggConfig cfg;
     cfg.base_channels = 8;
     net = models::make_vgg(cfg, rng);
     epochs = 12;
-  } else {
-    std::fprintf(stderr, "unknown model '%s'\n", a.model.c_str());
-    usage();
-    return 2;
   }
 
   std::printf("training %s ...\n", a.model.c_str());
-  nn::SGD opt(net->params(), lr, 0.9f, 1e-4f);
-  for (int e = 0; e < epochs; ++e) {
-    nn::train_epoch(*net, opt, ds.train(), 32, rng);
+  float ideal = 0.0f;
+  {
+    obs::PhaseTimer t(rep.recorder(), "train_model");
+    nn::SGD opt(net->params(), lr, 0.9f, 1e-4f);
+    for (int e = 0; e < epochs; ++e) {
+      nn::train_epoch(*net, opt, ds.train(), 32, rng);
+    }
+    ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
   }
-  const float ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
   std::printf("ideal accuracy: %.2f%%\n\n", 100 * ideal);
 
   // Deployment.
   core::DeployOptions o;
-  o.scheme = parse_scheme(a.scheme);
+  o.scheme = to_scheme(a.scheme);
   o.offsets.m = a.m;
   o.offsets.offset_bits = a.offset_bits;
   o.cell = {a.cell == "mlc2" ? rram::CellKind::MLC2 : rram::CellKind::SLC,
@@ -186,28 +126,84 @@ int main(int argc, char** argv) {
               "bits=%d scope=%s repeats=%d\n",
               core::to_string(o.scheme), a.cell.c_str(), a.sigma, a.ddv,
               a.m, a.offset_bits, a.scope.c_str(), a.repeats);
-  const core::SchemeResult res =
-      core::run_scheme(*net, o, ds.train(), ds.test(), a.repeats);
-  std::printf("\naccuracy under variation: %.2f%% (loss vs ideal: %.2f%%)\n",
-              100 * res.mean_accuracy,
-              100 * (ideal - res.mean_accuracy));
-  std::printf("per-cycle:");
-  for (float acc : res.per_cycle) std::printf(" %.2f%%", 100 * acc);
-  std::printf("\n");
 
-  // Hardware accounting for the chosen configuration.
-  core::Deployment dep(*net, o);
-  dep.prepare(ds.train());
-  const double ratio = dep.assigned_read_power() / dep.plain_read_power();
-  std::printf("\ncrossbars (128x128): %lld\n",
-              static_cast<long long>(dep.total_crossbars()));
-  std::printf("offset registers: %lld\n",
-              static_cast<long long>(dep.total_offset_registers()));
-  std::printf("device reading power vs plain: %.1f%%\n", 100 * ratio);
-  const arch::TileOverhead ov = arch::tile_overhead(a.m, a.offset_bits,
-                                                    ratio);
-  std::printf("ISAAC tile overhead: +%.3f mm^2 (%.1f%%), %+.2f mW (%.1f%%)\n",
-              ov.area_mm2, ov.area_pct, ov.power_mw, ov.power_pct);
-  dep.restore();
-  return 0;
+  rep.results()["config"] = obs::Json::object();
+  {
+    obs::Json& cfg = rep.results()["config"];
+    cfg["model"] = a.model;
+    cfg["scheme"] = a.scheme;
+    cfg["cell"] = a.cell;
+    cfg["scope"] = a.scope;
+    cfg["sigma"] = a.sigma;
+    cfg["ddv"] = a.ddv;
+    cfg["m"] = a.m;
+    cfg["offset_bits"] = a.offset_bits;
+    cfg["repeats"] = a.repeats;
+  }
+  rep.results()["ideal_accuracy"] = static_cast<double>(ideal);
+
+  try {
+    core::SchemeResult res;
+    {
+      obs::PhaseTimer t(rep.recorder(), "deployment");
+      res = core::run_scheme(*net, o, ds.train(), ds.test(), a.repeats);
+    }
+    std::printf("\naccuracy under variation: %.2f%% (loss vs ideal: %.2f%%)\n",
+                100 * res.mean_accuracy,
+                100 * (ideal - res.mean_accuracy));
+    std::printf("per-cycle:");
+    for (float acc : res.per_cycle) std::printf(" %.2f%%", 100 * acc);
+    std::printf("\n");
+
+    rep.results()["mean_accuracy"] = static_cast<double>(res.mean_accuracy);
+    obs::Json per_cycle = obs::Json::array();
+    for (float acc : res.per_cycle) {
+      per_cycle.push_back(static_cast<double>(acc));
+    }
+    rep.results()["per_cycle"] = std::move(per_cycle);
+    rep.results()["stats"] = core::deploy_stats_json(res.stats);
+    core::add_deploy_phase_times(rep.recorder(), res.stats);
+
+    // Hardware accounting for the chosen configuration.
+    obs::PhaseTimer t(rep.recorder(), "hardware_accounting");
+    core::Deployment dep(*net, o);
+    dep.prepare(ds.train());
+    const double ratio = dep.assigned_read_power() / dep.plain_read_power();
+    std::printf("\ncrossbars (128x128): %lld\n",
+                static_cast<long long>(dep.total_crossbars()));
+    std::printf("offset registers: %lld\n",
+                static_cast<long long>(dep.total_offset_registers()));
+    std::printf("device reading power vs plain: %.1f%%\n", 100 * ratio);
+    const arch::TileOverhead ov = arch::tile_overhead(a.m, a.offset_bits,
+                                                      ratio);
+    std::printf("ISAAC tile overhead: +%.3f mm^2 (%.1f%%), %+.2f mW "
+                "(%.1f%%)\n",
+                ov.area_mm2, ov.area_pct, ov.power_mw, ov.power_pct);
+    dep.restore();
+
+    obs::Json& hw = rep.results()["hardware"];
+    hw = obs::Json::object();
+    hw["crossbars"] = static_cast<std::int64_t>(dep.total_crossbars());
+    hw["offset_registers"] =
+        static_cast<std::int64_t>(dep.total_offset_registers());
+    hw["read_power_ratio"] = ratio;
+    hw["tile_area_mm2"] = ov.area_mm2;
+    hw["tile_power_mw"] = ov.power_mw;
+  } catch (const std::exception& e) {
+    rep.add_failure("deployment", e.what());
+    std::fprintf(stderr, "rdo_experiment: deployment failed: %s\n", e.what());
+  }
+
+  if (!a.json_path.empty()) {
+    try {
+      rep.write_to(a.json_path);
+      std::fprintf(stderr, "[rdo_experiment] wrote %s\n",
+                   a.json_path.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "rdo_experiment: cannot write %s: %s\n",
+                   a.json_path.c_str(), e.what());
+      return 1;
+    }
+  }
+  return rep.exit_code();
 }

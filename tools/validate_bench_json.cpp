@@ -1,0 +1,41 @@
+// validate_bench_json — schema check for BENCH_*.json documents.
+//
+//   validate_bench_json BENCH_ablation_design.json [more.json ...]
+//
+// Exits 0 when every file parses and conforms to the layout in
+// obs/report.h (schema_version 1); prints the first violation and exits
+// 1 otherwise. CI runs this against the artifacts each bench produces.
+#include <cstdio>
+#include <string>
+
+#include "obs/json.h"
+#include "obs/report.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: validate_bench_json <BENCH_*.json> [more ...]\n");
+    return 2;
+  }
+  int bad = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string path = argv[i];
+    try {
+      const rdo::obs::Json doc = rdo::obs::read_json_file(path);
+      std::string err;
+      if (!rdo::obs::validate_bench_document(doc, &err)) {
+        std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), err.c_str());
+        ++bad;
+        continue;
+      }
+      std::printf("%s: ok (schema_version %lld, name %s)\n", path.c_str(),
+                  static_cast<long long>(
+                      doc.find("schema_version")->as_int()),
+                  doc.find("name")->as_string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: ERROR: %s\n", path.c_str(), e.what());
+      ++bad;
+    }
+  }
+  return bad == 0 ? 0 : 1;
+}
