@@ -188,6 +188,7 @@ std::vector<rdo::core::SchemeResult> run_grid(
   std::vector<rdo::core::SchemeResult> results(points.size());
   for (auto& r : results) {
     r.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+    r.trial_seconds.assign(static_cast<std::size_t>(repeats), 0.0);
     r.errors.assign(static_cast<std::size_t>(repeats), "");
   }
   std::vector<rdo::core::DeployStats> trial_stats(
@@ -202,6 +203,7 @@ std::vector<rdo::core::SchemeResult> run_grid(
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t point = t / repeats;
       const std::int64_t trial = t % repeats;
+      rdo::obs::Stopwatch watch;
       try {
         auto net = make_blank();
         rdo::nn::copy_state(*net, master);
@@ -220,6 +222,8 @@ std::vector<rdo::core::SchemeResult> run_grid(
         results[static_cast<std::size_t>(point)]
             .errors[static_cast<std::size_t>(trial)] = "unknown exception";
       }
+      results[static_cast<std::size_t>(point)]
+          .trial_seconds[static_cast<std::size_t>(trial)] = watch.seconds();
     }
   });
   // Merge trial stats in trial order (outside the parallel region) so
@@ -258,6 +262,10 @@ void record_scheme_result(rdo::obs::BenchReport& rep,
 
   rdo::core::add_deploy_phase_times(rep.recorder(), res.stats);
   rdo::obs::Recorder& rec = rep.recorder();
+  for (double s : res.trial_seconds) rec.observe("trial_seconds", s);
+  for (double s : res.stats.eval_seconds) {
+    rec.observe("deploy_evaluate_seconds", s);
+  }
   rec.incr("grid_points");
   rec.incr("trials", static_cast<std::int64_t>(res.errors.size()));
   rec.incr("cycles", res.stats.cycles);

@@ -8,6 +8,7 @@
 
 #include "nn/parallel.h"
 #include "obs/stopwatch.h"
+#include "obs/trace.h"
 #include "rram/tiler.h"
 
 namespace rdo::core {
@@ -19,6 +20,8 @@ void DeployStats::merge(const DeployStats& other) {
   program_s += other.program_s;
   tune_s += other.tune_s;
   eval_s += other.eval_s;
+  eval_seconds.insert(eval_seconds.end(), other.eval_seconds.begin(),
+                      other.eval_seconds.end());
   cycles += other.cycles;
   weights_programmed += other.weights_programmed;
   device_pulses += other.device_pulses;
@@ -68,6 +71,9 @@ namespace {
 rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
                          const DeployOptions& opt, DeployStats& stats) {
   rdo::obs::ScopedTimer timer(&stats.lut_build_s);
+  rdo::obs::TraceSpan span("deploy:lut_build", "deploy");
+  span.arg("k_sets", opt.lut_k_sets);
+  span.arg("j_cycles", opt.lut_j_cycles);
   const rdo::nn::Rng lut_rng = rdo::nn::Rng(opt.seed).split(0x11A7);
   const char* dir = std::getenv("RDO_LUT_CACHE_DIR");
   std::string path;
@@ -81,12 +87,16 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
     path = std::string(dir) + "/rlut_" + hex + ".bin";
     rdo::rram::RLut cached;
     try {
-      if (rdo::rram::RLut::load(path, fp, cached)) return cached;
+      if (rdo::rram::RLut::load(path, fp, cached)) {
+        span.arg("cache_hit", std::int64_t{1});
+        return cached;
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "[deploy] corrupt LUT cache entry %s (%s); "
                    "rebuilding\n", path.c_str(), e.what());
     }
   }
+  span.arg("cache_hit", std::int64_t{0});
   rdo::rram::RLut lut = rdo::rram::RLut::build(prog, opt.lut_k_sets,
                                                opt.lut_j_cycles, lut_rng);
   if (!path.empty()) {
@@ -171,6 +181,8 @@ void Deployment::calibrate_act_quant(const rdo::nn::DataView& data) {
 
 void Deployment::prepare(const rdo::nn::DataView& train) {
   rdo::obs::ScopedTimer timer(&stats_.prepare_s);
+  rdo::obs::TraceSpan span("deploy:prepare", "deploy");
+  span.arg("layers", static_cast<std::int64_t>(layers_.size()));
   // 1. Quantize every crossbar layer and move the network to the
   //    quantized operating point (NTW round-trip).
   for (DeployedLayer& dl : layers_) {
@@ -188,7 +200,13 @@ void Deployment::prepare(const rdo::nn::DataView& train) {
     vopt.use_complement = scheme_uses_complement(opt_.scheme);
     vopt.penalize_bias = opt_.penalize_bias;
     rdo::obs::ScopedTimer solve_timer(&stats_.vawo_solve_s);
-    for (DeployedLayer& dl : layers_) {
+    rdo::obs::TraceSpan solve_span("deploy:vawo_solve", "deploy");
+    for (std::size_t li = 0; li < layers_.size(); ++li) {
+      DeployedLayer& dl = layers_[li];
+      rdo::obs::TraceSpan layer_span("vawo:layer", "deploy");
+      layer_span.arg("layer", static_cast<std::int64_t>(li));
+      layer_span.arg("rows", dl.lq.rows);
+      layer_span.arg("cols", dl.lq.cols);
       std::vector<double> grads(static_cast<std::size_t>(dl.lq.rows *
                                                          dl.lq.cols));
       for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
@@ -198,6 +216,7 @@ void Deployment::prepare(const rdo::nn::DataView& train) {
         }
       }
       dl.assign = vawo_layer(dl.lq, grads, lut_, vopt);
+      layer_span.arg("groups", dl.assign.groups_per_col);
     }
     for (rdo::nn::Param* p : net_.params()) p->zero_grad();
   } else {
@@ -211,10 +230,15 @@ void Deployment::prepare(const rdo::nn::DataView& train) {
 void Deployment::program_cycle(std::uint64_t cycle_salt) {
   if (!prepared_) throw std::logic_error("Deployment: prepare() first");
   rdo::obs::ScopedTimer timer(&stats_.program_s);
+  rdo::obs::TraceSpan span("deploy:program", "deploy");
+  span.arg("cycle", static_cast<std::int64_t>(cycle_salt));
   rdo::nn::Rng rng =
       rdo::nn::Rng(opt_.seed).split(0xC0DEull + cycle_salt * 7919ull);
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     DeployedLayer& dl = layers_[li];
+    rdo::obs::TraceSpan layer_span("program:layer", "deploy");
+    layer_span.arg("layer", static_cast<std::int64_t>(li));
+    layer_span.arg("weights", static_cast<std::int64_t>(dl.assign.ctw.size()));
     rdo::nn::Rng lrng = rng.split(li);
     dl.crw.resize(dl.assign.ctw.size());
     for (std::size_t i = 0; i < dl.assign.ctw.size(); ++i) {
@@ -229,6 +253,7 @@ void Deployment::program_cycle(std::uint64_t cycle_salt) {
     dl.offsets = dl.assign.offsets;
   }
   ++stats_.cycles;
+  rdo::obs::trace_counter("device_pulses", stats_.device_pulses);
   apply_effective_weights();
 }
 
@@ -269,6 +294,7 @@ void Deployment::apply_group_delta(DeployedLayer& dl, std::int64_t c,
 void Deployment::tune(const rdo::nn::DataView& train) {
   if (!scheme_uses_pwt(opt_.scheme)) return;
   rdo::obs::ScopedTimer timer(&stats_.tune_s);
+  rdo::obs::TraceSpan span("deploy:tune", "deploy");
   const float lo = static_cast<float>(opt_.offsets.offset_min());
   const float hi = static_cast<float>(opt_.offsets.offset_max());
   if (opt_.pwt.mean_init) {
@@ -313,7 +339,12 @@ float Deployment::evaluate(const rdo::nn::DataView& test,
     throw std::logic_error("Deployment: program_cycle() first");
   }
   rdo::obs::ScopedTimer timer(&stats_.eval_s);
+  rdo::obs::TraceSpan span("deploy:evaluate", "deploy");
+  span.arg("batch", batch);
+  rdo::obs::Stopwatch watch;
   const float acc = rdo::nn::evaluate(net_, test, batch).accuracy;
+  stats_.eval_seconds.push_back(watch.seconds());
+  span.arg("accuracy", static_cast<double>(acc));
   stats_.eval_accuracy.push_back(acc);
   return acc;
 }
@@ -384,10 +415,12 @@ SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
   SchemeResult res;
   double total = 0.0;
   for (int cycle = 0; cycle < repeats; ++cycle) {
+    rdo::obs::Stopwatch watch;
     dep.program_cycle(static_cast<std::uint64_t>(cycle));
     dep.tune(train);
     const float acc = dep.evaluate(test, eval_batch);
     res.per_cycle.push_back(acc);
+    res.trial_seconds.push_back(watch.seconds());
     total += acc;
   }
   dep.restore();
@@ -405,10 +438,12 @@ SchemeResult run_scheme_parallel(
   SchemeResult res;
   if (repeats <= 0) return res;
   res.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
+  res.trial_seconds.assign(static_cast<std::size_t>(repeats), 0.0);
   res.errors.assign(static_cast<std::size_t>(repeats), "");
   std::vector<DeployStats> trial_stats(static_cast<std::size_t>(repeats));
   rdo::nn::parallel_for(repeats, [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t trial = t0; trial < t1; ++trial) {
+      rdo::obs::Stopwatch watch;
       std::unique_ptr<rdo::nn::Layer> net = make_net();
       Deployment dep(*net, opt);
       dep.prepare(train);
@@ -417,6 +452,7 @@ SchemeResult run_scheme_parallel(
       res.per_cycle[static_cast<std::size_t>(trial)] =
           dep.evaluate(test, eval_batch);
       trial_stats[static_cast<std::size_t>(trial)] = dep.stats();
+      res.trial_seconds[static_cast<std::size_t>(trial)] = watch.seconds();
     }
   });
   // Merge in trial order so the aggregated traces are identical to the

@@ -92,6 +92,10 @@ struct DeployStats {
   double program_s = 0.0;     ///< device programming per cycle
   double tune_s = 0.0;        ///< PWT (warm start + gradient epochs + snap)
   double eval_s = 0.0;        ///< test-set evaluation
+  /// Wall time of each evaluate() call (latency samples for the BENCH
+  /// `histograms` section). Volatile like the *_s sums above, so it is
+  /// excluded from deploy_stats_json().
+  std::vector<double> eval_seconds;
 
   // --- deterministic counters and traces ---
   std::int64_t cycles = 0;              ///< program_cycle() calls
@@ -202,6 +206,9 @@ class Deployment {
 struct SchemeResult {
   float mean_accuracy = 0.0f;
   std::vector<float> per_cycle;
+  /// Wall time of each program/tune/evaluate cycle (latency samples;
+  /// volatile, slot order matches per_cycle for any thread count).
+  std::vector<double> trial_seconds;
   /// Pipeline stats aggregated over the cycles (run_scheme) or merged
   /// over the independent trials in trial order (parallel harnesses).
   DeployStats stats;

@@ -19,6 +19,7 @@
 
 #include "core/deploy.h"
 #include "nn/loss.h"
+#include "obs/trace.h"
 
 namespace rdo::core {
 
@@ -38,10 +39,14 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
 
   float lr = popt.lr;
   for (int epoch = 0; epoch < popt.epochs; ++epoch) {
+    rdo::obs::TraceSpan epoch_span("pwt:epoch", "deploy");
+    epoch_span.arg("epoch", epoch);
     double epoch_loss = 0.0;
     std::int64_t epoch_batches = 0;
     std::shuffle(order.begin(), order.end(), rng.engine());
     for (std::int64_t start = 0; start < n; start += popt.batch_size) {
+      rdo::obs::TraceSpan batch_span("pwt:batch", "deploy");
+      batch_span.arg("start", start);
       const std::int64_t end = std::min(n, start + popt.batch_size);
       std::vector<std::int64_t> idx(order.begin() + start,
                                     order.begin() + end);

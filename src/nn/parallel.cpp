@@ -9,8 +9,11 @@
 #include <memory>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.h"
 
 namespace rdo::nn {
 
@@ -63,6 +66,9 @@ struct ForLoop {
       ++executed;
       const std::int64_t begin = i * chunk;
       const std::int64_t end = std::min(n, begin + chunk);
+      rdo::obs::TraceSpan span("pool:chunk", "pool");
+      span.arg("begin", begin);
+      span.arg("end", end);
       try {
         (*body)(begin, end);
       } catch (...) {
@@ -117,7 +123,15 @@ class Pool {
   // workers just sleep on the queue.
   void ensure_workers(int target) {
     while (static_cast<int>(workers_.size()) < target) {
-      workers_.emplace_back([this] { worker_main(); });
+      // Worker i owns trace track i+1 for its whole lifetime (track 0
+      // is the first unbound thread, normally main), so spans stay on
+      // stable per-worker rows across trace start/stop cycles.
+      const int idx = static_cast<int>(workers_.size()) + 1;
+      workers_.emplace_back([this, idx] {
+        rdo::obs::trace_bind_thread(idx,
+                                    "pool-worker-" + std::to_string(idx));
+        worker_main();
+      });
     }
   }
 
@@ -185,6 +199,7 @@ void parallel_for(std::int64_t n,
     return;
   }
   g_parallel_loops.fetch_add(1, std::memory_order_relaxed);
+  rdo::obs::TraceSpan span("pool:parallel_for", "pool");
   auto loop = std::make_shared<ForLoop>();
   loop->n = n;
   // ~4 chunks per thread absorbs per-chunk load imbalance without
@@ -194,6 +209,9 @@ void parallel_for(std::int64_t n,
                  (static_cast<std::int64_t>(threads) * 4));
   loop->num_chunks = (n + loop->chunk - 1) / loop->chunk;
   loop->body = &body;
+  span.arg("n", n);
+  span.arg("chunks", loop->num_chunks);
+  span.arg("grain", grain);
   const int helpers = static_cast<int>(std::min<std::int64_t>(
       threads - 1, loop->num_chunks - 1));
   if (helpers > 0) Pool::instance().post(loop, helpers);
@@ -203,6 +221,14 @@ void parallel_for(std::int64_t n,
     loop->cv.wait(lock, [&] {
       return loop->done.load(std::memory_order_acquire) == loop->num_chunks;
     });
+  }
+  if (span.active()) {
+    rdo::obs::trace_counter(
+        "pool_chunks_executed",
+        g_chunks_executed.load(std::memory_order_relaxed));
+    rdo::obs::trace_counter(
+        "pool_chunks_stolen",
+        g_chunks_stolen.load(std::memory_order_relaxed));
   }
   if (loop->error) std::rethrow_exception(loop->error);
 }

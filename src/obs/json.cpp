@@ -24,8 +24,9 @@ namespace {
 /// precision until strtod recovers the exact bits. Deterministic for a
 /// given value, and keeps common values ("0.5") readable.
 std::string format_double(double v) {
-  if (std::isnan(v)) return "null";  // JSON has no NaN/Inf
-  if (std::isinf(v)) return v > 0 ? "1e999" : "-1e999";
+  // JSON has no NaN/Inf; both map to null so strict parsers (and our
+  // own) accept the output.
+  if (std::isnan(v) || std::isinf(v)) return "null";
   char buf[40];
   for (int prec = 1; prec <= 17; ++prec) {
     std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
@@ -34,10 +35,7 @@ std::string format_double(double v) {
   // Ensure the token reads back as a double, not an integer, so that
   // parse(dump(x)) preserves the Int/Double distinction.
   std::string s(buf);
-  if (s.find_first_of(".eE") == std::string::npos &&
-      s.find("999") == std::string::npos) {
-    s += ".0";
-  }
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
   return s;
 }
 

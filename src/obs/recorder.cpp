@@ -1,8 +1,27 @@
 #include "obs/recorder.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace rdo::obs {
 
 namespace {
+
+/// Bucket index for a latency: floor(log2(microseconds)), clamped to
+/// the fixed range. frexp is exact, so the mapping is deterministic
+/// (no transcendental rounding at bucket boundaries).
+int bucket_index(double seconds) {
+  const double us = seconds * 1e6;
+  if (!(us >= 1.0)) return 0;  // sub-microsecond, NaN, negative
+  int exp = 0;
+  std::frexp(us, &exp);  // us = m * 2^exp, m in [0.5, 1)
+  return std::min(exp - 1, kLatencyBuckets - 1);
+}
+
+/// Seconds at the geometric midpoint of bucket i: sqrt(2^i * 2^(i+1)) us.
+double bucket_midpoint_seconds(int i) {
+  return std::exp2(i + 0.5) * 1e-6;
+}
 
 template <typename T>
 T* find_entry(std::vector<std::pair<std::string, T>>& v,
@@ -51,6 +70,24 @@ void Recorder::set_gauge(const std::string& name, double value) {
   }
 }
 
+void Recorder::observe(const std::string& name, double seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram* h = find_entry(histograms_, name);
+  if (h == nullptr) {
+    histograms_.emplace_back(name, Histogram{});
+    h = &histograms_.back().second;
+  }
+  if (h->count == 0) {
+    h->min_seconds = seconds;
+    h->max_seconds = seconds;
+  } else {
+    h->min_seconds = std::min(h->min_seconds, seconds);
+    h->max_seconds = std::max(h->max_seconds, seconds);
+  }
+  ++h->count;
+  ++h->buckets[bucket_index(seconds)];
+}
+
 double Recorder::phase_seconds(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   const double* s = find_entry(phases_, name);
@@ -86,6 +123,50 @@ Json Recorder::gauges_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   Json obj = Json::object();
   for (const auto& [name, value] : gauges_) obj[name] = value;
+  return obj;
+}
+
+namespace {
+
+/// Value at quantile q: walk buckets to the sample of rank ceil(q*n),
+/// report that bucket's geometric midpoint clamped to the observed
+/// range (exact when all samples share a bucket).
+double histogram_quantile(const std::array<std::int64_t, kLatencyBuckets>& b,
+                          std::int64_t count, double q, double min_s,
+                          double max_s) {
+  const auto rank = static_cast<std::int64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::int64_t seen = 0;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    seen += b[i];
+    if (seen >= rank) {
+      return std::clamp(bucket_midpoint_seconds(i), min_s, max_s);
+    }
+  }
+  return max_s;
+}
+
+}  // namespace
+
+Json Recorder::histograms_json() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json obj = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json e = Json::object();
+    e["count"] = h.count;
+    e["min_seconds"] = h.min_seconds;
+    e["max_seconds"] = h.max_seconds;
+    e["p50_seconds"] = histogram_quantile(h.buckets, h.count, 0.50,
+                                          h.min_seconds, h.max_seconds);
+    e["p95_seconds"] = histogram_quantile(h.buckets, h.count, 0.95,
+                                          h.min_seconds, h.max_seconds);
+    e["p99_seconds"] = histogram_quantile(h.buckets, h.count, 0.99,
+                                          h.min_seconds, h.max_seconds);
+    Json buckets = Json::array();
+    for (const std::int64_t c : h.buckets) buckets.push_back(c);
+    e["bucket_counts"] = std::move(buckets);
+    obj[name] = std::move(e);
+  }
   return obj;
 }
 

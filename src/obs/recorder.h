@@ -9,6 +9,7 @@
 // because entries accumulate under stable insertion-ordered names.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <mutex>
 #include <string>
@@ -19,6 +20,12 @@
 #include "obs/stopwatch.h"
 
 namespace rdo::obs {
+
+/// Latency histograms use fixed log-scale buckets: bucket i counts
+/// samples in [2^i, 2^(i+1)) microseconds, so 28 buckets span 1 us to
+/// ~4.5 minutes. The fixed geometry keeps the serialized shape stable
+/// regardless of the samples observed.
+inline constexpr int kLatencyBuckets = 28;
 
 class Recorder {
  public:
@@ -32,6 +39,11 @@ class Recorder {
   /// Set gauge `name` (last write wins).
   void set_gauge(const std::string& name, double value);
 
+  /// Record one latency sample (seconds) into histogram `name` (created
+  /// on first use). Samples below 1 us land in bucket 0, samples beyond
+  /// the top bucket in the last one; min/max track the raw values.
+  void observe(const std::string& name, double seconds);
+
   [[nodiscard]] double phase_seconds(const std::string& name) const;
   [[nodiscard]] std::int64_t counter(const std::string& name) const;
 
@@ -41,12 +53,25 @@ class Recorder {
   [[nodiscard]] Json counters_json() const;
   /// `{name: value, ...}` — deterministic.
   [[nodiscard]] Json gauges_json() const;
+  /// `{name: {count, min/max_seconds, p50/p95/p99_seconds,
+  /// bucket_counts[kLatencyBuckets]}, ...}` — wall-clock derived, so it
+  /// belongs to the volatile half of the schema. Quantiles are the
+  /// geometric midpoint of the rank bucket, clamped to [min, max].
+  [[nodiscard]] Json histograms_json() const;
 
  private:
+  struct Histogram {
+    std::int64_t count = 0;
+    double min_seconds = 0.0;
+    double max_seconds = 0.0;
+    std::array<std::int64_t, kLatencyBuckets> buckets{};
+  };
+
   mutable std::mutex mu_;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, std::int64_t>> counters_;
   std::vector<std::pair<std::string, double>> gauges_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
 };
 
 /// RAII helper timing one phase of a Recorder.

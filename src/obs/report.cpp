@@ -45,6 +45,7 @@ Json BenchReport::document() const {
                             : 0.0;
   doc["pool"] = std::move(pool);
 
+  doc["histograms"] = rec_.histograms_json();
   doc["counters"] = rec_.counters_json();
   doc["gauges"] = rec_.gauges_json();
   doc["results"] = results_;
@@ -120,8 +121,9 @@ bool validate_bench_document(const Json& doc, std::string* err) {
   const Json* ver =
       require_member(doc, "schema_version", Json::Type::Int, err);
   if (ver == nullptr) return false;
-  if (!check(ver->as_int() == kBenchSchemaVersion,
-             "unsupported schema_version " + std::to_string(ver->as_int()),
+  const std::int64_t version = ver->as_int();
+  if (!check(version == 1 || version == kBenchSchemaVersion,
+             "unsupported schema_version " + std::to_string(version),
              err)) {
     return false;
   }
@@ -168,6 +170,36 @@ bool validate_bench_document(const Json& doc, std::string* err) {
                           "chunks_executed", "chunks_stolen"}) {
     if (require_member(*pool, key, Json::Type::Int, err) == nullptr) {
       return false;
+    }
+  }
+
+  if (version >= 2) {
+    const Json* hists =
+        require_member(doc, "histograms", Json::Type::Object, err);
+    if (hists == nullptr) return false;
+    for (const auto& [key, h] : hists->members()) {
+      if (!check(h.is_object(),
+                 "histogram \"" + key + "\" is not an object", err)) {
+        return false;
+      }
+      if (require_member(h, "count", Json::Type::Int, err) == nullptr) {
+        return false;
+      }
+      for (const char* field : {"min_seconds", "max_seconds", "p50_seconds",
+                                "p95_seconds", "p99_seconds"}) {
+        if (require_member(h, field, Json::Type::Double, err) == nullptr) {
+          return false;
+        }
+      }
+      const Json* buckets =
+          require_member(h, "bucket_counts", Json::Type::Array, err);
+      if (buckets == nullptr) return false;
+      for (std::size_t i = 0; i < buckets->size(); ++i) {
+        if (!check(buckets->at(i).is_int(),
+                   "histogram \"" + key + "\" bucket is not an int", err)) {
+          return false;
+        }
+      }
     }
   }
 

@@ -3,11 +3,13 @@
 // Every harness produces one document:
 //
 //   {
-//     "schema_version": 1,
+//     "schema_version": 2,
 //     "name":     "<harness>",
 //     "env":      { ... }                      // volatile (env.h)
 //     "timing":   { total_seconds, phases[] }  // volatile wall times
 //     "pool":     { ... }                      // volatile thread-pool stats
+//     "histograms": { name: {count, min/max/p50/p95/p99_seconds,
+//                            bucket_counts[]}, ... }  // volatile latencies
 //     "counters": { name: int, ... }           // deterministic
 //     "gauges":   { name: number, ... }        // deterministic
 //     "results":  { ... }                      // deterministic, per-harness
@@ -31,7 +33,8 @@ namespace rdo::obs {
 
 /// Version of the document layout above. Bump on breaking changes and
 /// record the migration in EXPERIMENTS.md.
-inline constexpr std::int64_t kBenchSchemaVersion = 1;
+/// v1 -> v2: added the "histograms" section (latency distributions).
+inline constexpr std::int64_t kBenchSchemaVersion = 2;
 
 class BenchReport {
  public:

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/offset.h"
+#include "obs/trace.h"
 
 namespace rdo::sim {
 
@@ -41,6 +42,13 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
   tiling_ = rdo::rram::compute_tiling(lq_.rows, lq_.cols, cfg_.xbar.rows,
                                       cfg_.xbar.cols,
                                       prog_.cells_per_weight());
+  rdo::obs::TraceSpan span("sim:build_layer", "sim");
+  span.arg("rows", lq_.rows);
+  span.arg("cols", lq_.cols);
+  span.arg("m", cfg_.offsets.m);
+  span.arg("groups", assign_.groups_per_col);
+  span.arg("row_tiles", tiling_.row_tiles);
+  span.arg("col_tiles", tiling_.col_tiles);
   // Program each tile: cell states from the CTWs, variation factors drawn
   // per weight (PerWeight scope: all cells of a weight share the factor)
   // or per cell (PerCell scope).
@@ -49,6 +57,9 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
   ctw_view.q = assign_.ctw;
   for (std::int64_t tr = 0; tr < tiling_.row_tiles; ++tr) {
     for (std::int64_t tc = 0; tc < tiling_.col_tiles; ++tc) {
+      rdo::obs::TraceSpan tile_span("sim:program_tile", "sim");
+      tile_span.arg("tr", tr);
+      tile_span.arg("tc", tc);
       std::vector<int> states =
           rdo::rram::tile_states(ctw_view, prog_, cfg_.xbar, tr, tc);
       std::vector<double> factors(states.size(), 1.0);
@@ -161,6 +172,8 @@ std::vector<double> CrossbarLayerExecutor::forward_bit_serial(
   if (input_bits < 1 || input_bits > 16 || x_max <= 0.0) {
     throw std::invalid_argument("forward_bit_serial: bad input format");
   }
+  rdo::obs::TraceSpan span("sim:forward_bit_serial", "sim");
+  span.arg("input_bits", input_bits);
   const int levels = (1 << input_bits) - 1;
   std::vector<int> xq(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) {
@@ -193,6 +206,7 @@ std::vector<double> CrossbarLayerExecutor::forward_bit_serial(
 }
 
 std::vector<double> CrossbarLayerExecutor::measure_crw() const {
+  rdo::obs::TraceSpan span("sim:measure_crw", "sim");
   const std::int64_t wpr = cfg_.xbar.cols / prog_.cells_per_weight();
   std::vector<double> crw(static_cast<std::size_t>(lq_.rows * lq_.cols));
   for (std::int64_t r = 0; r < lq_.rows; ++r) {

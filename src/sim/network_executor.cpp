@@ -9,6 +9,7 @@
 #include "nn/im2col.h"
 #include "nn/parallel.h"
 #include "nn/pooling.h"
+#include "obs/trace.h"
 #include "quant/act_quant.h"
 #include "rram/rlut.h"
 
@@ -159,6 +160,9 @@ std::vector<double> NetworkExecutor::forward_image(
         if (c <= 0) {
           throw std::logic_error("NetworkExecutor: conv needs an image");
         }
+        rdo::obs::TraceSpan stage_span("sim:conv_stage", "sim");
+        stage_span.arg("kernel", s.kernel);
+        stage_span.arg("out_channels", s.lq.cols);
         const int oh = static_cast<int>(
             rdo::nn::conv_out_dim(hh, s.kernel, s.stride, s.pad));
         const int ow = static_cast<int>(
@@ -204,6 +208,9 @@ std::vector<double> NetworkExecutor::forward_image(
         break;
       }
       case Stage::Kind::Crossbar: {
+        rdo::obs::TraceSpan stage_span("sim:crossbar_stage", "sim");
+        stage_span.arg("rows", s.lq.rows);
+        stage_span.arg("cols", s.lq.cols);
         std::vector<double> y = s.exec->forward(h);
         for (std::size_t k = 0; k < y.size(); ++k) y[k] += s.bias[k];
         h = std::move(y);
@@ -231,7 +238,12 @@ float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
   // own slot and the final reduction is an integer sum — the accuracy is
   // bit-identical for any thread count.
   std::vector<unsigned char> hit(static_cast<std::size_t>(n), 0);
+  rdo::obs::TraceSpan span("sim:evaluate", "sim");
+  span.arg("n", n);
   rdo::nn::parallel_for(n, [&](std::int64_t i0, std::int64_t i1) {
+    rdo::obs::TraceSpan chunk_span("sim:evaluate_chunk", "sim");
+    chunk_span.arg("begin", i0);
+    chunk_span.arg("end", i1);
     std::vector<double> x(static_cast<std::size_t>(sample));
     for (std::int64_t i = i0; i < i1; ++i) {
       const float* src = test.images->data() + i * sample;

@@ -2,8 +2,10 @@
 // recorder, BENCH document schema validation, and the end-to-end
 // determinism contract — the deterministic sections of a report are
 // byte-identical across RDO_THREADS settings for a fixed seed.
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -20,6 +22,7 @@
 #include "obs/json.h"
 #include "obs/recorder.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "quant/act_quant.h"
 
 using rdo::obs::Json;
@@ -275,4 +278,124 @@ TEST(Determinism, ReportIsByteIdenticalAcrossThreadCounts) {
   const Json doc = Json::parse(serial);
   EXPECT_EQ(doc.find("counters")->find("cycles")->as_int(), 3);
   EXPECT_GT(doc.find("counters")->find("device_pulses")->as_int(), 0);
+}
+
+TEST(Determinism, TracingDoesNotPerturbTheReport) {
+  // Tracing must never feed back into the computation or the report:
+  // trace counters go to the trace file, not the recorder, and spans
+  // only read the clock. The deterministic sections (which include the
+  // counters) must be byte-identical with tracing on and off.
+  const std::string untraced = deterministic_report(2);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rdo_test_obs_trace.json")
+          .string();
+  rdo::obs::trace_start(path);
+  const std::string traced = deterministic_report(2);
+  ASSERT_EQ(rdo::obs::trace_stop(), path);
+  EXPECT_EQ(traced, untraced);
+  std::filesystem::remove(path);
+}
+
+TEST(Json, NanAndInfinitySerializeAsNull) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(Json(nan).dump(), "null");
+  EXPECT_EQ(Json(inf).dump(), "null");
+  EXPECT_EQ(Json(-inf).dump(), "null");
+  // Round trip: a document holding non-finite values stays parseable
+  // (values come back as JSON null, never as a bogus literal like 1e999).
+  Json doc = Json::object();
+  doc["nan"] = nan;
+  doc["pos_inf"] = inf;
+  doc["neg_inf"] = -inf;
+  doc["finite"] = 2.5;
+  const Json back = Json::parse(doc.dump());
+  EXPECT_TRUE(back.find("nan")->is_null());
+  EXPECT_TRUE(back.find("pos_inf")->is_null());
+  EXPECT_TRUE(back.find("neg_inf")->is_null());
+  EXPECT_DOUBLE_EQ(back.find("finite")->as_double(), 2.5);
+  EXPECT_EQ(Json::parse(back.dump()).dump(), back.dump());
+}
+
+TEST(Recorder, HistogramPlacesSamplesInPowerOfTwoBuckets) {
+  rdo::obs::Recorder rec;
+  rec.observe("lat", 2e-6);    // 2 us -> bucket 1
+  rec.observe("lat", 1e-3);    // 1000 us -> bucket 9
+  rec.observe("lat", 1.0);     // 1e6 us -> bucket 19
+  rec.observe("lat", 1e-7);    // sub-microsecond clamps to bucket 0
+  rec.observe("lat", 1e9);     // beyond the range clamps to the last bucket
+  const Json h = rec.histograms_json();
+  const Json* lat = h.find("lat");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("count")->as_int(), 5);
+  EXPECT_DOUBLE_EQ(lat->find("min_seconds")->as_double(), 1e-7);
+  EXPECT_DOUBLE_EQ(lat->find("max_seconds")->as_double(), 1e9);
+  const Json* buckets = lat->find("bucket_counts");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(),
+            static_cast<std::size_t>(rdo::obs::kLatencyBuckets));
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < buckets->size(); ++i) {
+    total += buckets->at(i).as_int();
+  }
+  EXPECT_EQ(total, 5);
+  EXPECT_EQ(buckets->at(0).as_int(), 1);
+  EXPECT_EQ(buckets->at(1).as_int(), 1);
+  EXPECT_EQ(buckets->at(9).as_int(), 1);
+  EXPECT_EQ(buckets->at(19).as_int(), 1);
+  EXPECT_EQ(buckets->at(rdo::obs::kLatencyBuckets - 1).as_int(), 1);
+}
+
+TEST(Recorder, HistogramQuantilesAreBucketMidpointsClampedToRange) {
+  rdo::obs::Recorder rec;
+  // All mass in one bucket: every quantile collapses to the observed
+  // value because the midpoint is clamped to [min, max].
+  for (int i = 0; i < 100; ++i) rec.observe("tight", 1e-3);
+  const Json* tight = rec.histograms_json().find("tight");
+  ASSERT_NE(tight, nullptr);
+  EXPECT_DOUBLE_EQ(tight->find("p50_seconds")->as_double(), 1e-3);
+  EXPECT_DOUBLE_EQ(tight->find("p95_seconds")->as_double(), 1e-3);
+  EXPECT_DOUBLE_EQ(tight->find("p99_seconds")->as_double(), 1e-3);
+
+  // Spread mass: p50 lands on the middle sample's bucket midpoint,
+  // p95/p99 on the top bucket; ordering and bounds must hold.
+  rec.observe("spread", 2e-6);
+  rec.observe("spread", 1e-3);
+  rec.observe("spread", 1.0);
+  const Json* spread = rec.histograms_json().find("spread");
+  ASSERT_NE(spread, nullptr);
+  const double p50 = spread->find("p50_seconds")->as_double();
+  const double p95 = spread->find("p95_seconds")->as_double();
+  const double p99 = spread->find("p99_seconds")->as_double();
+  EXPECT_DOUBLE_EQ(p50, std::exp2(9.5) * 1e-6);   // bucket 9 midpoint
+  EXPECT_DOUBLE_EQ(p95, std::exp2(19.5) * 1e-6);  // bucket 19 midpoint
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, spread->find("min_seconds")->as_double());
+  EXPECT_LE(p99, spread->find("max_seconds")->as_double());
+}
+
+TEST(BenchReport, HistogramsAreVolatileButValidated) {
+  rdo::obs::BenchReport rep("unit_test", 1);
+  rep.recorder().observe("trial_seconds", 0.25);
+  const Json doc = rep.document();
+  std::string err;
+  EXPECT_TRUE(rdo::obs::validate_bench_document(doc, &err)) << err;
+  ASSERT_NE(doc.find("histograms"), nullptr);
+  EXPECT_NE(doc.find("histograms")->find("trial_seconds"), nullptr);
+  // Histograms are wall-clock derived, so they are excluded from the
+  // deterministic sections.
+  EXPECT_EQ(rep.deterministic_dump().find("histograms"), std::string::npos);
+
+  // The validator still accepts v1 documents (no histograms required)...
+  Json v1 = rep.document();
+  v1["schema_version"] = std::int64_t{1};
+  EXPECT_TRUE(rdo::obs::validate_bench_document(v1, &err)) << err;
+  // ...but a v2 document with a malformed histograms section fails.
+  Json bad = rep.document();
+  bad["histograms"] = 5;
+  EXPECT_FALSE(rdo::obs::validate_bench_document(bad, &err));
+  Json bad_entry = rep.document();
+  bad_entry["histograms"]["trial_seconds"]["bucket_counts"] = "nope";
+  EXPECT_FALSE(rdo::obs::validate_bench_document(bad_entry, &err));
 }

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/deploy.h"
@@ -293,4 +294,83 @@ TEST(Determinism, DeviceLevelEvaluateMatchesAcrossThreadCounts) {
     EXPECT_EQ(logits1[i], logits4[i]) << "logit " << i;
   }
   EXPECT_EQ(acc1, acc4);
+}
+
+TEST(PoolStats, ClassifiesInlineAndDispatchedLoops) {
+  nn::reset_pool_stats();
+  const nn::PoolStats zero = nn::pool_stats();
+  EXPECT_EQ(zero.parallel_loops, 0);
+  EXPECT_EQ(zero.inline_loops, 0);
+  EXPECT_EQ(zero.chunks_executed, 0);
+  EXPECT_EQ(zero.chunks_stolen, 0);
+
+  {
+    ThreadGuard guard(4);
+    nn::parallel_for(256, [](std::int64_t, std::int64_t) {}, /*grain=*/1);
+  }
+  nn::PoolStats s = nn::pool_stats();
+  EXPECT_EQ(s.parallel_loops, 1);
+  EXPECT_EQ(s.inline_loops, 0);
+  // chunk = max(1, ceil(256 / (4 threads * 4))) = 16 -> 16 chunks.
+  EXPECT_EQ(s.chunks_executed, 16);
+  EXPECT_LE(s.chunks_stolen, s.chunks_executed);
+
+  {
+    ThreadGuard guard(4);
+    // n <= grain runs inline and retires no chunks.
+    nn::parallel_for(4, [](std::int64_t, std::int64_t) {}, /*grain=*/10);
+  }
+  {
+    ThreadGuard guard(1);
+    // A serial pool runs inline too.
+    nn::parallel_for(256, [](std::int64_t, std::int64_t) {}, /*grain=*/1);
+  }
+  s = nn::pool_stats();
+  EXPECT_EQ(s.parallel_loops, 1);
+  EXPECT_EQ(s.inline_loops, 2);
+  EXPECT_EQ(s.chunks_executed, 16);
+
+  nn::reset_pool_stats();
+  const nn::PoolStats cleared = nn::pool_stats();
+  EXPECT_EQ(cleared.parallel_loops, 0);
+  EXPECT_EQ(cleared.inline_loops, 0);
+  EXPECT_EQ(cleared.chunks_executed, 0);
+  EXPECT_EQ(cleared.chunks_stolen, 0);
+}
+
+TEST(PoolStats, CountersStayConsistentUnderConcurrentLoops) {
+  ThreadGuard guard(4);
+  nn::reset_pool_stats();
+  // Four user threads each dispatch four loops concurrently; the pool is
+  // shared, so this exercises the relaxed counters under contention.
+  constexpr int kUserThreads = 4;
+  constexpr int kLoopsPerThread = 4;
+  constexpr std::int64_t kN = 256;  // -> 16 chunks per loop at 4 threads
+  std::atomic<std::int64_t> touched{0};
+  std::vector<std::thread> users;
+  users.reserve(kUserThreads);
+  for (int t = 0; t < kUserThreads; ++t) {
+    users.emplace_back([&touched] {
+      for (int k = 0; k < kLoopsPerThread; ++k) {
+        nn::parallel_for(
+            kN,
+            [&touched](std::int64_t begin, std::int64_t end) {
+              touched.fetch_add(end - begin, std::memory_order_relaxed);
+            },
+            /*grain=*/1);
+      }
+    });
+  }
+  for (std::thread& u : users) u.join();
+
+  EXPECT_EQ(touched.load(), kUserThreads * kLoopsPerThread * kN);
+  const nn::PoolStats s = nn::pool_stats();
+  EXPECT_EQ(s.parallel_loops + s.inline_loops,
+            kUserThreads * kLoopsPerThread);
+  // Every dispatched loop retires exactly ceil(n / chunk) chunks; chunks
+  // never disappear or double-count even with stealing.
+  EXPECT_EQ(s.chunks_executed, s.parallel_loops * 16);
+  EXPECT_GE(s.chunks_stolen, 0);
+  EXPECT_LE(s.chunks_stolen, s.chunks_executed);
+  nn::reset_pool_stats();
 }

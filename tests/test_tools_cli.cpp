@@ -1,0 +1,84 @@
+// End-to-end exit-code contract of the command-line tools. The binary
+// paths and the fixture directory are baked in by CMake, so these tests
+// exercise exactly what CI runs:
+//   validate_bench_json  0 ok / 1 schema-invalid / 2 usage / 3 parse-IO
+//   bench_diff           0 ok / 1 regression / 2 usage / 3 parse-IO
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+int run(const std::string& cmd) {
+  const int status = std::system((cmd + " > /dev/null 2>&1").c_str());
+  if (status == -1) return -1;
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+const std::string kValidate = VALIDATE_BIN;
+const std::string kBenchDiff = BENCH_DIFF_BIN;
+const std::string kData = TEST_DATA_DIR;
+
+}  // namespace
+
+TEST(ValidateCli, AcceptsAValidDocument) {
+  EXPECT_EQ(run(kValidate + " " + kData + "/bench_valid.json"), 0);
+}
+
+TEST(ValidateCli, SchemaViolationsExitOne) {
+  EXPECT_EQ(run(kValidate + " " + kData + "/bench_missing_version.json"), 1);
+  EXPECT_EQ(run(kValidate + " " + kData + "/bench_wrong_types.json"), 1);
+  // A schema violation dominates a parse error across a file list.
+  EXPECT_EQ(run(kValidate + " " + kData + "/bench_wrong_types.json " +
+                kData + "/malformed.json"),
+            1);
+}
+
+TEST(ValidateCli, ParseAndIoFailuresExitThree) {
+  EXPECT_EQ(run(kValidate + " " + kData + "/malformed.json"), 3);
+  EXPECT_EQ(run(kValidate + " " + kData + "/no_such_file.json"), 3);
+}
+
+TEST(ValidateCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run(kValidate), 2);
+  EXPECT_EQ(run(kValidate + " --bogus-flag x.json"), 2);
+  EXPECT_EQ(run(kValidate + " --trace"), 2);
+}
+
+TEST(ValidateCli, TraceModeChecksPerfettoStructure) {
+  EXPECT_EQ(run(kValidate + " --trace " + kData + "/trace_valid.json"), 0);
+  EXPECT_EQ(run(kValidate + " --trace " + kData + "/trace_invalid.json"), 1);
+  // A BENCH document is not a trace.
+  EXPECT_EQ(run(kValidate + " --trace " + kData + "/bench_valid.json"), 1);
+}
+
+TEST(BenchDiffCli, SelfCompareExitsZero) {
+  const std::string doc = kData + "/bench_valid.json";
+  EXPECT_EQ(run(kBenchDiff + " " + doc + " " + doc), 0);
+}
+
+TEST(BenchDiffCli, DivergenceExitsOneUnlessTolerated) {
+  const std::string base = kData + "/bench_valid.json";
+  const std::string cur = kData + "/bench_diverged.json";
+  EXPECT_EQ(run(kBenchDiff + " " + base + " " + cur), 1);
+  // Huge tolerances absorb the numeric drift (device_pulses +50%,
+  // accuracy -0.16); the volatile env/timing/pool changes never gate.
+  EXPECT_EQ(run(kBenchDiff + " --abs-tol 1 --counter-rel-tol 1 " + base +
+                " " + cur),
+            0);
+}
+
+TEST(BenchDiffCli, UsageAndIoErrors) {
+  EXPECT_EQ(run(kBenchDiff), 2);
+  EXPECT_EQ(run(kBenchDiff + " only_one.json"), 2);
+  EXPECT_EQ(run(kBenchDiff + " --abs-tol nope a.json b.json"), 2);
+  EXPECT_EQ(run(kBenchDiff + " " + kData + "/bench_valid.json " + kData +
+                "/no_such_file.json"),
+            3);
+  EXPECT_EQ(run(kBenchDiff + " " + kData + "/bench_valid.json " + kData +
+                "/malformed.json"),
+            3);
+}

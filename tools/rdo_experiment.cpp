@@ -163,6 +163,12 @@ int main(int argc, char** argv) {
     rep.results()["per_cycle"] = std::move(per_cycle);
     rep.results()["stats"] = core::deploy_stats_json(res.stats);
     core::add_deploy_phase_times(rep.recorder(), res.stats);
+    for (double s : res.trial_seconds) {
+      rep.recorder().observe("trial_seconds", s);
+    }
+    for (double s : res.stats.eval_seconds) {
+      rep.recorder().observe("deploy_evaluate_seconds", s);
+    }
 
     // Hardware accounting for the chosen configuration.
     obs::PhaseTimer t(rep.recorder(), "hardware_accounting");

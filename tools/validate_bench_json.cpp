@@ -1,41 +1,74 @@
-// validate_bench_json — schema check for BENCH_*.json documents.
+// validate_bench_json — schema check for BENCH_*.json documents and
+// (with --trace) Perfetto trace files.
 //
 //   validate_bench_json BENCH_ablation_design.json [more.json ...]
+//   validate_bench_json --trace trace_ablation_design.json
 //
-// Exits 0 when every file parses and conforms to the layout in
-// obs/report.h (schema_version 1); prints the first violation and exits
-// 1 otherwise. CI runs this against the artifacts each bench produces.
+// Exit codes (distinct so tests and CI can tell failure modes apart):
+//   0  every file parses and conforms to the expected layout
+//      (obs/report.h for BENCH documents, obs/trace.h for traces)
+//   1  at least one file parsed but violates the schema
+//   2  usage error (no files given / unknown flag)
+//   3  at least one file could not be read or is not valid JSON
+// Schema violations dominate I/O errors when both occur.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "obs/json.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: validate_bench_json <BENCH_*.json> [more ...]\n");
+  bool trace_mode = false;
+  int first_file = 1;
+  if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) {
+    trace_mode = true;
+    first_file = 2;
+  } else if (argc > 1 && argv[1][0] == '-') {
+    std::fprintf(stderr, "validate_bench_json: unknown flag %s\n", argv[1]);
     return 2;
   }
-  int bad = 0;
-  for (int i = 1; i < argc; ++i) {
+  if (first_file >= argc) {
+    std::fprintf(stderr,
+                 "usage: validate_bench_json [--trace] <file.json> "
+                 "[more ...]\n");
+    return 2;
+  }
+  int invalid = 0;
+  int errors = 0;
+  for (int i = first_file; i < argc; ++i) {
     const std::string path = argv[i];
     try {
       const rdo::obs::Json doc = rdo::obs::read_json_file(path);
       std::string err;
-      if (!rdo::obs::validate_bench_document(doc, &err)) {
-        std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), err.c_str());
-        ++bad;
-        continue;
+      if (trace_mode) {
+        if (!rdo::obs::validate_trace_document(doc, &err)) {
+          std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                       err.c_str());
+          ++invalid;
+          continue;
+        }
+        std::printf("%s: ok (%zu trace events)\n", path.c_str(),
+                    doc.find("traceEvents")->size());
+      } else {
+        if (!rdo::obs::validate_bench_document(doc, &err)) {
+          std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                       err.c_str());
+          ++invalid;
+          continue;
+        }
+        std::printf("%s: ok (schema_version %lld, name %s)\n", path.c_str(),
+                    static_cast<long long>(
+                        doc.find("schema_version")->as_int()),
+                    doc.find("name")->as_string().c_str());
       }
-      std::printf("%s: ok (schema_version %lld, name %s)\n", path.c_str(),
-                  static_cast<long long>(
-                      doc.find("schema_version")->as_int()),
-                  doc.find("name")->as_string().c_str());
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s: ERROR: %s\n", path.c_str(), e.what());
-      ++bad;
+      ++errors;
     }
   }
-  return bad == 0 ? 0 : 1;
+  if (invalid > 0) return 1;
+  if (errors > 0) return 3;
+  return 0;
 }
