@@ -4,6 +4,8 @@
 #include <filesystem>
 
 #include "baselines/dva.h"
+#include "core/backend.h"
+#include "core/plan.h"
 #include "models/lenet.h"
 #include "models/resnet.h"
 #include "models/vgg.h"
@@ -179,8 +181,7 @@ rdo::core::DeployOptions bench_options(rdo::core::Scheme scheme, int m,
 }
 
 std::vector<rdo::core::SchemeResult> run_grid(
-    rdo::nn::Sequential& master,
-    const std::function<std::unique_ptr<rdo::nn::Sequential>()>& make_blank,
+    const rdo::nn::Layer& master,
     const std::vector<rdo::core::DeployOptions>& points,
     const rdo::nn::DataView& train, const rdo::nn::DataView& test,
     int repeats) {
@@ -191,45 +192,64 @@ std::vector<rdo::core::SchemeResult> run_grid(
     r.trial_seconds.assign(static_cast<std::size_t>(repeats), 0.0);
     r.errors.assign(static_cast<std::size_t>(repeats), "");
   }
+  // Compile every grid point once; all of the point's trials share the
+  // plan. A throwing compile is recorded into each of that point's trial
+  // slots — one bad grid point must not discard the rest of the sweep.
+  std::vector<std::unique_ptr<rdo::core::DeploymentPlan>> plans(
+      points.size());
+  std::vector<std::string> compile_errors(points.size());
+  rdo::nn::parallel_for(npoints, [&](std::int64_t p0, std::int64_t p1) {
+    for (std::int64_t p = p0; p < p1; ++p) {
+      const auto pi = static_cast<std::size_t>(p);
+      try {
+        plans[pi] = std::make_unique<rdo::core::DeploymentPlan>(
+            rdo::core::compile_plan(master, points[pi], train));
+      } catch (const std::exception& e) {
+        compile_errors[pi] = e.what();
+      } catch (...) {
+        compile_errors[pi] = "unknown exception";
+      }
+    }
+  });
   std::vector<rdo::core::DeployStats> trial_stats(
       static_cast<std::size_t>(npoints * repeats));
   // One task per (point, trial): finer than per-point tasks, so a grid
-  // keeps every core busy even when repeats < cores. Each task gets a
-  // private clone of the trained network; `master` is only read. A
-  // throwing trial is recorded, not propagated — one bad grid point
-  // must not discard the rest of the sweep.
+  // keeps every core busy even when repeats < cores. Each task runs an
+  // EffectiveWeightBackend over a private clone of the trained network;
+  // `master` is only read. A throwing trial is recorded, not propagated.
   rdo::nn::parallel_for(npoints * repeats, [&](std::int64_t t0,
                                                std::int64_t t1) {
     for (std::int64_t t = t0; t < t1; ++t) {
       const std::int64_t point = t / repeats;
       const std::int64_t trial = t % repeats;
+      const auto pi = static_cast<std::size_t>(point);
+      const auto ti = static_cast<std::size_t>(trial);
+      if (plans[pi] == nullptr) {
+        results[pi].errors[ti] = compile_errors[pi];
+        continue;
+      }
       rdo::obs::Stopwatch watch;
       try {
-        auto net = make_blank();
-        rdo::nn::copy_state(*net, master);
-        rdo::core::Deployment dep(*net,
-                                  points[static_cast<std::size_t>(point)]);
-        dep.prepare(train);
-        dep.program_cycle(static_cast<std::uint64_t>(trial));
-        dep.tune(train);
-        results[static_cast<std::size_t>(point)]
-            .per_cycle[static_cast<std::size_t>(trial)] = dep.evaluate(test);
-        trial_stats[static_cast<std::size_t>(t)] = dep.stats();
+        rdo::core::EffectiveWeightBackend backend(*plans[pi], master);
+        backend.program_cycle(static_cast<std::uint64_t>(trial));
+        backend.tune(train);
+        results[pi].per_cycle[ti] = backend.evaluate(test);
+        trial_stats[static_cast<std::size_t>(t)] = backend.stats();
       } catch (const std::exception& e) {
-        results[static_cast<std::size_t>(point)]
-            .errors[static_cast<std::size_t>(trial)] = e.what();
+        results[pi].errors[ti] = e.what();
       } catch (...) {
-        results[static_cast<std::size_t>(point)]
-            .errors[static_cast<std::size_t>(trial)] = "unknown exception";
+        results[pi].errors[ti] = "unknown exception";
       }
-      results[static_cast<std::size_t>(point)]
-          .trial_seconds[static_cast<std::size_t>(trial)] = watch.seconds();
+      results[pi].trial_seconds[ti] = watch.seconds();
     }
   });
-  // Merge trial stats in trial order (outside the parallel region) so
-  // aggregated counters and traces are thread-count independent.
+  // Merge stats in (compile, trial...) order outside the parallel region
+  // so aggregated counters and traces are thread-count independent.
   for (std::int64_t p = 0; p < npoints; ++p) {
     auto& r = results[static_cast<std::size_t>(p)];
+    if (plans[static_cast<std::size_t>(p)] != nullptr) {
+      r.stats = plans[static_cast<std::size_t>(p)]->compile_stats;
+    }
     for (std::int64_t trial = 0; trial < repeats; ++trial) {
       r.stats.merge(trial_stats[static_cast<std::size_t>(p * repeats + trial)]);
     }

@@ -52,7 +52,7 @@ int main() {
   std::vector<core::SchemeResult> grid;
   {
     obs::PhaseTimer t(rep.recorder(), "deployment_sweep");
-    grid = run_grid(*net, blank_lenet, jobs, ds.train(), ds.test(), kRepeats);
+    grid = run_grid(*net, jobs, ds.train(), ds.test(), kRepeats);
   }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

@@ -45,7 +45,7 @@ int main() {
   std::vector<core::SchemeResult> grid;
   {
     obs::PhaseTimer t(rep.recorder(), "deployment_sweep");
-    grid = run_grid(*net, blank_resnet, jobs, ds.train(), ds.test(), 2);
+    grid = run_grid(*net, jobs, ds.train(), ds.test(), 2);
   }
   const double secs =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)

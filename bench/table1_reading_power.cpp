@@ -11,21 +11,19 @@
 #include <string>
 
 #include "common.h"
+#include "core/plan.h"
 
 using namespace rdo;
 using namespace rdo::bench;
 
 namespace {
 
-double ratio_for(rdo::nn::Sequential& net, const data::SyntheticDataset& ds,
-                 int m) {
+double ratio_for(const rdo::nn::Sequential& net,
+                 const data::SyntheticDataset& ds, int m) {
   auto o = bench_options(core::Scheme::VAWOStar, m, rram::CellKind::MLC2,
                          0.5);
-  core::Deployment dep(net, o);
-  dep.prepare(ds.train());
-  const double r = dep.assigned_read_power() / dep.plain_read_power();
-  dep.restore();
-  return r;
+  const core::DeploymentPlan plan = core::compile_plan(net, o, ds.train());
+  return plan.assigned_read_power() / plan.plain_read_power();
 }
 
 }  // namespace

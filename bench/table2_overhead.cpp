@@ -11,6 +11,7 @@
 
 #include "arch/isaac_cost.h"
 #include "common.h"
+#include "core/plan.h"
 
 using namespace rdo;
 using namespace rdo::bench;
@@ -39,10 +40,10 @@ int main() {
       obs::PhaseTimer t(rep.recorder(), "overhead_analysis");
       auto o = bench_options(core::Scheme::VAWOStar, m, rram::CellKind::MLC2,
                              0.5);
-      core::Deployment dep(*resnet, o);
-      dep.prepare(cifar.train());
-      const double ratio = dep.assigned_read_power() / dep.plain_read_power();
-      dep.restore();
+      const core::DeploymentPlan plan =
+          core::compile_plan(*resnet, o, cifar.train());
+      const double ratio =
+          plan.assigned_read_power() / plan.plain_read_power();
       const arch::TileOverhead ov = arch::tile_overhead(m, 8, ratio, tp);
       std::printf("%-6d %-10.3f %-12s %-10.2f %-12s\n", m, ov.area_mm2,
                   (std::to_string(ov.area_pct).substr(0, 4) + "%").c_str(),

@@ -3,7 +3,7 @@
 // The full production flow a user of this library would run:
 //   1. train LeNet in float                      (rdo::nn / rdo::models)
 //   2. characterize the device (build the E[R(v)]/Var[R(v)] LUT —
-//      done internally by Deployment from the variation model)
+//      done internally by core::compile_plan from the variation model)
 //   3. deploy with VAWO* + PWT on SLC crossbars   (rdo::core)
 //   4. report accuracy across the variation sweep, device reading power,
 //      crossbar count and the ISAAC tile overhead  (rdo::arch)
@@ -11,11 +11,11 @@
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
 #include "nn/optimizer.h"
 #include "nn/parallel.h"
-#include "nn/serialize.h"
 #include "nn/trainer.h"
 
 using namespace rdo;
@@ -40,17 +40,12 @@ int main() {
   const float ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
   std::printf("\nideal accuracy: %.2f%%\n", 100 * ideal);
 
-  // 2+3. Deploy across the variation sweep. The programming-cycle trials
-  // are Monte-Carlo repeats (each cycle's devices are seeded from
-  // Rng::split(trial)), so they run in parallel on private clones of the
-  // trained network — results are bit-identical to the serial
+  // 2+3. Deploy across the variation sweep. Each configuration compiles
+  // once into a shared DeploymentPlan; the programming-cycle trials are
+  // Monte-Carlo repeats (each cycle's devices are seeded from
+  // Rng::split(trial)) running in parallel on private backend clones of
+  // the trained network — results are bit-identical to the serial
   // core::run_scheme for any RDO_THREADS.
-  const auto clone_net = [&net]() -> std::unique_ptr<nn::Layer> {
-    nn::Rng blank_rng(7);
-    auto c = models::make_lenet({}, blank_rng);
-    nn::copy_state(*c, *net);
-    return c;
-  };
   std::printf("\ndeploying with %d threads (RDO_THREADS to override)\n",
               nn::thread_count());
   std::printf("\n%-8s %-10s %-12s\n", "sigma", "plain", "VAWO*+PWT");
@@ -67,32 +62,31 @@ int main() {
     full.scheme = core::Scheme::VAWOStarPWT;
 
     const float a_plain =
-        core::run_scheme_parallel(clone_net, plain, ds.train(), ds.test(), 2)
+        core::run_scheme_parallel(*net, plain, ds.train(), ds.test(), 2)
             .mean_accuracy;
     const float a_full =
-        core::run_scheme_parallel(clone_net, full, ds.train(), ds.test(), 2)
+        core::run_scheme_parallel(*net, full, ds.train(), ds.test(), 2)
             .mean_accuracy;
     std::printf("%-8.1f %8.2f%% %10.2f%%\n", sigma, 100 * a_plain,
                 100 * a_full);
   }
 
-  // 4. Hardware accounting for the deployed configuration.
+  // 4. Hardware accounting for the deployed configuration, read off a
+  // compiled plan (the trained network is never modified).
   core::DeployOptions o;
   o.scheme = core::Scheme::VAWOStar;
   o.offsets.m = 16;
   o.cell = {rram::CellKind::MLC2, 200.0};  // ISAAC stores 2 bits/cell
   o.variation.sigma = 0.5;
-  core::Deployment dep(*net, o);
-  dep.prepare(ds.train());
-  const double ratio = dep.assigned_read_power() / dep.plain_read_power();
+  const core::DeploymentPlan plan = core::compile_plan(*net, o, ds.train());
+  const double ratio = plan.assigned_read_power() / plan.plain_read_power();
   std::printf("\ncrossbars (128x128, 2-bit MLC): %lld\n",
-              static_cast<long long>(dep.total_crossbars()));
+              static_cast<long long>(plan.total_crossbars()));
   std::printf("offset registers (Eq. 9): %lld\n",
-              static_cast<long long>(dep.total_offset_registers()));
+              static_cast<long long>(plan.total_offset_registers()));
   std::printf("device reading power vs plain: %.1f%%\n", 100 * ratio);
   const arch::TileOverhead ov = arch::tile_overhead(16, 8, ratio);
   std::printf("ISAAC tile overhead: +%.3f mm^2 (%.1f%%), %+.2f mW (%.1f%%)\n",
               ov.area_mm2, ov.area_pct, ov.power_mw, ov.power_pct);
-  dep.restore();
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -68,10 +69,8 @@ int main() {
     const float acc =
         core::run_scheme(net, o, ds.train(), ds.test(), 2).mean_accuracy;
 
-    core::Deployment dep(net, o);
-    dep.prepare(ds.train());
-    const double ratio = dep.assigned_read_power() / dep.plain_read_power();
-    dep.restore();
+    const core::DeploymentPlan plan = core::compile_plan(net, o, ds.train());
+    const double ratio = plan.assigned_read_power() / plan.plain_read_power();
     const arch::TileOverhead ov = arch::tile_overhead(m, 8, ratio, tp, g);
     std::printf("%-6d %8.1f%% %12.1f%% %12.1f%%\n", m, 100 * acc,
                 ov.area_pct, ov.power_pct);

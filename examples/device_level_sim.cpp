@@ -4,19 +4,22 @@
 // bit-sliced cells in 128x128-class crossbar arrays, per-device
 // variation, group-by-group wordline activation, digital Sum+Multi offset
 // units, complement post-processing, the ISAAC weight shift, and digital
-// ReLU/bias between layers. It is the slow-but-faithful counterpart to
-// the effective-weight fast path used by core::Deployment (the test suite
-// proves the two agree); this example shows the same accuracy story told
-// entirely in devices, plus ISAAC bit-serial input streaming and the
-// energy model.
+// ReLU/bias between layers. sim::DeviceSimBackend is the
+// slow-but-faithful counterpart to core::EffectiveWeightBackend: both
+// execute the same compiled core::DeploymentPlan, and the parity test
+// suite proves their deterministic pipeline counters are bit-identical.
+// This example tells the same accuracy story entirely in devices, plus
+// ISAAC bit-serial input streaming and the energy model.
 #include <cstdio>
 
 #include "arch/energy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
 #include "nn/optimizer.h"
-#include "sim/network_executor.h"
+#include "nn/sequential.h"
+#include "sim/device_backend.h"
 
 using namespace rdo;
 
@@ -40,37 +43,54 @@ int main() {
   const float ideal = nn::evaluate(net, ds.test(), 64).accuracy;
   std::printf("ideal (float) accuracy: %.2f%%\n\n", 100 * ideal);
 
-  sim::NetworkExecutorOptions base;
-  base.exec.xbar.cell = {rram::CellKind::MLC2, 200.0};
-  base.exec.xbar.variation.sigma = 0.4;
-  base.exec.offsets.m = 16;
+  core::DeployOptions base;
+  base.cell = {rram::CellKind::MLC2, 200.0};
+  base.variation.sigma = 0.4;
+  base.offsets.m = 16;
   base.seed = 7;
 
   // Plain deployment: CTW = NTW, no offsets.
-  sim::NetworkExecutorOptions plain_opt = base;
-  plain_opt.use_vawo_star = false;
-  sim::NetworkExecutor plain(net, ds.train(), plain_opt);
+  core::DeployOptions plain_opt = base;
+  plain_opt.scheme = core::Scheme::Plain;
+  const core::DeploymentPlan plain_plan =
+      core::compile_plan(net, plain_opt, ds.train());
+  sim::DeviceSimBackend plain(plain_plan, net);
+  plain.program_cycle(0);
   std::printf("device-level, plain:              %.2f%%  (%lld crossbars)\n",
               100 * plain.evaluate(ds.test()),
               static_cast<long long>(plain.crossbar_count()));
 
-  // VAWO* CTWs.
-  sim::NetworkExecutorOptions vawo_opt = base;
-  sim::NetworkExecutor vawo(net, ds.train(), vawo_opt);
+  // VAWO* CTWs with digital offsets.
+  core::DeployOptions vawo_opt = base;
+  vawo_opt.scheme = core::Scheme::VAWOStar;
+  const core::DeploymentPlan vawo_plan =
+      core::compile_plan(net, vawo_opt, ds.train());
+  sim::DeviceSimBackend vawo(vawo_plan, net);
+  vawo.program_cycle(0);
   std::printf("device-level, VAWO*:              %.2f%%\n",
               100 * vawo.evaluate(ds.test()));
 
-  // Post-writing tuning on the measured conductances.
-  vawo.apply_mean_init_offsets();
-  std::printf("device-level, VAWO* + PWT init:   %.2f%%\n",
-              100 * vawo.evaluate(ds.test()));
+  // Post-writing tuning on this cycle's measured conductances.
+  core::DeployOptions full_opt = base;
+  full_opt.scheme = core::Scheme::VAWOStarPWT;
+  full_opt.pwt.epochs = 1;
+  full_opt.pwt.max_samples = 200;
+  const core::DeploymentPlan full_plan =
+      core::compile_plan(net, full_opt, ds.train());
+  sim::DeviceSimBackend full(full_plan, net);
+  full.program_cycle(0);
+  full.tune(ds.train());
+  std::printf("device-level, VAWO* + PWT:        %.2f%%\n",
+              100 * full.evaluate(ds.test()));
 
   // ISAAC bit-serial input streaming on one sample (layer 0).
   std::printf("\nbit-serial check (first test sample, layer 0 outputs):\n");
   const std::int64_t sample = ds.test_images.size() / ds.test_images.dim(0);
   std::vector<double> x(static_cast<std::size_t>(sample));
-  for (std::int64_t j = 0; j < sample; ++j) x[static_cast<std::size_t>(j)] = ds.test_images[j];
-  const auto logits = vawo.forward(x);
+  for (std::int64_t j = 0; j < sample; ++j) {
+    x[static_cast<std::size_t>(j)] = ds.test_images[j];
+  }
+  const auto logits = full.forward(x);
   std::printf("  logits[0..3] via full-precision inputs: %.3f %.3f %.3f\n",
               logits[0], logits[1], logits[2]);
 
@@ -78,8 +98,8 @@ int main() {
   arch::VmmGeometry g;
   g.m = 16;
   const double pj = arch::network_energy_pj(
-      vawo.crossbar_count(), /*vmm_count=*/1, g, 128.0 * 128.0 * 0.5);
+      full.crossbar_count(), /*vmm_count=*/1, g, 128.0 * 128.0 * 0.5);
   std::printf("\nestimated energy per inference: %.2f nJ (%lld crossbars)\n",
-              pj * 1e-3, static_cast<long long>(vawo.crossbar_count()));
+              pj * 1e-3, static_cast<long long>(full.crossbar_count()));
   return 0;
 }

@@ -35,29 +35,29 @@ LayerRisk assignment_risk(const rdo::quant::LayerQuant& lq,
   return risk;
 }
 
-std::vector<LayerRisk> deployment_risk(const Deployment& dep) {
+std::vector<LayerRisk> deployment_risk(const DeploymentPlan& plan) {
   std::vector<LayerRisk> risks;
-  risks.reserve(dep.layers().size());
-  for (const DeployedLayer& dl : dep.layers()) {
-    risks.push_back(assignment_risk(dl.lq, dl.assign, dep.lut()));
+  risks.reserve(plan.layers.size());
+  for (const PlanLayer& pl : plan.layers) {
+    risks.push_back(assignment_risk(pl.lq, pl.assign, plan.lut));
   }
   return risks;
 }
 
-double network_risk(const Deployment& dep) {
+double network_risk(const DeploymentPlan& plan) {
   double total = 0.0;
   double weights = 0.0;
-  for (const DeployedLayer& dl : dep.layers()) {
-    const LayerRisk r = assignment_risk(dl.lq, dl.assign, dep.lut());
-    const double n = static_cast<double>(dl.lq.rows * dl.lq.cols);
+  for (const PlanLayer& pl : plan.layers) {
+    const LayerRisk r = assignment_risk(pl.lq, pl.assign, plan.lut);
+    const double n = static_cast<double>(pl.lq.rows * pl.lq.cols);
     total += r.mean_sq_dev * n;
     weights += n;
   }
-  const int maxw = dep.layers().front().lq.levels();
+  const int maxw = plan.layers.front().lq.levels();
   return std::sqrt(total / weights) / static_cast<double>(maxw);
 }
 
-GranularityChoice choose_granularity(rdo::nn::Layer& net,
+GranularityChoice choose_granularity(const rdo::nn::Layer& net,
                                      DeployOptions base,
                                      const rdo::nn::DataView& train,
                                      const std::vector<int>& candidate_ms,
@@ -73,10 +73,8 @@ GranularityChoice choose_granularity(rdo::nn::Layer& net,
   for (int m : candidate_ms) {
     DeployOptions o = base;
     o.offsets.m = m;
-    Deployment dep(net, o);
-    dep.prepare(train);
-    const double r = network_risk(dep);
-    dep.restore();
+    const DeploymentPlan plan = compile_plan(net, o, train);
+    const double r = network_risk(plan);
     choice.candidates.emplace_back(m, r);
     if (best_risk < 0.0 || r < best_risk) {
       best_risk = r;

@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "core/deploy.h"
+#include "core/plan.h"
 
 namespace rdo::core {
 
@@ -29,13 +29,13 @@ LayerRisk assignment_risk(const rdo::quant::LayerQuant& lq,
                           const VawoResult& assign,
                           const rdo::rram::RLut& lut);
 
-/// Per-layer risks of a prepared Deployment (call after prepare()).
-std::vector<LayerRisk> deployment_risk(const Deployment& dep);
+/// Per-layer risks of a compiled DeploymentPlan.
+std::vector<LayerRisk> deployment_risk(const DeploymentPlan& plan);
 
 /// Network-level scalar: weight-count-weighted mean of the layer
 /// mean_sq_dev values, normalized to the integer range (rms_relative of
 /// the whole network).
-double network_risk(const Deployment& dep);
+double network_risk(const DeploymentPlan& plan);
 
 /// Result of the granularity auto-tuner.
 struct GranularityChoice {
@@ -49,8 +49,9 @@ struct GranularityChoice {
 /// Pick the coarsest (fewest-registers, Eq. 9) sharing granularity whose
 /// predicted network risk stays within `max_risk`; falls back to the
 /// minimum-risk candidate when none qualifies. Candidates are evaluated
-/// by running `prepare` (quantization + VAWO) — no device is programmed.
-GranularityChoice choose_granularity(rdo::nn::Layer& net,
+/// by compiling a plan (quantization + VAWO) per m — no device is
+/// programmed and `net` is never modified.
+GranularityChoice choose_granularity(const rdo::nn::Layer& net,
                                      DeployOptions base,
                                      const rdo::nn::DataView& train,
                                      const std::vector<int>& candidate_ms,

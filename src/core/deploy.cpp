@@ -1,15 +1,12 @@
 #include "core/deploy.h"
 
 #include <algorithm>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
-#include <stdexcept>
+#include <cctype>
 
+#include "core/backend.h"
+#include "core/plan.h"
 #include "nn/parallel.h"
 #include "obs/stopwatch.h"
-#include "obs/trace.h"
-#include "rram/tiler.h"
 
 namespace rdo::core {
 
@@ -60,58 +57,6 @@ void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s) {
   rec.add_phase("deploy:evaluate", s.eval_s);
 }
 
-namespace {
-
-/// Build the deployment LUT, timing the construction. When the
-/// RDO_LUT_CACHE_DIR environment variable names a directory, tables are
-/// cached there under their config fingerprint: a stale or corrupt
-/// entry is rebuilt (never silently reused — see RLut::load), and the
-/// file is written atomically (temp + rename) so concurrent deployments
-/// sharing a cache directory only ever observe complete tables.
-rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
-                         const DeployOptions& opt, DeployStats& stats) {
-  rdo::obs::ScopedTimer timer(&stats.lut_build_s);
-  rdo::obs::TraceSpan span("deploy:lut_build", "deploy");
-  span.arg("k_sets", opt.lut_k_sets);
-  span.arg("j_cycles", opt.lut_j_cycles);
-  const rdo::nn::Rng lut_rng = rdo::nn::Rng(opt.seed).split(0x11A7);
-  const char* dir = std::getenv("RDO_LUT_CACHE_DIR");
-  std::string path;
-  std::uint64_t fp = 0;
-  if (dir != nullptr && dir[0] != '\0') {
-    fp = rdo::rram::RLut::fingerprint(prog, opt.lut_k_sets,
-                                      opt.lut_j_cycles, opt.seed);
-    char hex[17];
-    std::snprintf(hex, sizeof(hex), "%016llx",
-                  static_cast<unsigned long long>(fp));
-    path = std::string(dir) + "/rlut_" + hex + ".bin";
-    rdo::rram::RLut cached;
-    try {
-      if (rdo::rram::RLut::load(path, fp, cached)) {
-        span.arg("cache_hit", std::int64_t{1});
-        return cached;
-      }
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "[deploy] corrupt LUT cache entry %s (%s); "
-                   "rebuilding\n", path.c_str(), e.what());
-    }
-  }
-  span.arg("cache_hit", std::int64_t{0});
-  rdo::rram::RLut lut = rdo::rram::RLut::build(prog, opt.lut_k_sets,
-                                               opt.lut_j_cycles, lut_rng);
-  if (!path.empty()) {
-    try {
-      lut.save(path, fp);
-    } catch (const std::exception& e) {
-      std::fprintf(stderr, "[deploy] cannot cache LUT to %s: %s\n",
-                   path.c_str(), e.what());
-    }
-  }
-  return lut;
-}
-
-}  // namespace
-
 const char* to_string(Scheme s) {
   switch (s) {
     case Scheme::Plain: return "plain";
@@ -123,320 +68,54 @@ const char* to_string(Scheme s) {
   return "?";
 }
 
-Deployment::Deployment(rdo::nn::Layer& net, DeployOptions opt)
-    : net_(net),
-      opt_(opt),
-      prog_(opt.cell, opt.weight_bits, opt.variation, opt.faults),
-      lut_(make_lut(prog_, opt_, stats_)) {
-  std::vector<rdo::nn::Layer*> all;
-  collect_layers(&net_, all);
-  for (rdo::nn::Layer* l : all) {
-    if (auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l)) {
-      DeployedLayer dl;
-      dl.op = op;
-      layers_.push_back(std::move(dl));
-    }
-    if (auto* aq = dynamic_cast<rdo::quant::ActQuant*>(l)) {
-      act_quants_.push_back(aq);
-    }
-  }
-  if (layers_.empty()) {
-    throw std::invalid_argument("Deployment: network has no crossbar layers");
-  }
-  // Snapshot float weights for restore().
-  float_backup_.reserve(layers_.size());
-  for (DeployedLayer& dl : layers_) {
-    std::vector<float> w(static_cast<std::size_t>(dl.op->fan_in() *
-                                                  dl.op->fan_out()));
-    for (std::int64_t r = 0; r < dl.op->fan_in(); ++r) {
-      for (std::int64_t c = 0; c < dl.op->fan_out(); ++c) {
-        w[static_cast<std::size_t>(r * dl.op->fan_out() + c)] =
-            dl.op->weight_at(r, c);
-      }
-    }
-    float_backup_.push_back(std::move(w));
-  }
+std::optional<Scheme> parse_scheme(std::string_view s) {
+  std::string low(s);
+  std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (low == "plain") return Scheme::Plain;
+  if (low == "vawo") return Scheme::VAWO;
+  if (low == "vawo*") return Scheme::VAWOStar;
+  if (low == "pwt") return Scheme::PWT;
+  if (low == "vawo*+pwt") return Scheme::VAWOStarPWT;
+  return std::nullopt;
 }
 
-Deployment::~Deployment() {
-  try {
-    restore();
-  } catch (...) {
-    // restore() only writes in-memory tensors; never throws in practice.
-  }
-}
-
-void Deployment::calibrate_act_quant(const rdo::nn::DataView& data) {
-  if (act_quants_.empty()) return;
-  for (auto* aq : act_quants_) aq->disable();
-  // Observe activation ranges on a few batches at the quantized-weight
-  // operating point.
-  const std::int64_t n = std::min<std::int64_t>(data.size(), 128);
-  std::vector<std::int64_t> idx;
-  for (std::int64_t i = 0; i < n; ++i) idx.push_back(i);
-  rdo::nn::Tensor batch = gather_batch(*data.images, idx);
-  (void)net_.forward(batch, /*train=*/false);
-  for (auto* aq : act_quants_) aq->calibrate(aq->observed_max());
-}
-
-void Deployment::prepare(const rdo::nn::DataView& train) {
-  rdo::obs::ScopedTimer timer(&stats_.prepare_s);
-  rdo::obs::TraceSpan span("deploy:prepare", "deploy");
-  span.arg("layers", static_cast<std::int64_t>(layers_.size()));
-  // 1. Quantize every crossbar layer and move the network to the
-  //    quantized operating point (NTW round-trip).
-  for (DeployedLayer& dl : layers_) {
-    dl.lq = rdo::quant::quantize_matrix(*dl.op, opt_.weight_bits);
-    rdo::quant::apply_quantized(*dl.op, dl.lq);
-  }
-  if (opt_.quantize_activations) calibrate_act_quant(train);
-
-  // 2. Scheme-dependent CTW/offset assignment.
-  if (scheme_uses_vawo(opt_.scheme)) {
-    accumulate_mean_gradients(net_, train, opt_.grad_batch,
-                              opt_.grad_samples);
-    VawoOptions vopt;
-    vopt.offsets = opt_.offsets;
-    vopt.use_complement = scheme_uses_complement(opt_.scheme);
-    vopt.penalize_bias = opt_.penalize_bias;
-    rdo::obs::ScopedTimer solve_timer(&stats_.vawo_solve_s);
-    rdo::obs::TraceSpan solve_span("deploy:vawo_solve", "deploy");
-    for (std::size_t li = 0; li < layers_.size(); ++li) {
-      DeployedLayer& dl = layers_[li];
-      rdo::obs::TraceSpan layer_span("vawo:layer", "deploy");
-      layer_span.arg("layer", static_cast<std::int64_t>(li));
-      layer_span.arg("rows", dl.lq.rows);
-      layer_span.arg("cols", dl.lq.cols);
-      std::vector<double> grads(static_cast<std::size_t>(dl.lq.rows *
-                                                         dl.lq.cols));
-      for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
-        for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
-          grads[static_cast<std::size_t>(r * dl.lq.cols + c)] =
-              dl.op->weight_grad_at(r, c);
-        }
-      }
-      dl.assign = vawo_layer(dl.lq, grads, lut_, vopt);
-      layer_span.arg("groups", dl.assign.groups_per_col);
-    }
-    for (rdo::nn::Param* p : net_.params()) p->zero_grad();
-  } else {
-    for (DeployedLayer& dl : layers_) {
-      dl.assign = plain_layer(dl.lq, opt_.offsets.m);
-    }
-  }
-  prepared_ = true;
-}
-
-void Deployment::program_cycle(std::uint64_t cycle_salt) {
-  if (!prepared_) throw std::logic_error("Deployment: prepare() first");
-  rdo::obs::ScopedTimer timer(&stats_.program_s);
-  rdo::obs::TraceSpan span("deploy:program", "deploy");
-  span.arg("cycle", static_cast<std::int64_t>(cycle_salt));
-  rdo::nn::Rng rng =
-      rdo::nn::Rng(opt_.seed).split(0xC0DEull + cycle_salt * 7919ull);
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
-    DeployedLayer& dl = layers_[li];
-    rdo::obs::TraceSpan layer_span("program:layer", "deploy");
-    layer_span.arg("layer", static_cast<std::int64_t>(li));
-    layer_span.arg("weights", static_cast<std::int64_t>(dl.assign.ctw.size()));
-    rdo::nn::Rng lrng = rng.split(li);
-    dl.crw.resize(dl.assign.ctw.size());
-    for (std::size_t i = 0; i < dl.assign.ctw.size(); ++i) {
-      dl.crw[i] = prog_.program(dl.assign.ctw[i], lrng);
-    }
-    stats_.weights_programmed +=
-        static_cast<std::int64_t>(dl.assign.ctw.size());
-    stats_.device_pulses += static_cast<std::int64_t>(dl.assign.ctw.size()) *
-                            prog_.cells_per_weight();
-    // Each cycle starts from the a-priori (VAWO or zero) offsets; PWT then
-    // adapts them to this cycle's CRWs.
-    dl.offsets = dl.assign.offsets;
-  }
-  ++stats_.cycles;
-  rdo::obs::trace_counter("device_pulses", stats_.device_pulses);
-  apply_effective_weights();
-}
-
-void Deployment::apply_effective_weights() {
-  const float maxw = static_cast<float>(prog_.max_weight());
-  for (DeployedLayer& dl : layers_) {
-    const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
-    for (std::int64_t r = 0; r < rows; ++r) {
-      const std::int64_t g = group_of_row(r, opt_.offsets.m);
-      for (std::int64_t c = 0; c < cols; ++c) {
-        const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-        const float b = dl.offsets[gi];
-        const double v = dl.crw[static_cast<std::size_t>(r * cols + c)];
-        const double nrw = dl.assign.complemented[gi]
-                               ? static_cast<double>(maxw) - v - b
-                               : v + b;
-        dl.op->set_weight_at(r, c, dl.lq.dequant(static_cast<float>(nrw)));
-      }
-    }
-  }
-  weights_deployed_ = true;
-}
-
-void Deployment::apply_group_delta(DeployedLayer& dl, std::int64_t c,
-                                   std::int64_t g, float delta_b) {
-  const std::int64_t cols = dl.lq.cols;
-  const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-  const float sign = dl.assign.complemented[gi] ? -1.0f : 1.0f;
-  const float dw = sign * dl.lq.scale * delta_b;
-  const std::int64_t r0 = g * opt_.offsets.m;
-  const std::int64_t r1 =
-      std::min<std::int64_t>(dl.lq.rows, r0 + opt_.offsets.m);
-  for (std::int64_t r = r0; r < r1; ++r) {
-    dl.op->set_weight_at(r, c, dl.op->weight_at(r, c) + dw);
-  }
-}
-
-void Deployment::tune(const rdo::nn::DataView& train) {
-  if (!scheme_uses_pwt(opt_.scheme)) return;
-  rdo::obs::ScopedTimer timer(&stats_.tune_s);
-  rdo::obs::TraceSpan span("deploy:tune", "deploy");
-  const float lo = static_cast<float>(opt_.offsets.offset_min());
-  const float hi = static_cast<float>(opt_.offsets.offset_max());
-  if (opt_.pwt.mean_init) {
-    // Closed-form warm start from the measured CRWs: the offset that
-    // zeroes the mean NRW deviation of each group.
-    const int maxw = prog_.max_weight();
-    for (DeployedLayer& dl : layers_) {
-      const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
-      for (std::int64_t c = 0; c < cols; ++c) {
-        for (std::int64_t g = 0; g < dl.assign.groups_per_col; ++g) {
-          const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-          const std::int64_t r0 = g * opt_.offsets.m;
-          const std::int64_t r1 =
-              std::min<std::int64_t>(rows, r0 + opt_.offsets.m);
-          double acc = 0.0;
-          for (std::int64_t r = r0; r < r1; ++r) {
-            const int ntw = dl.lq.at(r, c);
-            const double target =
-                dl.assign.complemented[gi] ? maxw - ntw : ntw;
-            acc += target - dl.crw[static_cast<std::size_t>(r * cols + c)];
-          }
-          dl.offsets[gi] = std::clamp(
-              static_cast<float>(acc / static_cast<double>(r1 - r0)), lo,
-              hi);
-        }
-      }
-    }
-    apply_effective_weights();
-  }
-  run_pwt(train);
-  // Snap tuned offsets onto the signed offset-register grid and rebuild
-  // the effective weights from scratch (removes incremental-update drift).
-  for (DeployedLayer& dl : layers_) {
-    for (float& b : dl.offsets) b = std::clamp(std::round(b), lo, hi);
-  }
-  apply_effective_weights();
-}
-
-float Deployment::evaluate(const rdo::nn::DataView& test,
-                           std::int64_t batch) {
-  if (!weights_deployed_) {
-    throw std::logic_error("Deployment: program_cycle() first");
-  }
-  rdo::obs::ScopedTimer timer(&stats_.eval_s);
-  rdo::obs::TraceSpan span("deploy:evaluate", "deploy");
-  span.arg("batch", batch);
-  rdo::obs::Stopwatch watch;
-  const float acc = rdo::nn::evaluate(net_, test, batch).accuracy;
-  stats_.eval_seconds.push_back(watch.seconds());
-  span.arg("accuracy", static_cast<double>(acc));
-  stats_.eval_accuracy.push_back(acc);
-  return acc;
-}
-
-void Deployment::restore() {
-  for (std::size_t li = 0; li < layers_.size(); ++li) {
-    DeployedLayer& dl = layers_[li];
-    const std::vector<float>& w = float_backup_[li];
-    for (std::int64_t r = 0; r < dl.op->fan_in(); ++r) {
-      for (std::int64_t c = 0; c < dl.op->fan_out(); ++c) {
-        dl.op->set_weight_at(
-            r, c, w[static_cast<std::size_t>(r * dl.op->fan_out() + c)]);
-      }
-    }
-  }
-  for (auto* aq : act_quants_) aq->disable();
-  weights_deployed_ = false;
-}
-
-double Deployment::read_power_of(const std::vector<int>& weights) const {
-  double p = 0.0;
-  for (int v : weights) {
-    for (int s : prog_.slice(v)) p += opt_.cell.read_power(s);
-  }
-  return p;
-}
-
-double Deployment::assigned_read_power() const {
-  double p = 0.0;
-  for (const DeployedLayer& dl : layers_) p += read_power_of(dl.assign.ctw);
-  return p;
-}
-
-double Deployment::plain_read_power() const {
-  double p = 0.0;
-  for (const DeployedLayer& dl : layers_) {
-    p += read_power_of(dl.lq.q);
-  }
-  return p;
-}
-
-std::int64_t Deployment::total_crossbars(int xbar_rows, int xbar_cols) const {
-  std::int64_t n = 0;
-  for (const DeployedLayer& dl : layers_) {
-    n += rdo::rram::compute_tiling(dl.op->fan_in(), dl.op->fan_out(),
-                                   xbar_rows, xbar_cols,
-                                   prog_.cells_per_weight())
-             .total_crossbars();
-  }
-  return n;
-}
-
-std::int64_t Deployment::total_offset_registers() const {
-  std::int64_t n = 0;
-  for (const DeployedLayer& dl : layers_) {
-    n += groups_per_column(dl.op->fan_in(), opt_.offsets.m) *
-         dl.op->fan_out();
-  }
-  return n;
-}
-
-SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
+SchemeResult run_scheme(const rdo::nn::Layer& net, const DeployOptions& opt,
                         const rdo::nn::DataView& train,
                         const rdo::nn::DataView& test, int repeats,
                         std::int64_t eval_batch) {
-  Deployment dep(net, opt);
-  dep.prepare(train);
+  const DeploymentPlan plan = compile_plan(net, opt, train);
+  EffectiveWeightBackend backend(plan, net);
   SchemeResult res;
   double total = 0.0;
   for (int cycle = 0; cycle < repeats; ++cycle) {
     rdo::obs::Stopwatch watch;
-    dep.program_cycle(static_cast<std::uint64_t>(cycle));
-    dep.tune(train);
-    const float acc = dep.evaluate(test, eval_batch);
+    backend.program_cycle(static_cast<std::uint64_t>(cycle));
+    backend.tune(train);
+    const float acc = backend.evaluate(test, eval_batch);
     res.per_cycle.push_back(acc);
     res.trial_seconds.push_back(watch.seconds());
     total += acc;
   }
-  dep.restore();
   res.mean_accuracy =
       static_cast<float>(total / std::max(1, repeats));
-  res.stats = dep.stats();
+  res.stats = plan.compile_stats;
+  res.stats.merge(backend.stats());
   res.errors.assign(static_cast<std::size_t>(std::max(0, repeats)), "");
   return res;
 }
 
-SchemeResult run_scheme_parallel(
-    const std::function<std::unique_ptr<rdo::nn::Layer>()>& make_net,
-    const DeployOptions& opt, const rdo::nn::DataView& train,
-    const rdo::nn::DataView& test, int repeats, std::int64_t eval_batch) {
+SchemeResult run_scheme_parallel(const rdo::nn::Layer& net,
+                                 const DeployOptions& opt,
+                                 const rdo::nn::DataView& train,
+                                 const rdo::nn::DataView& test, int repeats,
+                                 std::int64_t eval_batch) {
   SchemeResult res;
   if (repeats <= 0) return res;
+  // Compile once; the plan is read-only afterwards and shared by every
+  // trial's backend.
+  const DeploymentPlan plan = compile_plan(net, opt, train);
   res.per_cycle.assign(static_cast<std::size_t>(repeats), 0.0f);
   res.trial_seconds.assign(static_cast<std::size_t>(repeats), 0.0);
   res.errors.assign(static_cast<std::size_t>(repeats), "");
@@ -444,19 +123,18 @@ SchemeResult run_scheme_parallel(
   rdo::nn::parallel_for(repeats, [&](std::int64_t t0, std::int64_t t1) {
     for (std::int64_t trial = t0; trial < t1; ++trial) {
       rdo::obs::Stopwatch watch;
-      std::unique_ptr<rdo::nn::Layer> net = make_net();
-      Deployment dep(*net, opt);
-      dep.prepare(train);
-      dep.program_cycle(static_cast<std::uint64_t>(trial));
-      dep.tune(train);
+      EffectiveWeightBackend backend(plan, net);
+      backend.program_cycle(static_cast<std::uint64_t>(trial));
+      backend.tune(train);
       res.per_cycle[static_cast<std::size_t>(trial)] =
-          dep.evaluate(test, eval_batch);
-      trial_stats[static_cast<std::size_t>(trial)] = dep.stats();
+          backend.evaluate(test, eval_batch);
+      trial_stats[static_cast<std::size_t>(trial)] = backend.stats();
       res.trial_seconds[static_cast<std::size_t>(trial)] = watch.seconds();
     }
   });
   // Merge in trial order so the aggregated traces are identical to the
   // serial run for any thread count.
+  res.stats = plan.compile_stats;
   for (const DeployStats& s : trial_stats) res.stats.merge(s);
   double total = 0.0;
   for (float a : res.per_cycle) total += a;

@@ -7,30 +7,39 @@
 //   PWT          plain CTWs, offsets trained post-writing (§III-D)
 //   VAWOStarPWT  VAWO* then PWT                   (§IV-A3, the full method)
 //
-// Pipeline per programming cycle (CCV means every cycle lands different
-// CRWs):  prepare (once)  ->  program_cycle  ->  tune  ->  evaluate.
+// The pipeline is split into a compile stage and an execution stage:
+// compile_plan() (core/plan.h) runs everything scheme-dependent but
+// backend-independent once, and an ExecutionBackend (core/backend.h,
+// sim/device_backend.h) realizes programming cycles from the shared
+// plan:  compile_plan (once)  ->  program_cycle  ->  tune  ->  evaluate.
+// CCV means every cycle lands different CRWs; cycles are independent.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
-#include "core/vawo.h"
+#include "core/offset.h"
 #include "nn/layer.h"
 #include "nn/trainer.h"
 #include "obs/json.h"
 #include "obs/recorder.h"
-#include "quant/act_quant.h"
-#include "rram/crossbar.h"
-#include "rram/rlut.h"
+#include "rram/cell.h"
+#include "rram/faults.h"
+#include "rram/variation.h"
 
 namespace rdo::core {
 
 enum class Scheme { Plain, VAWO, VAWOStar, PWT, VAWOStarPWT };
 
 const char* to_string(Scheme s);
+/// Inverse of to_string(Scheme): accepts the canonical display names
+/// ("plain", "VAWO", "VAWO*", "PWT", "VAWO*+PWT") case-insensitively, so
+/// the lowercase command-line spellings parse too. Returns nullopt for
+/// anything else.
+std::optional<Scheme> parse_scheme(std::string_view s);
 inline bool scheme_uses_vawo(Scheme s) {
   return s == Scheme::VAWO || s == Scheme::VAWOStar ||
          s == Scheme::VAWOStarPWT;
@@ -58,32 +67,40 @@ struct PwtOptions {
   bool mean_init = true;
 };
 
-struct DeployOptions {
-  Scheme scheme = Scheme::Plain;
-  OffsetConfig offsets;                 ///< m and offset register width
-  rdo::rram::CellModel cell;            ///< SLC or MLC2, ON/OFF ratio
-  rdo::rram::VariationModel variation;  ///< sigma (and optional DDV split)
-  rdo::rram::FaultModel faults;         ///< optional stuck-at-fault rates
-  int weight_bits = 8;
+/// Knobs of the shared compile/execute pipeline that every deployment
+/// path consumes — the single source of truth for the LUT protocol, the
+/// gradient-estimation budget and the master seed (the device simulator
+/// reads them from the plan instead of carrying shadow copies).
+struct PipelineConfig {
   /// LUT statistical-testing protocol (K device sets x J cycles per CTW).
   int lut_k_sets = 16;
   int lut_j_cycles = 8;
   /// Samples used to estimate the mean loss gradient for VAWO.
   std::int64_t grad_samples = 256;
   std::int64_t grad_batch = 32;
+  std::uint64_t seed = 1;  ///< master seed (LUT build, programming base)
+};
+
+struct DeployOptions : PipelineConfig {
+  Scheme scheme = Scheme::Plain;
+  OffsetConfig offsets;                 ///< m and offset register width
+  rdo::rram::CellModel cell;            ///< SLC or MLC2, ON/OFF ratio
+  rdo::rram::VariationModel variation;  ///< sigma (and optional DDV split)
+  rdo::rram::FaultModel faults;         ///< optional stuck-at-fault rates
+  int weight_bits = 8;
   PwtOptions pwt;
   bool quantize_activations = true;
   bool penalize_bias = true;  ///< see VawoOptions
-  std::uint64_t seed = 1;     ///< master seed (LUT build, programming base)
 };
 
 /// Per-deployment observability record, accumulated across the
-/// prepare -> program_cycle -> tune -> evaluate pipeline.
+/// compile -> program_cycle -> tune -> evaluate pipeline.
 ///
 /// The struct is split along the determinism boundary of the BENCH_*.json
 /// schema (see obs/report.h): wall times are volatile; every counter and
 /// trace below them is derived from the seeded computation and is
-/// bit-identical for any RDO_THREADS setting.
+/// bit-identical for any RDO_THREADS setting — and across execution
+/// backends, which is what the parity suite gates.
 struct DeployStats {
   // --- volatile wall times (seconds) ---
   double lut_build_s = 0.0;   ///< statistical LUT construction (K x J)
@@ -122,86 +139,6 @@ struct DeployStats {
 /// "deploy:*" names (aggregates across calls).
 void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s);
 
-/// One crossbar-mapped layer of the deployed network.
-struct DeployedLayer {
-  rdo::nn::MatrixOp* op = nullptr;
-  rdo::quant::LayerQuant lq;       ///< NTWs + scale/zero
-  VawoResult assign;               ///< CTWs, base offsets, complement flags
-  std::vector<float> offsets;      ///< working offsets (tuned by PWT)
-  std::vector<double> crw;         ///< measured CRWs of the current cycle
-};
-
-class Deployment {
- public:
-  /// `net` must outlive the Deployment; its weights are replaced by the
-  /// deployed effective weights until restore() (also called by the
-  /// destructor).
-  Deployment(rdo::nn::Layer& net, DeployOptions opt);
-  ~Deployment();
-  Deployment(const Deployment&) = delete;
-  Deployment& operator=(const Deployment&) = delete;
-
-  /// One-time preparation: quantize weights, calibrate activation
-  /// quantizers, collect mean gradients and run VAWO (scheme-dependent).
-  void prepare(const rdo::nn::DataView& train);
-
-  /// Program every CTW once (one CCV cycle) and load the resulting
-  /// effective weights into the network.
-  void program_cycle(std::uint64_t cycle_salt);
-
-  /// Post-writing tuning of the digital offsets (no-op unless the scheme
-  /// includes PWT). Rounds offsets to the register grid when done.
-  void tune(const rdo::nn::DataView& train);
-
-  /// Test accuracy of the currently deployed network.
-  float evaluate(const rdo::nn::DataView& test, std::int64_t batch = 64);
-
-  /// Restore the original float weights.
-  void restore();
-
-  [[nodiscard]] const std::vector<DeployedLayer>& layers() const {
-    return layers_;
-  }
-  std::vector<DeployedLayer>& mutable_layers() { return layers_; }
-  [[nodiscard]] const rdo::rram::RLut& lut() const { return lut_; }
-  [[nodiscard]] const rdo::rram::WeightProgrammer& programmer() const {
-    return prog_;
-  }
-  [[nodiscard]] const DeployOptions& options() const { return opt_; }
-  /// Per-phase wall times and deterministic pipeline counters,
-  /// accumulated since construction.
-  [[nodiscard]] const DeployStats& stats() const { return stats_; }
-
-  /// Nominal device read power of the assigned CTWs (Table I numerator).
-  [[nodiscard]] double assigned_read_power() const;
-  /// Nominal device read power of the plain NTW assignment (denominator).
-  [[nodiscard]] double plain_read_power() const;
-  /// Crossbars needed to hold all layers (Table III accounting).
-  [[nodiscard]] std::int64_t total_crossbars(int xbar_rows = 128,
-                                             int xbar_cols = 128) const;
-  /// Offset registers needed across all layers (Eq. 9 summed).
-  [[nodiscard]] std::int64_t total_offset_registers() const;
-
- private:
-  rdo::nn::Layer& net_;
-  DeployOptions opt_;
-  rdo::rram::WeightProgrammer prog_;
-  DeployStats stats_;  ///< declared before lut_: timed during its init
-  rdo::rram::RLut lut_;
-  std::vector<DeployedLayer> layers_;
-  std::vector<std::vector<float>> float_backup_;
-  std::vector<rdo::quant::ActQuant*> act_quants_;
-  bool prepared_ = false;
-  bool weights_deployed_ = false;
-
-  void apply_effective_weights();
-  void apply_group_delta(DeployedLayer& dl, std::int64_t c, std::int64_t g,
-                         float delta_b);
-  void calibrate_act_quant(const rdo::nn::DataView& data);
-  void run_pwt(const rdo::nn::DataView& train);  // defined in pwt.cpp
-  double read_power_of(const std::vector<int>& weights) const;
-};
-
 /// Result of running one scheme over several programming cycles.
 struct SchemeResult {
   float mean_accuracy = 0.0f;
@@ -209,8 +146,9 @@ struct SchemeResult {
   /// Wall time of each program/tune/evaluate cycle (latency samples;
   /// volatile, slot order matches per_cycle for any thread count).
   std::vector<double> trial_seconds;
-  /// Pipeline stats aggregated over the cycles (run_scheme) or merged
-  /// over the independent trials in trial order (parallel harnesses).
+  /// Pipeline stats: the shared compile stage folded together with the
+  /// cycles (run_scheme) or with the independent trials in trial order
+  /// (parallel harnesses).
   DeployStats stats;
   /// One entry per cycle/trial: empty string when the trial succeeded,
   /// the exception message otherwise (bench::run_grid records failures
@@ -225,30 +163,26 @@ struct SchemeResult {
   }
 };
 
-/// Convenience harness: prepare once, then `repeats` program/tune/evaluate
-/// cycles with distinct CCV draws; restores the network afterwards.
-SchemeResult run_scheme(rdo::nn::Layer& net, const DeployOptions& opt,
+/// Convenience harness: compile the plan once, then run `repeats`
+/// program/tune/evaluate cycles with distinct CCV draws on an
+/// EffectiveWeightBackend. `net` is cloned internally and never modified.
+SchemeResult run_scheme(const rdo::nn::Layer& net, const DeployOptions& opt,
                         const rdo::nn::DataView& train,
                         const rdo::nn::DataView& test, int repeats,
                         std::int64_t eval_batch = 64);
 
-/// Parallel Monte-Carlo variant of run_scheme: the `repeats` programming
-/// cycles are embarrassingly parallel (each cycle's devices are drawn
-/// from Rng(seed).split(cycle)-derived streams and cycles share no
-/// mutable state), so each trial runs as an independent task on a
-/// private network produced by `make_net`.
-///
-/// `make_net` must return a fresh network in the same state run_scheme
-/// would see (e.g. construct the architecture and nn::copy_state the
-/// trained weights in); it is called concurrently from worker threads.
-/// Every per-cycle accuracy is bit-identical to the serial run_scheme
-/// for any thread count — prepare() is deterministic, and in the serial
-/// harness each cycle already recomputes CRWs, offsets and effective
-/// weights from scratch (asserted in tests/test_parallel.cpp).
-SchemeResult run_scheme_parallel(
-    const std::function<std::unique_ptr<rdo::nn::Layer>()>& make_net,
-    const DeployOptions& opt, const rdo::nn::DataView& train,
-    const rdo::nn::DataView& test, int repeats,
-    std::int64_t eval_batch = 64);
+/// Parallel Monte-Carlo variant of run_scheme: the plan is compiled once
+/// and shared read-only; the `repeats` programming cycles are
+/// embarrassingly parallel (each cycle's devices are drawn from
+/// Rng(seed).split(cycle)-derived streams and cycles share no mutable
+/// state), so each trial runs as an independent EffectiveWeightBackend
+/// over its own private clone of `net`. Every per-cycle accuracy is
+/// bit-identical to the serial run_scheme for any thread count
+/// (asserted in tests/test_parallel.cpp).
+SchemeResult run_scheme_parallel(const rdo::nn::Layer& net,
+                                 const DeployOptions& opt,
+                                 const rdo::nn::DataView& train,
+                                 const rdo::nn::DataView& test, int repeats,
+                                 std::int64_t eval_batch = 64);
 
 }  // namespace rdo::core

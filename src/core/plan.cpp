@@ -1,0 +1,206 @@
+#include "core/plan.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+#include "quant/act_quant.h"
+
+namespace rdo::core {
+
+namespace {
+
+/// Build the deployment LUT, timing the construction. When the
+/// RDO_LUT_CACHE_DIR environment variable names a directory, tables are
+/// cached there under their config fingerprint: a stale or corrupt
+/// entry is rebuilt (never silently reused — see RLut::load), and the
+/// file is written atomically (temp + rename) so concurrent deployments
+/// sharing a cache directory only ever observe complete tables.
+rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
+                         const DeployOptions& opt, DeployStats& stats) {
+  rdo::obs::ScopedTimer timer(&stats.lut_build_s);
+  rdo::obs::TraceSpan span("deploy:lut_build", "deploy");
+  span.arg("k_sets", opt.lut_k_sets);
+  span.arg("j_cycles", opt.lut_j_cycles);
+  const rdo::nn::Rng lut_rng = rdo::nn::Rng(opt.seed).split(0x11A7);
+  const char* dir = std::getenv("RDO_LUT_CACHE_DIR");
+  std::string path;
+  std::uint64_t fp = 0;
+  if (dir != nullptr && dir[0] != '\0') {
+    fp = rdo::rram::RLut::fingerprint(prog, opt.lut_k_sets,
+                                      opt.lut_j_cycles, opt.seed);
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(fp));
+    path = std::string(dir) + "/rlut_" + hex + ".bin";
+    rdo::rram::RLut cached;
+    try {
+      if (rdo::rram::RLut::load(path, fp, cached)) {
+        span.arg("cache_hit", std::int64_t{1});
+        return cached;
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[deploy] corrupt LUT cache entry %s (%s); "
+                   "rebuilding\n", path.c_str(), e.what());
+    }
+  }
+  span.arg("cache_hit", std::int64_t{0});
+  rdo::rram::RLut lut = rdo::rram::RLut::build(prog, opt.lut_k_sets,
+                                               opt.lut_j_cycles, lut_rng);
+  if (!path.empty()) {
+    try {
+      lut.save(path, fp);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[deploy] cannot cache LUT to %s: %s\n",
+                   path.c_str(), e.what());
+    }
+  }
+  return lut;
+}
+
+double read_power_of(const rdo::rram::WeightProgrammer& prog,
+                     const rdo::rram::CellModel& cell,
+                     const std::vector<int>& weights) {
+  double p = 0.0;
+  for (int v : weights) {
+    for (int s : prog.slice(v)) p += cell.read_power(s);
+  }
+  return p;
+}
+
+}  // namespace
+
+rdo::rram::TilingInfo DeploymentPlan::layer_tiling(std::size_t li,
+                                                   int xbar_rows,
+                                                   int xbar_cols) const {
+  const PlanLayer& pl = layers.at(li);
+  return rdo::rram::compute_tiling(pl.fan_in, pl.fan_out, xbar_rows,
+                                   xbar_cols, prog.cells_per_weight());
+}
+
+double DeploymentPlan::assigned_read_power() const {
+  double p = 0.0;
+  for (const PlanLayer& pl : layers) {
+    p += read_power_of(prog, opt.cell, pl.assign.ctw);
+  }
+  return p;
+}
+
+double DeploymentPlan::plain_read_power() const {
+  double p = 0.0;
+  for (const PlanLayer& pl : layers) {
+    p += read_power_of(prog, opt.cell, pl.lq.q);
+  }
+  return p;
+}
+
+std::int64_t DeploymentPlan::total_crossbars(int xbar_rows,
+                                             int xbar_cols) const {
+  std::int64_t n = 0;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    n += layer_tiling(li, xbar_rows, xbar_cols).total_crossbars();
+  }
+  return n;
+}
+
+std::int64_t DeploymentPlan::total_offset_registers() const {
+  std::int64_t n = 0;
+  for (const PlanLayer& pl : layers) {
+    n += groups_per_column(pl.fan_in, opt.offsets.m) * pl.fan_out;
+  }
+  return n;
+}
+
+DeploymentPlan compile_plan(const rdo::nn::Layer& net,
+                            const DeployOptions& opt,
+                            const rdo::nn::DataView& train) {
+  DeploymentPlan plan(opt);
+  plan.lut = make_lut(plan.prog, opt, plan.compile_stats);
+
+  // Work on a private twin so compilation can move it to the quantized
+  // operating point without mutating the caller's network.
+  std::unique_ptr<rdo::nn::Layer> work = net.clone();
+  std::vector<rdo::nn::Layer*> all;
+  collect_layers(work.get(), all);
+  std::vector<rdo::nn::MatrixOp*> ops;
+  std::vector<rdo::quant::ActQuant*> aqs;
+  for (rdo::nn::Layer* l : all) {
+    if (auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l)) ops.push_back(op);
+    if (auto* aq = dynamic_cast<rdo::quant::ActQuant*>(l)) aqs.push_back(aq);
+  }
+  if (ops.empty()) {
+    throw std::invalid_argument(
+        "compile_plan: network has no crossbar layers");
+  }
+
+  rdo::obs::ScopedTimer timer(&plan.compile_stats.prepare_s);
+  rdo::obs::TraceSpan span("deploy:prepare", "deploy");
+  span.arg("layers", static_cast<std::int64_t>(ops.size()));
+
+  // 1. Quantize every crossbar layer and move the twin to the quantized
+  //    operating point (NTW round-trip).
+  plan.layers.resize(ops.size());
+  for (std::size_t li = 0; li < ops.size(); ++li) {
+    PlanLayer& pl = plan.layers[li];
+    pl.fan_in = ops[li]->fan_in();
+    pl.fan_out = ops[li]->fan_out();
+    pl.lq = rdo::quant::quantize_matrix(*ops[li], opt.weight_bits);
+    rdo::quant::apply_quantized(*ops[li], pl.lq);
+  }
+  if (opt.quantize_activations && !aqs.empty()) {
+    // Observe activation ranges on a few batches at the quantized-weight
+    // operating point, then freeze the calibration into the plan.
+    for (auto* aq : aqs) aq->disable();
+    const std::int64_t n = std::min<std::int64_t>(train.size(), 128);
+    std::vector<std::int64_t> idx;
+    for (std::int64_t i = 0; i < n; ++i) idx.push_back(i);
+    rdo::nn::Tensor batch = gather_batch(*train.images, idx);
+    (void)work->forward(batch, /*train=*/false);
+    plan.act_calib.reserve(aqs.size());
+    for (auto* aq : aqs) {
+      plan.act_calib.push_back({aq->bits(), aq->observed_max()});
+      aq->calibrate(aq->observed_max());
+    }
+  }
+
+  // 2. Scheme-dependent CTW/offset assignment.
+  if (scheme_uses_vawo(opt.scheme)) {
+    accumulate_mean_gradients(*work, train, opt.grad_batch,
+                              opt.grad_samples);
+    VawoOptions vopt;
+    vopt.offsets = opt.offsets;
+    vopt.use_complement = scheme_uses_complement(opt.scheme);
+    vopt.penalize_bias = opt.penalize_bias;
+    rdo::obs::ScopedTimer solve_timer(&plan.compile_stats.vawo_solve_s);
+    rdo::obs::TraceSpan solve_span("deploy:vawo_solve", "deploy");
+    for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+      PlanLayer& pl = plan.layers[li];
+      rdo::obs::TraceSpan layer_span("vawo:layer", "deploy");
+      layer_span.arg("layer", static_cast<std::int64_t>(li));
+      layer_span.arg("rows", pl.lq.rows);
+      layer_span.arg("cols", pl.lq.cols);
+      pl.mean_grads.resize(static_cast<std::size_t>(pl.lq.rows *
+                                                    pl.lq.cols));
+      for (std::int64_t r = 0; r < pl.lq.rows; ++r) {
+        for (std::int64_t c = 0; c < pl.lq.cols; ++c) {
+          pl.mean_grads[static_cast<std::size_t>(r * pl.lq.cols + c)] =
+              ops[li]->weight_grad_at(r, c);
+        }
+      }
+      pl.assign = vawo_layer(pl.lq, pl.mean_grads, plan.lut, vopt);
+      layer_span.arg("groups", pl.assign.groups_per_col);
+    }
+  } else {
+    for (PlanLayer& pl : plan.layers) {
+      pl.assign = plain_layer(pl.lq, opt.offsets.m);
+    }
+  }
+  return plan;
+}
+
+}  // namespace rdo::core

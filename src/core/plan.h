@@ -1,0 +1,88 @@
+// Compile-once deployment plan (scheme-dependent, backend-independent).
+//
+// compile_plan() performs everything that depends on the scheme but not on
+// which execution substrate realizes it: weight quantization, activation
+// range calibration, mean loss-gradient collection and the VAWO / plain
+// CTW+offset assignment. It works on a private clone of the trained
+// network — the caller's network is never touched — and freezes the result
+// into an immutable DeploymentPlan.
+//
+// The plan is pure data (copyable, shareable by value or const reference):
+// any number of ExecutionBackends (core::EffectiveWeightBackend,
+// sim::DeviceSimBackend) can realize independent programming cycles from
+// one plan. Compile once, execute many.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/deploy.h"
+#include "core/vawo.h"
+#include "nn/layer.h"
+#include "nn/trainer.h"
+#include "quant/quantizer.h"
+#include "rram/programmer.h"
+#include "rram/rlut.h"
+#include "rram/tiler.h"
+
+namespace rdo::core {
+
+/// Activation-quantizer calibration captured at compile time (one entry
+/// per ActQuant layer in network traversal order).
+struct ActCalibration {
+  int bits = 8;
+  float max_abs = 0.0f;  ///< range observed at the quantized operating point
+};
+
+/// One crossbar-mapped layer of the plan.
+struct PlanLayer {
+  std::int64_t fan_in = 0;
+  std::int64_t fan_out = 0;
+  rdo::quant::LayerQuant lq;       ///< NTWs + scale/zero
+  std::vector<double> mean_grads;  ///< row-major dL/dw (VAWO schemes only)
+  VawoResult assign;               ///< CTWs, base offsets, complement flags
+};
+
+/// The shared compile product. Immutable by convention once compile_plan
+/// returns; backends only read it.
+struct DeploymentPlan {
+  explicit DeploymentPlan(const DeployOptions& o)
+      : opt(o), prog(o.cell, o.weight_bits, o.variation, o.faults) {}
+
+  DeployOptions opt;
+  rdo::rram::WeightProgrammer prog;
+  rdo::rram::RLut lut;
+  std::vector<PlanLayer> layers;
+  std::vector<ActCalibration> act_calib;
+  /// Wall times of the compile stage (lut_build_s, prepare_s,
+  /// vawo_solve_s). Compilation contributes no deterministic counters, so
+  /// merging this into backend stats reproduces the legacy single-object
+  /// DeployStats exactly on the deterministic side.
+  DeployStats compile_stats;
+
+  /// Row/column tile geometry of layer `li` on xbar_rows x xbar_cols
+  /// arrays of bit-sliced weights.
+  [[nodiscard]] rdo::rram::TilingInfo layer_tiling(std::size_t li,
+                                                   int xbar_rows = 128,
+                                                   int xbar_cols = 128) const;
+
+  /// Nominal device read power of the assigned CTWs (Table I numerator).
+  [[nodiscard]] double assigned_read_power() const;
+  /// Nominal device read power of the plain NTW assignment (denominator).
+  [[nodiscard]] double plain_read_power() const;
+  /// Crossbars needed to hold all layers (Table III accounting).
+  [[nodiscard]] std::int64_t total_crossbars(int xbar_rows = 128,
+                                             int xbar_cols = 128) const;
+  /// Offset registers needed across all layers (Eq. 9 summed).
+  [[nodiscard]] std::int64_t total_offset_registers() const;
+};
+
+/// Compile `net` (unchanged; cloned internally) for deployment under
+/// `opt`. `train` feeds activation calibration and, for VAWO schemes, the
+/// mean gradient estimate. Throws std::invalid_argument when the network
+/// has no crossbar-mappable (MatrixOp) layers.
+DeploymentPlan compile_plan(const rdo::nn::Layer& net,
+                            const DeployOptions& opt,
+                            const rdo::nn::DataView& train);
+
+}  // namespace rdo::core

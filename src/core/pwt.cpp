@@ -12,27 +12,29 @@
 // practical instantiation of the paper's learning rate eta and makes PWT
 // converge for every network without per-model tuning. Offsets are kept
 // in float during tuning (projected onto the register range each step)
-// and snapped to the 8-bit register grid by Deployment::tune afterwards.
+// and snapped to the 8-bit register grid by the backend's tune()
+// afterwards. The loop runs entirely on the backend's private twin
+// network, so the caller's network is untouched.
 #include <algorithm>
 #include <cmath>
 #include <numeric>
 
-#include "core/deploy.h"
+#include "core/backend.h"
 #include "nn/loss.h"
 #include "obs/trace.h"
 
 namespace rdo::core {
 
-void Deployment::run_pwt(const rdo::nn::DataView& train) {
-  const PwtOptions& popt = opt_.pwt;
+void EffectiveWeightBackend::run_pwt(const rdo::nn::DataView& train) {
+  const PwtOptions& popt = plan_.opt.pwt;
   const std::int64_t n =
       popt.max_samples > 0
           ? std::min<std::int64_t>(popt.max_samples, train.size())
           : train.size();
-  rdo::nn::Rng rng = rdo::nn::Rng(opt_.seed).split(0x9917);
+  rdo::nn::Rng rng = rdo::nn::Rng(plan_.opt.seed).split(0x9917);
   rdo::nn::SoftmaxCrossEntropy loss;
-  const float lo = static_cast<float>(opt_.offsets.offset_min());
-  const float hi = static_cast<float>(opt_.offsets.offset_max());
+  const float lo = static_cast<float>(plan_.opt.offsets.offset_min());
+  const float hi = static_cast<float>(plan_.opt.offsets.offset_max());
 
   std::vector<std::int64_t> order(static_cast<std::size_t>(train.size()));
   std::iota(order.begin(), order.end(), 0);
@@ -57,32 +59,34 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
         labels.push_back((*train.labels)[static_cast<std::size_t>(i)]);
       }
 
-      for (rdo::nn::Param* p : net_.params()) p->zero_grad();
+      for (rdo::nn::Param* p : net_->params()) p->zero_grad();
       // Eval-mode forward: the deployed accelerator runs with frozen
       // batch-norm statistics; PWT tunes offsets at that operating point.
-      rdo::nn::Tensor logits = net_.forward(batch, /*train=*/false);
+      rdo::nn::Tensor logits = net_->forward(batch, /*train=*/false);
       epoch_loss += loss.forward(logits, labels);
       ++epoch_batches;
-      net_.backward(loss.backward());
+      net_->backward(loss.backward());
 
-      for (DeployedLayer& dl : layers_) {
-        const std::int64_t cols = dl.lq.cols;
-        const std::int64_t groups = dl.assign.groups_per_col;
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        const PlanLayer& pl = plan_.layers[li];
+        LayerState& ls = layers_[li];
+        const std::int64_t cols = pl.lq.cols;
+        const std::int64_t groups = pl.assign.groups_per_col;
         // dL/db per group (Eq. 8 with the dequantization scale folded in).
         std::vector<float> gb(static_cast<std::size_t>(groups * cols), 0.0f);
-        for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
-          const std::int64_t g = group_of_row(r, opt_.offsets.m);
+        for (std::int64_t r = 0; r < pl.lq.rows; ++r) {
+          const std::int64_t g = group_of_row(r, plan_.opt.offsets.m);
           for (std::int64_t c = 0; c < cols; ++c) {
             gb[static_cast<std::size_t>(g * cols + c)] +=
-                dl.op->weight_grad_at(r, c);
+                ls.op->weight_grad_at(r, c);
           }
         }
         double sq = 0.0;
         for (std::int64_t g = 0; g < groups; ++g) {
           for (std::int64_t c = 0; c < cols; ++c) {
             const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-            const float sign = dl.assign.complemented[gi] ? -1.0f : 1.0f;
-            gb[gi] *= sign * dl.lq.scale;
+            const float sign = pl.assign.complemented[gi] ? -1.0f : 1.0f;
+            gb[gi] *= sign * pl.lq.scale;
             sq += static_cast<double>(gb[gi]) * gb[gi];
           }
         }
@@ -93,12 +97,12 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
             const std::size_t gi = static_cast<std::size_t>(g * cols + c);
             float delta = -lr * gb[gi] / rms;
             // Project onto the representable offset-register range.
-            const float b_old = dl.offsets[gi];
+            const float b_old = ls.offsets[gi];
             const float b_new = std::clamp(b_old + delta, lo, hi);
             delta = b_new - b_old;
             if (delta != 0.0f) {
-              dl.offsets[gi] = b_new;
-              apply_group_delta(dl, c, g, delta);
+              ls.offsets[gi] = b_new;
+              apply_group_delta(li, c, g, delta);
               ++stats_.pwt_offset_updates;
             }
           }
@@ -114,7 +118,7 @@ void Deployment::run_pwt(const rdo::nn::DataView& train) {
         epoch_batches > 0 ? epoch_loss / static_cast<double>(epoch_batches)
                           : 0.0));
   }
-  for (rdo::nn::Param* p : net_.params()) p->zero_grad();
+  for (rdo::nn::Param* p : net_->params()) p->zero_grad();
 }
 
 }  // namespace rdo::core

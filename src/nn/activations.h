@@ -10,6 +10,9 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "ReLU"; }
 
  private:
@@ -21,6 +24,9 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Flatten"; }
 
  private:

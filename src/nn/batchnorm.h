@@ -20,6 +20,9 @@ class BatchNorm2D : public Layer {
   std::vector<Tensor*> buffers() override {
     return {&running_mean_, &running_var_};
   }
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<BatchNorm2D>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "BatchNorm2D"; }
 
  private:

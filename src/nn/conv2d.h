@@ -22,6 +22,9 @@ class Conv2D : public Layer, public MatrixOp {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Conv2D>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Conv2D"; }
 
   // MatrixOp

@@ -19,6 +19,9 @@ class Dense : public Layer, public MatrixOp {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   std::vector<Param*> params() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dense>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Dense"; }
 
   // MatrixOp

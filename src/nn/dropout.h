@@ -15,6 +15,9 @@ class Dropout : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Dropout>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "Dropout"; }
 
   [[nodiscard]] float drop_probability() const { return p_; }

@@ -40,6 +40,12 @@ class Layer {
   /// Direct child layers (for recursive traversal of blocks).
   virtual std::vector<Layer*> children() { return {}; }
 
+  /// Deep copy: an independent, identically-constructed layer holding
+  /// copies of all parameters and buffers. The deployment pipeline uses
+  /// this to work on a private twin of a trained network, so the caller's
+  /// network is never mutated.
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+
   [[nodiscard]] virtual std::string name() const = 0;
 };
 

@@ -54,6 +54,9 @@ class MaxPool2D : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2D>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "MaxPool2D"; }
   [[nodiscard]] std::int64_t window() const { return window_; }
 
@@ -68,6 +71,9 @@ class GlobalAvgPool : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "GlobalAvgPool"; }
 
  private:

@@ -44,6 +44,12 @@ std::vector<Layer*> Sequential::children() {
   return out;
 }
 
+std::unique_ptr<Layer> Sequential::clone() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const LayerPtr& l : layers_) copy->layers_.push_back(l->clone());
+  return copy;
+}
+
 Tensor Residual::forward(const Tensor& x, bool train) {
   Tensor main_out = main_->forward(x, train);
   Tensor short_out = shortcut_ ? shortcut_->forward(x, train) : x;
@@ -93,6 +99,13 @@ std::vector<Layer*> Residual::children() {
   std::vector<Layer*> out{main_.get()};
   if (shortcut_) out.push_back(shortcut_.get());
   return out;
+}
+
+std::unique_ptr<Layer> Residual::clone() const {
+  auto copy = std::make_unique<Residual>(
+      main_->clone(), shortcut_ ? shortcut_->clone() : nullptr);
+  copy->relu_mask_ = relu_mask_;
+  return copy;
 }
 
 }  // namespace rdo::nn

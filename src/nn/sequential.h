@@ -27,6 +27,7 @@ class Sequential : public Layer {
   std::vector<Param*> params() override;
   std::vector<Tensor*> buffers() override;
   std::vector<Layer*> children() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Sequential"; }
 
   [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
@@ -49,6 +50,7 @@ class Residual : public Layer {
   std::vector<Param*> params() override;
   std::vector<Tensor*> buffers() override;
   std::vector<Layer*> children() override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
   [[nodiscard]] std::string name() const override { return "Residual"; }
 
  private:

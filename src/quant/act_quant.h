@@ -16,6 +16,9 @@ class ActQuant : public rdo::nn::Layer {
 
   rdo::nn::Tensor forward(const rdo::nn::Tensor& x, bool train) override;
   rdo::nn::Tensor backward(const rdo::nn::Tensor& grad_out) override;
+  [[nodiscard]] std::unique_ptr<rdo::nn::Layer> clone() const override {
+    return std::make_unique<ActQuant>(*this);
+  }
   [[nodiscard]] std::string name() const override { return "ActQuant"; }
 
   /// Enable quantization with a calibrated full-scale activation value.
@@ -23,7 +26,10 @@ class ActQuant : public rdo::nn::Layer {
   /// Turn quantization off and restart range observation from scratch.
   void disable();
   [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] int bits() const { return bits_; }
   [[nodiscard]] float observed_max() const { return observed_max_; }
+  /// Quantization step of the calibrated grid (meaningful when enabled).
+  [[nodiscard]] float step() const { return step_; }
 
  private:
   int bits_;

@@ -23,6 +23,7 @@ void Crossbar::program(const std::vector<int>& states, rdo::nn::Rng& rng) {
   }
   states_ = states;
   for (auto& f : factors_) f = cfg_.variation.sample_factor(rng);
+  values_.clear();
 }
 
 void Crossbar::program_ideal(const std::vector<int>& states) {
@@ -31,6 +32,7 @@ void Crossbar::program_ideal(const std::vector<int>& states) {
   }
   states_ = states;
   std::fill(factors_.begin(), factors_.end(), 1.0);
+  values_.clear();
 }
 
 void Crossbar::program_with_factors(const std::vector<int>& states,
@@ -40,9 +42,21 @@ void Crossbar::program_with_factors(const std::vector<int>& states,
   }
   states_ = states;
   factors_ = factors;
+  values_.clear();
+}
+
+void Crossbar::program_values(const std::vector<int>& states,
+                              const std::vector<double>& values) {
+  if (states.size() != states_.size() || values.size() != states_.size()) {
+    throw std::invalid_argument("Crossbar::program_values: size");
+  }
+  states_ = states;
+  std::fill(factors_.begin(), factors_.end(), 1.0);
+  values_ = values;
 }
 
 double Crossbar::cell_value(int r, int c) const {
+  if (!values_.empty()) return values_[idx(r, c)];
   return cfg_.cell.read_value(states_[idx(r, c)], factors_[idx(r, c)]);
 }
 

@@ -48,6 +48,14 @@ class Crossbar {
   void program_with_factors(const std::vector<int>& states,
                             const std::vector<double>& factors);
 
+  /// Program from explicit per-cell read values (state-units), bypassing
+  /// the cell model's state->value mapping. Lets the device level replay
+  /// the exact post-variation (and post-fault) values produced by
+  /// WeightProgrammer::program_cells so both execution backends observe
+  /// bit-identical devices. `states` keeps read-power accounting honest.
+  void program_values(const std::vector<int>& states,
+                      const std::vector<double>& values);
+
   /// y_j = sum_i x_i * cell_value(i, j), computed per activation group and
   /// accumulated digitally, with optional per-group ADC quantization.
   [[nodiscard]] std::vector<double> vmm(const std::vector<double>& x) const;
@@ -70,6 +78,8 @@ class Crossbar {
   CrossbarConfig cfg_;
   std::vector<int> states_;     // row-major
   std::vector<double> factors_; // per-cell e^theta (1.0 until programmed)
+  std::vector<double> values_;  // explicit read values; empty unless
+                                // program_values() was the last programming
 
   [[nodiscard]] std::size_t idx(int r, int c) const {
     return static_cast<std::size_t>(r) * static_cast<std::size_t>(cfg_.cols) +

@@ -65,7 +65,8 @@ double WeightProgrammer::programmed_cell_value(int state, double factor,
   return cell_.read_value(state, factor);
 }
 
-double WeightProgrammer::program(int v, rdo::nn::Rng& rng) const {
+std::vector<double> WeightProgrammer::program_cells(int v,
+                                                    rdo::nn::Rng& rng) const {
   const std::vector<int> states = slice(v);
   std::vector<double> vals(states.size());
   const bool shared =
@@ -75,7 +76,11 @@ double WeightProgrammer::program(int v, rdo::nn::Rng& rng) const {
     const double f = shared ? shared_factor : variation_.sample_factor(rng);
     vals[k] = programmed_cell_value(states[k], f, rng);
   }
-  return compose(vals);
+  return vals;
+}
+
+double WeightProgrammer::program(int v, rdo::nn::Rng& rng) const {
+  return compose(program_cells(v, rng));
 }
 
 double WeightProgrammer::program_with_ddv(

@@ -40,6 +40,13 @@ class WeightProgrammer {
   /// PerCell scope: an independent factor per bit-slice device.
   [[nodiscard]] double program(int v, rdo::nn::Rng& rng) const;
 
+  /// Program CTW `v` and return the individual post-variation cell read
+  /// values (LSB cell first) instead of the composed CRW. Consumes the
+  /// exact same random draws as program(); program(v, rng) is equivalent
+  /// to compose(program_cells(v, rng)).
+  [[nodiscard]] std::vector<double> program_cells(int v,
+                                                  rdo::nn::Rng& rng) const;
+
   /// Program CTW `v` for a device group whose persistent DDV component is
   /// `ddv_theta` (one theta per cell; PerWeight scope uses ddv_theta[0]);
   /// CCV is drawn fresh from `rng`.

@@ -20,6 +20,21 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
       cfg_(cfg),
       prog_(cfg.xbar.cell, cfg.weight_bits, cfg.xbar.variation),
       offsets_(assign.offsets) {
+  build_tiles(&rng);
+}
+
+CrossbarLayerExecutor::CrossbarLayerExecutor(
+    const rdo::quant::LayerQuant& lq, const rdo::core::VawoResult& assign,
+    const ExecutorConfig& cfg)
+    : lq_(lq),
+      assign_(assign),
+      cfg_(cfg),
+      prog_(cfg.xbar.cell, cfg.weight_bits, cfg.xbar.variation),
+      offsets_(assign.offsets) {
+  build_tiles(nullptr);
+}
+
+void CrossbarLayerExecutor::build_tiles(rdo::nn::Rng* rng) {
   if (cfg_.offsets.m % cfg_.xbar.active_wordlines != 0) {
     throw std::invalid_argument(
         "CrossbarLayerExecutor: m must be a multiple of the activated "
@@ -62,6 +77,12 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
       tile_span.arg("tc", tc);
       std::vector<int> states =
           rdo::rram::tile_states(ctw_view, prog_, cfg_.xbar, tr, tc);
+      Crossbar xb(cfg_.xbar);
+      if (rng == nullptr) {
+        xb.program_ideal(states);
+        xbars_.push_back(std::move(xb));
+        continue;
+      }
       std::vector<double> factors(states.size(), 1.0);
       for (std::int64_t r = 0; r < cfg_.xbar.rows; ++r) {
         const std::int64_t mr = tr * cfg_.xbar.rows + r;
@@ -71,7 +92,7 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
           if (mc >= lq_.cols) break;
           if (cfg_.xbar.variation.scope ==
               rdo::rram::VariationScope::PerWeight) {
-            const double f = cfg_.xbar.variation.sample_factor(rng);
+            const double f = cfg_.xbar.variation.sample_factor(*rng);
             for (int k = 0; k < prog_.cells_per_weight(); ++k) {
               factors[static_cast<std::size_t>(
                   r * cfg_.xbar.cols + wc * prog_.cells_per_weight() + k)] =
@@ -81,14 +102,59 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
             for (int k = 0; k < prog_.cells_per_weight(); ++k) {
               factors[static_cast<std::size_t>(
                   r * cfg_.xbar.cols + wc * prog_.cells_per_weight() + k)] =
-                  cfg_.xbar.variation.sample_factor(rng);
+                  cfg_.xbar.variation.sample_factor(*rng);
             }
           }
         }
       }
-      Crossbar xb(cfg_.xbar);
       xb.program_with_factors(states, factors);
       xbars_.push_back(std::move(xb));
+    }
+  }
+}
+
+void CrossbarLayerExecutor::program_cell_values(
+    const std::vector<std::vector<double>>& cells) {
+  if (cells.size() != lq_.q.size()) {
+    throw std::invalid_argument(
+        "program_cell_values: weight count mismatch");
+  }
+  const int cpw = prog_.cells_per_weight();
+  const std::int64_t wpr = cfg_.xbar.cols / cpw;
+  rdo::quant::LayerQuant ctw_view = lq_;
+  ctw_view.q = assign_.ctw;
+  // Padding cells (beyond the layer's rows/cols) read as an ideally
+  // programmed HRS device, matching the variation-drawn programming path.
+  const double pad = cfg_.xbar.cell.read_value(0, 1.0);
+  for (std::int64_t tr = 0; tr < tiling_.row_tiles; ++tr) {
+    for (std::int64_t tc = 0; tc < tiling_.col_tiles; ++tc) {
+      rdo::obs::TraceSpan tile_span("sim:program_tile", "sim");
+      tile_span.arg("tr", tr);
+      tile_span.arg("tc", tc);
+      std::vector<int> states =
+          rdo::rram::tile_states(ctw_view, prog_, cfg_.xbar, tr, tc);
+      std::vector<double> values(states.size(), pad);
+      for (std::int64_t r = 0; r < cfg_.xbar.rows; ++r) {
+        const std::int64_t mr = tr * cfg_.xbar.rows + r;
+        if (mr >= lq_.rows) break;
+        for (std::int64_t wc = 0; wc < wpr; ++wc) {
+          const std::int64_t mc = tc * wpr + wc;
+          if (mc >= lq_.cols) break;
+          const std::vector<double>& cv =
+              cells[static_cast<std::size_t>(mr * lq_.cols + mc)];
+          if (cv.size() != static_cast<std::size_t>(cpw)) {
+            throw std::invalid_argument(
+                "program_cell_values: cells-per-weight mismatch");
+          }
+          for (int k = 0; k < cpw; ++k) {
+            values[static_cast<std::size_t>(r * cfg_.xbar.cols +
+                                            wc * cpw + k)] =
+                cv[static_cast<std::size_t>(k)];
+          }
+        }
+      }
+      xbars_[static_cast<std::size_t>(tr * tiling_.col_tiles + tc)]
+          .program_values(states, values);
     }
   }
 }

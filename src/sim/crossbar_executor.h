@@ -40,6 +40,21 @@ class CrossbarLayerExecutor {
                         const rdo::core::VawoResult& assign,
                         const ExecutorConfig& cfg, rdo::nn::Rng& rng);
 
+  /// Same tiling, but programs every device ideally (no variation draw).
+  /// Used by the device backend, which replays externally drawn cell
+  /// values per programming cycle via program_cell_values().
+  CrossbarLayerExecutor(const rdo::quant::LayerQuant& lq,
+                        const rdo::core::VawoResult& assign,
+                        const ExecutorConfig& cfg);
+
+  /// Re-program every device from explicit per-weight cell read values
+  /// (row-major [rows*cols], each entry cells_per_weight values, LSB cell
+  /// first) — the exact outputs of WeightProgrammer::program_cells, so
+  /// the device level observes bit-identical conductances to the
+  /// effective-weight path. Padding cells read as ideal HRS.
+  void program_cell_values(
+      const std::vector<std::vector<double>>& cells);
+
   /// Device-level forward: x has lq.rows entries (activation units);
   /// returns lq.cols effective (dequantized) outputs.
   ///
@@ -86,6 +101,11 @@ class CrossbarLayerExecutor {
                                                    std::int64_t tc) const {
     return xbars_[static_cast<std::size_t>(tr * tiling_.col_tiles + tc)];
   }
+
+  /// Shared ctor body: validate geometry, tile and program each device —
+  /// with per-weight/per-cell variation drawn from `rng`, or ideally when
+  /// `rng` is null.
+  void build_tiles(rdo::nn::Rng* rng);
 };
 
 }  // namespace rdo::sim

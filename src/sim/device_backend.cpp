@@ -1,6 +1,7 @@
-#include "sim/network_executor.h"
+#include "sim/device_backend.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "nn/activations.h"
@@ -9,66 +10,56 @@
 #include "nn/im2col.h"
 #include "nn/parallel.h"
 #include "nn/pooling.h"
+#include "obs/stopwatch.h"
 #include "obs/trace.h"
 #include "quant/act_quant.h"
-#include "rram/rlut.h"
 
 namespace rdo::sim {
 
 using rdo::nn::Conv2D;
 using rdo::nn::Dense;
-using rdo::nn::Rng;
 
-NetworkExecutor::NetworkExecutor(rdo::nn::Sequential& net,
-                                 const rdo::nn::DataView& train,
-                                 const NetworkExecutorOptions& opt)
-    : opt_(opt) {
-  // Walk the graph in definition order and validate the topology.
+DeviceSimBackend::DeviceSimBackend(const rdo::core::DeploymentPlan& plan,
+                                   const rdo::nn::Layer& src,
+                                   DeviceSimOptions dopt)
+    : engine_(plan, src, /*keep_cell_values=*/true),
+      plan_(plan),
+      dopt_(dopt) {
+  // Device substrate: geometry from dopt, device physics and offset
+  // configuration from the shared plan.
+  ExecutorConfig cfg;
+  cfg.xbar.rows = dopt_.xbar_rows;
+  cfg.xbar.cols = dopt_.xbar_cols;
+  cfg.xbar.cell = plan_.opt.cell;
+  cfg.xbar.variation = plan_.opt.variation;
+  cfg.xbar.active_wordlines = dopt_.active_wordlines;
+  cfg.xbar.adc_bits = dopt_.adc_bits;
+  cfg.offsets = plan_.opt.offsets;
+  cfg.weight_bits = plan_.opt.weight_bits;
+
+  // Walk the engine's twin (same topology as `src`, already moved to the
+  // plan's quantized + calibrated operating point) in definition order
+  // and validate the topology.
+  rdo::nn::Layer* root = &engine_.network();
   std::vector<rdo::nn::Layer*> all;
-  collect_layers(&net, all);
-  std::vector<rdo::nn::Layer*> sequence;
-  int matrix_layers = 0;
+  collect_layers(root, all);
+  std::size_t mi = 0;
   for (rdo::nn::Layer* l : all) {
-    if (l == &net) continue;
-    if (dynamic_cast<Dense*>(l) || dynamic_cast<Conv2D*>(l)) {
-      ++matrix_layers;
-      sequence.push_back(l);
-    } else if (l->name() == "Flatten" || l->name() == "ReLU" ||
-               l->name() == "MaxPool2D" || l->name() == "ActQuant" ||
-               l->name() == "Dropout") {  // Dropout: identity at inference
-      sequence.push_back(l);
-    } else {
-      throw std::invalid_argument(
-          "NetworkExecutor: unsupported layer at device level: " +
-          l->name());
-    }
-  }
-  if (matrix_layers == 0) {
-    throw std::invalid_argument("NetworkExecutor: no crossbar layers");
-  }
-
-  // Quantize + assign. VAWO needs gradients at the quantized operating
-  // point.
-  rdo::rram::WeightProgrammer prog(opt.exec.xbar.cell, opt.exec.weight_bits,
-                                   opt.exec.xbar.variation);
-  const rdo::rram::RLut lut = rdo::rram::RLut::build(
-      prog, opt.lut_k_sets, opt.lut_j_cycles, Rng(opt.seed).split(0x10));
-  if (opt.use_vawo_star) {
-    accumulate_mean_gradients(net, train, opt.grad_batch, opt.grad_samples);
-  }
-
-  Rng prog_rng = Rng(opt.seed).split(0xBEEF);
-  std::size_t li = 0;
-  for (rdo::nn::Layer* l : sequence) {
+    if (l == root) continue;
     Stage stage;
     if (l->name() == "ReLU") {
       stage.kind = Stage::Kind::ReLU;
       stages_.push_back(std::move(stage));
       continue;
     }
-    if (l->name() == "Flatten" || l->name() == "ActQuant" ||
-        l->name() == "Dropout") {
+    if (l->name() == "Flatten" || l->name() == "Dropout") {
       continue;  // shape bookkeeping only / identity at inference
+    }
+    if (auto* aq = dynamic_cast<rdo::quant::ActQuant*>(l)) {
+      stage.kind = Stage::Kind::ActQuant;
+      stage.aq = aq;
+      stages_.push_back(std::move(stage));
+      continue;
     }
     if (auto* pool = dynamic_cast<rdo::nn::MaxPool2D*>(l)) {
       stage.kind = Stage::Kind::MaxPool;
@@ -77,61 +68,82 @@ NetworkExecutor::NetworkExecutor(rdo::nn::Sequential& net,
       continue;
     }
     auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l);
+    if (op == nullptr) {
+      throw std::invalid_argument(
+          "DeviceSimBackend: unsupported layer at device level: " +
+          l->name());
+    }
+    rdo::nn::Param* bias_param = nullptr;
     if (auto* conv = dynamic_cast<Conv2D*>(l)) {
       stage.kind = Stage::Kind::Conv;
       stage.kernel = static_cast<int>(conv->kernel());
       stage.stride = static_cast<int>(conv->stride());
       stage.pad = static_cast<int>(conv->pad());
-    } else {
+      bias_param = &conv->bias_param();
+    } else if (auto* dense = dynamic_cast<Dense*>(l)) {
       stage.kind = Stage::Kind::Crossbar;
-    }
-    stage.m = opt.exec.offsets.m;
-    stage.lq = rdo::quant::quantize_matrix(*op, opt.exec.weight_bits);
-    if (opt.use_vawo_star) {
-      std::vector<double> grads(
-          static_cast<std::size_t>(stage.lq.rows * stage.lq.cols));
-      for (std::int64_t r = 0; r < stage.lq.rows; ++r) {
-        for (std::int64_t c = 0; c < stage.lq.cols; ++c) {
-          grads[static_cast<std::size_t>(r * stage.lq.cols + c)] =
-              op->weight_grad_at(r, c);
-        }
-      }
-      rdo::core::VawoOptions vopt;
-      vopt.offsets = opt.exec.offsets;
-      vopt.use_complement = true;
-      stage.assign = rdo::core::vawo_layer(stage.lq, grads, lut, vopt);
+      bias_param = &dense->bias_param();
     } else {
-      stage.assign = rdo::core::plain_layer(stage.lq, opt.exec.offsets.m);
+      throw std::invalid_argument(
+          "DeviceSimBackend: unsupported layer at device level: " +
+          l->name());
     }
-    Rng layer_rng = prog_rng.split(li++);
-    stage.exec = std::make_unique<CrossbarLayerExecutor>(
-        stage.lq, stage.assign, opt.exec, layer_rng);
-    stage.bias.assign(static_cast<std::size_t>(op->fan_out()), 0.0f);
-    rdo::nn::Param* bias_param = nullptr;
-    if (auto* d = dynamic_cast<Dense*>(l)) {
-      bias_param = &d->bias_param();
-    } else if (auto* cv = dynamic_cast<Conv2D*>(l)) {
-      bias_param = &cv->bias_param();
+    if (mi >= plan_.layers.size()) {
+      throw std::invalid_argument(
+          "DeviceSimBackend: network does not match the plan");
     }
-    if (bias_param != nullptr &&
-        bias_param->value.size() == op->fan_out()) {
-      for (std::int64_t c = 0; c < op->fan_out(); ++c) {
+    stage.plan_index = mi;
+    const rdo::core::PlanLayer& pl = plan_.layers[mi];
+    ++mi;
+    stage.exec = std::make_unique<CrossbarLayerExecutor>(pl.lq, pl.assign,
+                                                         cfg);
+    stage.bias.assign(static_cast<std::size_t>(pl.fan_out), 0.0f);
+    if (bias_param != nullptr && bias_param->value.size() == pl.fan_out) {
+      for (std::int64_t c = 0; c < pl.fan_out; ++c) {
         stage.bias[static_cast<std::size_t>(c)] = bias_param->value[c];
       }
     }
     stages_.push_back(std::move(stage));
   }
-  if (opt.use_vawo_star) {
-    for (rdo::nn::Param* p : net.params()) p->zero_grad();
+  if (mi != plan_.layers.size()) {
+    throw std::invalid_argument(
+        "DeviceSimBackend: network does not match the plan");
   }
 }
 
-std::vector<double> NetworkExecutor::forward(
+void DeviceSimBackend::sync_devices() {
+  const std::vector<rdo::core::EffectiveWeightBackend::LayerState>& states =
+      engine_.layers();
+  for (Stage& s : stages_) {
+    if (!s.exec) continue;
+    s.exec->program_cell_values(states[s.plan_index].cells);
+    s.exec->set_offsets(states[s.plan_index].offsets);
+  }
+}
+
+void DeviceSimBackend::program_cycle(std::uint64_t cycle_salt) {
+  engine_.program_cycle(cycle_salt);
+  sync_devices();
+  deployed_ = true;
+}
+
+void DeviceSimBackend::tune(const rdo::nn::DataView& train) {
+  engine_.tune(train);
+  if (!rdo::core::scheme_uses_pwt(plan_.opt.scheme)) return;
+  // Install the tuned (register-snapped) offsets into the digital offset
+  // units; the devices themselves are untouched by tuning.
+  for (Stage& s : stages_) {
+    if (!s.exec) continue;
+    s.exec->set_offsets(engine_.layers()[s.plan_index].offsets);
+  }
+}
+
+std::vector<double> DeviceSimBackend::forward(
     const std::vector<double>& x) const {
   return forward_image(x, /*channels=*/0, /*height=*/0, /*width=*/0);
 }
 
-std::vector<double> NetworkExecutor::forward_image(
+std::vector<double> DeviceSimBackend::forward_image(
     const std::vector<double>& x, int channels, int height,
     int width) const {
   std::vector<double> h = x;
@@ -141,9 +153,24 @@ std::vector<double> NetworkExecutor::forward_image(
       case Stage::Kind::ReLU:
         for (auto& v : h) v = std::max(0.0, v);
         break;
+      case Stage::Kind::ActQuant: {
+        // Digital activation quantization in front of the DACs; same
+        // float grid as the twin's ActQuant layer so the paths agree.
+        if (s.aq != nullptr && s.aq->enabled()) {
+          const float step = s.aq->step();
+          const float levels =
+              static_cast<float>((1 << s.aq->bits()) - 1);
+          for (auto& v : h) {
+            float q = std::round(static_cast<float>(v) / step);
+            q = std::clamp(q, 0.0f, levels);
+            v = static_cast<double>(q * step);
+          }
+        }
+        break;
+      }
       case Stage::Kind::MaxPool: {
         if (c <= 0) {
-          throw std::logic_error("NetworkExecutor: pooling needs an image");
+          throw std::logic_error("DeviceSimBackend: pooling needs an image");
         }
         const int oh = hh / s.pool_window, ow = ww / s.pool_window;
         std::vector<double> y(static_cast<std::size_t>(c) * oh * ow);
@@ -158,17 +185,18 @@ std::vector<double> NetworkExecutor::forward_image(
       }
       case Stage::Kind::Conv: {
         if (c <= 0) {
-          throw std::logic_error("NetworkExecutor: conv needs an image");
+          throw std::logic_error("DeviceSimBackend: conv needs an image");
         }
+        const rdo::core::PlanLayer& pl = plan_.layers[s.plan_index];
         rdo::obs::TraceSpan stage_span("sim:conv_stage", "sim");
         stage_span.arg("kernel", s.kernel);
-        stage_span.arg("out_channels", s.lq.cols);
+        stage_span.arg("out_channels", pl.lq.cols);
         const int oh = static_cast<int>(
             rdo::nn::conv_out_dim(hh, s.kernel, s.stride, s.pad));
         const int ow = static_cast<int>(
             rdo::nn::conv_out_dim(ww, s.kernel, s.stride, s.pad));
-        const std::int64_t fin = s.lq.rows;
-        const std::int64_t oc = s.lq.cols;
+        const std::int64_t fin = pl.lq.rows;
+        const std::int64_t oc = pl.lq.cols;
         // im2col rows, each driven through the crossbars as one VMM.
         std::vector<float> img(h.size());
         for (std::size_t i = 0; i < h.size(); ++i) {
@@ -208,9 +236,10 @@ std::vector<double> NetworkExecutor::forward_image(
         break;
       }
       case Stage::Kind::Crossbar: {
+        const rdo::core::PlanLayer& pl = plan_.layers[s.plan_index];
         rdo::obs::TraceSpan stage_span("sim:crossbar_stage", "sim");
-        stage_span.arg("rows", s.lq.rows);
-        stage_span.arg("cols", s.lq.cols);
+        stage_span.arg("rows", pl.lq.rows);
+        stage_span.arg("cols", pl.lq.cols);
         std::vector<double> y = s.exec->forward(h);
         for (std::size_t k = 0; k < y.size(); ++k) y[k] += s.bias[k];
         h = std::move(y);
@@ -222,8 +251,8 @@ std::vector<double> NetworkExecutor::forward_image(
   return h;
 }
 
-float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
-                                std::int64_t max_samples) const {
+float DeviceSimBackend::device_accuracy(const rdo::nn::DataView& test,
+                                        std::int64_t max_samples) const {
   const std::int64_t n = max_samples > 0
                              ? std::min<std::int64_t>(max_samples,
                                                       test.size())
@@ -233,9 +262,9 @@ float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
   const int height = static_cast<int>(test.images->dim(2));
   const int width = static_cast<int>(test.images->dim(3));
   // Batched inference: forward_image is const and every stage reads only
-  // state frozen at construction time (see CrossbarLayerExecutor::forward),
-  // so images classify concurrently. Each image's verdict lands in its
-  // own slot and the final reduction is an integer sum — the accuracy is
+  // state frozen since the last program_cycle()/tune(), so images
+  // classify concurrently. Each image's verdict lands in its own slot
+  // and the final reduction is an integer sum — the accuracy is
   // bit-identical for any thread count.
   std::vector<unsigned char> hit(static_cast<std::size_t>(n), 0);
   rdo::obs::TraceSpan span("sim:evaluate", "sim");
@@ -263,37 +292,32 @@ float NetworkExecutor::evaluate(const rdo::nn::DataView& test,
   return static_cast<float>(correct) / static_cast<float>(n);
 }
 
-void NetworkExecutor::apply_mean_init_offsets() {
-  const int maxw = (1 << opt_.exec.weight_bits) - 1;
-  const float lo = static_cast<float>(opt_.exec.offsets.offset_min());
-  const float hi = static_cast<float>(opt_.exec.offsets.offset_max());
-  for (Stage& s : stages_) {
-    if (!s.exec) continue;
-    const std::vector<double> crw = s.exec->measure_crw();
-    std::vector<float> offsets(s.assign.offsets.size());
-    const std::int64_t cols = s.lq.cols;
-    for (std::int64_t c = 0; c < cols; ++c) {
-      for (std::int64_t g = 0; g < s.assign.groups_per_col; ++g) {
-        const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-        const std::int64_t r0 = g * s.m;
-        const std::int64_t r1 = std::min<std::int64_t>(s.lq.rows, r0 + s.m);
-        double acc = 0.0;
-        for (std::int64_t r = r0; r < r1; ++r) {
-          const int ntw = s.lq.at(r, c);
-          const double target =
-              s.assign.complemented[gi] ? maxw - ntw : ntw;
-          acc += target - crw[static_cast<std::size_t>(r * cols + c)];
-        }
-        offsets[gi] = std::clamp(
-            static_cast<float>(acc / static_cast<double>(r1 - r0)), lo, hi);
-        offsets[gi] = std::round(offsets[gi]);  // 8-bit register grid
-      }
-    }
-    s.exec->set_offsets(std::move(offsets));
+float DeviceSimBackend::evaluate(const rdo::nn::DataView& test,
+                                 std::int64_t batch) {
+  if (!deployed_) {
+    throw std::logic_error("DeviceSimBackend: program_cycle() first");
   }
+  rdo::obs::ScopedTimer timer(&eval_stats_.eval_s);
+  rdo::obs::TraceSpan span("deploy:evaluate", "deploy");
+  span.arg("batch", batch);
+  rdo::obs::Stopwatch watch;
+  const float acc = device_accuracy(test, dopt_.eval_max_samples);
+  eval_stats_.eval_seconds.push_back(watch.seconds());
+  span.arg("accuracy", static_cast<double>(acc));
+  eval_stats_.eval_accuracy.push_back(acc);
+  return acc;
 }
 
-std::int64_t NetworkExecutor::crossbar_count() const {
+const rdo::core::DeployStats& DeviceSimBackend::stats() const {
+  // The engine never evaluates (its eval fields stay empty), so the
+  // merged record carries the engine's programming/PWT counters plus the
+  // device-side evaluation trace.
+  merged_ = engine_.stats();
+  merged_.merge(eval_stats_);
+  return merged_;
+}
+
+std::int64_t DeviceSimBackend::crossbar_count() const {
   std::int64_t n = 0;
   for (const Stage& s : stages_) {
     if (s.exec) n += s.exec->crossbar_count();

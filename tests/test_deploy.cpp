@@ -1,7 +1,11 @@
-// Deployment pipeline: quantize -> assign -> program -> (tune) -> eval.
+// Deployment pipeline: compile (quantize -> assign) -> program ->
+// (tune) -> eval, split into a shared DeploymentPlan plus an
+// EffectiveWeightBackend execution stage.
 #include <gtest/gtest.h>
 
+#include "core/backend.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -105,34 +109,50 @@ TEST(Deploy, SchemeOrderingUnderVariation) {
   EXPECT_GT(full, f.ideal - 0.12f);  // near-ideal recovery
 }
 
-TEST(Deploy, RestoreRecoversFloatWeights) {
+TEST(Deploy, CallerNetworkStaysUntouched) {
+  // Backends deploy onto a private twin; the caller's float network must
+  // come through the whole pipeline bit-identical.
   auto& f = fixture();
   const float before = nn::evaluate(f.net, f.ds.test(), 32).accuracy;
   {
     DeployOptions o = f.base_options(Scheme::VAWOStarPWT, 0.8);
-    Deployment dep(f.net, o);
-    dep.prepare(f.ds.train());
-    dep.program_cycle(0);
-    dep.tune(f.ds.train());
-    // destructor restores
+    const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+    EffectiveWeightBackend backend(plan, f.net);
+    backend.program_cycle(0);
+    backend.tune(f.ds.train());
+    (void)backend.evaluate(f.ds.test());
   }
   const float after = nn::evaluate(f.net, f.ds.test(), 32).accuracy;
   EXPECT_FLOAT_EQ(before, after);
 }
 
-TEST(Deploy, RequiresPrepareBeforeProgram) {
+TEST(Deploy, RequiresProgramCycleBeforeTuneOrEvaluate) {
   auto& f = fixture();
-  DeployOptions o = f.base_options(Scheme::Plain);
-  Deployment dep(f.net, o);
-  EXPECT_THROW(dep.program_cycle(0), std::logic_error);
-  EXPECT_THROW(dep.evaluate(f.ds.test()), std::logic_error);
+  DeployOptions o = f.base_options(Scheme::VAWOStarPWT);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  EXPECT_THROW(backend.tune(f.ds.train()), std::logic_error);
+  EXPECT_THROW(backend.evaluate(f.ds.test()), std::logic_error);
 }
 
 TEST(Deploy, ThrowsOnNetworkWithoutCrossbarLayers) {
   nn::Sequential empty;
   empty.emplace<nn::Flatten>();
   DeployOptions o;
-  EXPECT_THROW(Deployment(empty, o), std::invalid_argument);
+  data::SyntheticDataset& ds = fixture().ds;
+  EXPECT_THROW(compile_plan(empty, o, ds.train()), std::invalid_argument);
+}
+
+TEST(Deploy, BackendRejectsMismatchedNetwork) {
+  // A plan compiled for one architecture must refuse a different one.
+  auto& f = fixture();
+  DeployOptions o = f.base_options(Scheme::Plain);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  nn::Rng rng(17);
+  nn::Sequential other;
+  other.emplace<nn::Flatten>();
+  other.emplace<nn::Dense>(12 * 12, 10, rng);
+  EXPECT_THROW(EffectiveWeightBackend(plan, other), std::invalid_argument);
 }
 
 TEST(Deploy, CyclesDifferUnderCcv) {
@@ -149,43 +169,35 @@ TEST(Deploy, CyclesDifferUnderCcv) {
 TEST(Deploy, VawoStarReducesReadPower) {
   auto& f = fixture();
   DeployOptions o = f.base_options(Scheme::VAWOStar, 0.5);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  EXPECT_LT(dep.assigned_read_power(), dep.plain_read_power());
-  dep.restore();
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EXPECT_LT(plan.assigned_read_power(), plan.plain_read_power());
 }
 
 TEST(Deploy, PlainSchemeReadPowerRatioIsOne) {
   auto& f = fixture();
   DeployOptions o = f.base_options(Scheme::Plain, 0.5);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  EXPECT_DOUBLE_EQ(dep.assigned_read_power(), dep.plain_read_power());
-  dep.restore();
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EXPECT_DOUBLE_EQ(plan.assigned_read_power(), plan.plain_read_power());
 }
 
 TEST(Deploy, CrossbarCountMatchesTiling) {
   auto& f = fixture();
   DeployOptions o = f.base_options(Scheme::Plain);
   o.cell = {rram::CellKind::MLC2, 200.0};  // 4 cells/weight
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
   // Layer 1: 144x32 -> rows 2 tiles... 144 rows > 128 -> 2 row tiles;
   // 32 cols * 4 cells = 128 -> 1 col tile. Layer 2: 32x10 -> 1.
-  EXPECT_EQ(dep.total_crossbars(128, 128), 3);
-  dep.restore();
+  EXPECT_EQ(plan.total_crossbars(128, 128), 3);
 }
 
 TEST(Deploy, OffsetRegisterCountFollowsEq9) {
   auto& f = fixture();
   DeployOptions o = f.base_options(Scheme::Plain);
   o.offsets.m = 16;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
   // Layer 1: ceil(144/16)=9 groups * 32 cols = 288; layer 2:
   // ceil(32/16)=2 * 10 = 20.
-  EXPECT_EQ(dep.total_offset_registers(), 288 + 20);
-  dep.restore();
+  EXPECT_EQ(plan.total_offset_registers(), 288 + 20);
 }
 
 TEST(Deploy, SlcAndMlcBothWork) {
@@ -248,17 +260,16 @@ TEST(Deploy, NarrowOffsetRegistersStillClamp) {
   auto& f = fixture();
   DeployOptions o = f.base_options(Scheme::VAWOStarPWT, 0.5);
   o.offsets.offset_bits = 4;  // range [-8, 7]
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  dep.tune(f.ds.train());
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (float b : dl.offsets) {
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  backend.tune(f.ds.train());
+  for (const EffectiveWeightBackend::LayerState& ls : backend.layers()) {
+    for (float b : ls.offsets) {
       EXPECT_GE(b, -8.0f);
       EXPECT_LE(b, 7.0f);
     }
   }
-  dep.restore();
 }
 
 TEST(Deploy, WiderOffsetRegistersNoWorse) {
@@ -281,8 +292,8 @@ class DeployMatrix
 TEST_P(DeployMatrix, EveryConfigurationRunsAndBeatsNothing) {
   // Broad sweep over the full configuration space: every (scheme, cell,
   // variation-scope) combination must deploy, evaluate above chance-floor
-  // sanity, restore cleanly, and — for the offset-based schemes — never
-  // fall below the plain scheme by a wide margin.
+  // sanity, leave the caller's network untouched, and — for the
+  // offset-based schemes — never fall below plain by a wide margin.
   const auto [scheme, cell, scope] = GetParam();
   auto& f = fixture();
   DeployOptions o = f.base_options(scheme, 0.4);
@@ -300,7 +311,7 @@ TEST_P(DeployMatrix, EveryConfigurationRunsAndBeatsNothing) {
         run_scheme(f.net, p, f.ds.train(), f.ds.test(), 1).mean_accuracy;
     EXPECT_GE(res.mean_accuracy, plain - 0.05f);
   }
-  // Restore left the float network untouched.
+  // The float network came through untouched.
   EXPECT_FLOAT_EQ(nn::evaluate(f.net, f.ds.test(), 32).accuracy, before);
 }
 
@@ -331,4 +342,31 @@ TEST(Deploy, SchemeNames) {
   EXPECT_STREQ(to_string(Scheme::Plain), "plain");
   EXPECT_STREQ(to_string(Scheme::VAWOStar), "VAWO*");
   EXPECT_STREQ(to_string(Scheme::VAWOStarPWT), "VAWO*+PWT");
+}
+
+TEST(Deploy, ParseSchemeRoundTripsEveryScheme) {
+  for (Scheme s : {Scheme::Plain, Scheme::VAWO, Scheme::VAWOStar,
+                   Scheme::PWT, Scheme::VAWOStarPWT}) {
+    const auto parsed = parse_scheme(to_string(s));
+    ASSERT_TRUE(parsed.has_value()) << to_string(s);
+    EXPECT_EQ(*parsed, s) << to_string(s);
+  }
+}
+
+TEST(Deploy, ParseSchemeAcceptsCliSpellings) {
+  // The CLI uses lowercase spellings; both case conventions must map to
+  // the same scheme.
+  EXPECT_EQ(parse_scheme("plain"), Scheme::Plain);
+  EXPECT_EQ(parse_scheme("vawo"), Scheme::VAWO);
+  EXPECT_EQ(parse_scheme("vawo*"), Scheme::VAWOStar);
+  EXPECT_EQ(parse_scheme("pwt"), Scheme::PWT);
+  EXPECT_EQ(parse_scheme("vawo*+pwt"), Scheme::VAWOStarPWT);
+}
+
+TEST(Deploy, ParseSchemeRejectsUnknownNames) {
+  EXPECT_FALSE(parse_scheme("").has_value());
+  EXPECT_FALSE(parse_scheme("vawo**").has_value());
+  EXPECT_FALSE(parse_scheme("plain ").has_value());
+  EXPECT_FALSE(parse_scheme("vawo+pwt").has_value());
+  EXPECT_FALSE(parse_scheme("offset").has_value());
 }

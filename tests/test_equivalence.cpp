@@ -6,7 +6,9 @@
 
 #include <cmath>
 
+#include "core/backend.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -63,48 +65,48 @@ TEST(Equivalence, EffectiveWeightsImplementEq7WithComplement) {
   o.cell = {rram::CellKind::SLC, 200.0};
   o.variation.sigma = 0.6;
   o.seed = 4;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
 
-  const DeployedLayer& dl = dep.layers()[0];
-  const std::int64_t rows = dl.lq.rows, cols = dl.lq.cols;
+  const PlanLayer& pl = plan.layers[0];
+  const EffectiveWeightBackend::LayerState& ls = backend.layers()[0];
+  const std::int64_t rows = pl.lq.rows, cols = pl.lq.cols;
   const double maxw = 255.0;
   nn::Rng rng(9);
   std::vector<double> x(static_cast<std::size_t>(rows));
   for (auto& v : x) v = rng.uniform(0.0, 1.0);
 
   for (std::int64_t c = 0; c < cols; ++c) {
-    // Path 1: effective weights as loaded into the network.
+    // Path 1: effective weights as loaded into the backend's twin.
     double y_eff = 0.0;
     for (std::int64_t r = 0; r < rows; ++r) {
-      y_eff += x[static_cast<std::size_t>(r)] * dl.op->weight_at(r, c);
+      y_eff += x[static_cast<std::size_t>(r)] * ls.op->weight_at(r, c);
     }
     // Path 2: explicit hardware computation.
     double y_hw = 0.0;
     double sum_x_total = 0.0;
-    for (std::int64_t g = 0; g < dl.assign.groups_per_col; ++g) {
+    for (std::int64_t g = 0; g < pl.assign.groups_per_col; ++g) {
       const std::size_t gi = static_cast<std::size_t>(g * cols + c);
       const std::int64_t r0 = g * o.offsets.m;
       const std::int64_t r1 = std::min(rows, r0 + o.offsets.m);
       double analog = 0.0, sum_x = 0.0;
       for (std::int64_t r = r0; r < r1; ++r) {
         analog += x[static_cast<std::size_t>(r)] *
-                  dl.crw[static_cast<std::size_t>(r * cols + c)];
+                  ls.crw[static_cast<std::size_t>(r * cols + c)];
         sum_x += x[static_cast<std::size_t>(r)];
       }
-      const double z = analog + dl.offsets[gi] * sum_x;  // Eq. (1)/(7)
+      const double z = analog + ls.offsets[gi] * sum_x;  // Eq. (1)/(7)
       // Complement post-processing (ISAAC module, paper Sec. III-C).
-      y_hw += dl.assign.complemented[gi] ? maxw * sum_x - z : z;
+      y_hw += pl.assign.complemented[gi] ? maxw * sum_x - z : z;
       sum_x_total += sum_x;
     }
     // The ISAAC weight shift: subtract zero * sum(x), then dequantize.
     const double y_hw_eff =
-        dl.lq.scale * (y_hw - static_cast<double>(dl.lq.zero) * sum_x_total);
+        pl.lq.scale * (y_hw - static_cast<double>(pl.lq.zero) * sum_x_total);
     EXPECT_NEAR(y_eff, y_hw_eff, 1e-3 * std::max(1.0, std::fabs(y_eff)))
         << "column " << c;
   }
-  dep.restore();
 }
 
 TEST(Equivalence, PlainEffectiveWeightIsCrwPlusOffsetDequantized) {
@@ -115,18 +117,18 @@ TEST(Equivalence, PlainEffectiveWeightIsCrwPlusOffsetDequantized) {
   o.cell = {rram::CellKind::SLC, 200.0};
   o.variation.sigma = 0.4;
   o.seed = 5;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  const DeployedLayer& dl = dep.layers()[0];
-  for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
-    for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
-      const double v = dl.crw[static_cast<std::size_t>(r * dl.lq.cols + c)];
-      EXPECT_NEAR(dl.op->weight_at(r, c),
-                  dl.lq.dequant(static_cast<float>(v)), 1e-4f);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  const PlanLayer& pl = plan.layers[0];
+  const EffectiveWeightBackend::LayerState& ls = backend.layers()[0];
+  for (std::int64_t r = 0; r < pl.lq.rows; ++r) {
+    for (std::int64_t c = 0; c < pl.lq.cols; ++c) {
+      const double v = ls.crw[static_cast<std::size_t>(r * pl.lq.cols + c)];
+      EXPECT_NEAR(ls.op->weight_at(r, c),
+                  pl.lq.dequant(static_cast<float>(v)), 1e-4f);
     }
   }
-  dep.restore();
 }
 
 TEST(Equivalence, ZeroVariationPlainMatchesQuantizedRoundTrip) {
@@ -135,17 +137,17 @@ TEST(Equivalence, ZeroVariationPlainMatchesQuantizedRoundTrip) {
   o.scheme = Scheme::Plain;
   o.cell = {rram::CellKind::MLC2, 200.0};
   o.variation.sigma = 0.0;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  const DeployedLayer& dl = dep.layers()[0];
-  for (std::int64_t r = 0; r < dl.lq.rows; ++r) {
-    for (std::int64_t c = 0; c < dl.lq.cols; ++c) {
-      EXPECT_NEAR(dl.op->weight_at(r, c),
-                  dl.lq.dequant(static_cast<float>(dl.lq.at(r, c))), 1e-5f);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  const PlanLayer& pl = plan.layers[0];
+  const EffectiveWeightBackend::LayerState& ls = backend.layers()[0];
+  for (std::int64_t r = 0; r < pl.lq.rows; ++r) {
+    for (std::int64_t c = 0; c < pl.lq.cols; ++c) {
+      EXPECT_NEAR(ls.op->weight_at(r, c),
+                  pl.lq.dequant(static_cast<float>(pl.lq.at(r, c))), 1e-5f);
     }
   }
-  dep.restore();
 }
 
 TEST(Equivalence, ComplementIdentityOnDeviceLevelCrossbar) {

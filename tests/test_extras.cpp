@@ -267,11 +267,8 @@ struct RiskFixture {
     o.cell = {rram::CellKind::SLC, 200.0};
     o.variation.sigma = sigma;
     o.seed = 6;
-    core::Deployment dep(net, o);
-    dep.prepare(ds.train());
-    const double r = core::network_risk(dep);
-    dep.restore();
-    return r;
+    const core::DeploymentPlan plan = core::compile_plan(net, o, ds.train());
+    return core::network_risk(plan);
   }
 };
 
@@ -332,9 +329,9 @@ TEST(Analysis, PerLayerRisksMatchNetworkAggregate) {
   o.cell = {rram::CellKind::SLC, 200.0};
   o.variation.sigma = 0.5;
   o.seed = 6;
-  core::Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  const auto layers = core::deployment_risk(dep);
+  const core::DeploymentPlan plan =
+      core::compile_plan(f.net, o, f.ds.train());
+  const auto layers = core::deployment_risk(plan);
   ASSERT_EQ(layers.size(), 2u);
   double total = 0.0, n = 0.0;
   const double counts[2] = {100.0 * 20.0, 20.0 * 5.0};
@@ -343,8 +340,7 @@ TEST(Analysis, PerLayerRisksMatchNetworkAggregate) {
     total += layers[i].mean_sq_dev * counts[i];
     n += counts[i];
   }
-  EXPECT_NEAR(core::network_risk(dep), std::sqrt(total / n) / 255.0, 1e-9);
-  dep.restore();
+  EXPECT_NEAR(core::network_risk(plan), std::sqrt(total / n) / 255.0, 1e-9);
 }
 
 TEST(Analysis, GranularityTunerPicksCoarsestWithinBudget) {

@@ -4,6 +4,7 @@
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
 #include "nn/optimizer.h"
@@ -110,17 +111,15 @@ TEST(Integration, Fig5cShapeAccuracyFallsWithSigma) {
 TEST(Integration, TableIShapeReadingPowerSavings) {
   auto& f = fx();
   // VAWO* reduces total device reading power, more at finer granularity.
-  DeployOptions o16 = f.options(Scheme::VAWOStar, 16, 0.5);
-  Deployment d16(*f.net, o16);
-  d16.prepare(f.ds.train());
-  const double r16 = d16.assigned_read_power() / d16.plain_read_power();
-  d16.restore();
+  const DeploymentPlan p16 =
+      compile_plan(*f.net, f.options(Scheme::VAWOStar, 16, 0.5),
+                   f.ds.train());
+  const double r16 = p16.assigned_read_power() / p16.plain_read_power();
 
-  DeployOptions o128 = f.options(Scheme::VAWOStar, 128, 0.5);
-  Deployment d128(*f.net, o128);
-  d128.prepare(f.ds.train());
-  const double r128 = d128.assigned_read_power() / d128.plain_read_power();
-  d128.restore();
+  const DeploymentPlan p128 =
+      compile_plan(*f.net, f.options(Scheme::VAWOStar, 128, 0.5),
+                   f.ds.train());
+  const double r128 = p128.assigned_read_power() / p128.plain_read_power();
 
   EXPECT_LT(r16, 1.0);
   EXPECT_LT(r128, 1.0);
@@ -131,10 +130,8 @@ TEST(Integration, TableIIShapeFromMeasuredRatio) {
   auto& f = fx();
   DeployOptions o = f.options(Scheme::VAWOStar, 16, 0.5);
   o.cell = {rram::CellKind::MLC2, 200.0};
-  Deployment dep(*f.net, o);
-  dep.prepare(f.ds.train());
-  const double ratio = dep.assigned_read_power() / dep.plain_read_power();
-  dep.restore();
+  const DeploymentPlan plan = compile_plan(*f.net, o, f.ds.train());
+  const double ratio = plan.assigned_read_power() / plan.plain_read_power();
   const arch::TileOverhead ov = arch::tile_overhead(16, 8, ratio);
   EXPECT_GT(ov.area_pct, 0.0);
   EXPECT_LT(ov.area_pct, 30.0);
@@ -142,7 +139,7 @@ TEST(Integration, TableIIShapeFromMeasuredRatio) {
 }
 
 TEST(Integration, OffsetsAreTheOnlyMutation) {
-  // After a full deploy/restore round-trip, a second deployment from the
+  // Backends execute on a private twin, so a second deployment from the
   // same seed reproduces identical accuracy — no hidden state leaks.
   auto& f = fx();
   const float a1 = f.acc(Scheme::VAWOStarPWT, 16, 0.5);

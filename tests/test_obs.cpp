@@ -227,17 +227,14 @@ std::string deterministic_report(int threads) {
   spec.test_per_class = 10;
   const rdo::data::SyntheticDataset ds = rdo::data::make_synthetic(spec);
 
-  const auto make_net = []() -> std::unique_ptr<rdo::nn::Layer> {
-    rdo::nn::Rng rng(11);
-    auto net = std::make_unique<rdo::nn::Sequential>();
-    net->emplace<rdo::nn::Flatten>();
-    net->emplace<rdo::quant::ActQuant>(8);
-    net->emplace<rdo::nn::Dense>(28 * 28, 16, rng);
-    net->emplace<rdo::nn::ReLU>();
-    net->emplace<rdo::quant::ActQuant>(8);
-    net->emplace<rdo::nn::Dense>(16, 10, rng);
-    return net;
-  };
+  rdo::nn::Rng rng(11);
+  rdo::nn::Sequential net;
+  net.emplace<rdo::nn::Flatten>();
+  net.emplace<rdo::quant::ActQuant>(8);
+  net.emplace<rdo::nn::Dense>(28 * 28, 16, rng);
+  net.emplace<rdo::nn::ReLU>();
+  net.emplace<rdo::quant::ActQuant>(8);
+  net.emplace<rdo::nn::Dense>(16, 10, rng);
 
   rdo::core::DeployOptions o;
   o.scheme = rdo::core::Scheme::VAWOStarPWT;
@@ -252,7 +249,7 @@ std::string deterministic_report(int threads) {
   o.seed = 7;
 
   const rdo::core::SchemeResult res = rdo::core::run_scheme_parallel(
-      make_net, o, ds.train(), ds.test(), /*repeats=*/3);
+      net, o, ds.train(), ds.test(), /*repeats=*/3);
 
   rdo::obs::BenchReport rep("determinism_probe", o.seed);
   rep.results()["stats"] = rdo::core::deploy_stats_json(res.stats);

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
@@ -20,9 +21,9 @@
 #include "nn/optimizer.h"
 #include "nn/parallel.h"
 #include "nn/pooling.h"
-#include "nn/serialize.h"
+#include "nn/sequential.h"
 #include "nn/trainer.h"
-#include "sim/network_executor.h"
+#include "sim/device_backend.h"
 
 using namespace rdo;
 
@@ -166,17 +167,6 @@ struct DeployFixture {
       nn::train_epoch(net, opt, ds.train(), 16, rng);
     }
   }
-
-  std::unique_ptr<nn::Layer> clone() {
-    nn::Rng rng(14);
-    auto c = std::make_unique<nn::Sequential>();
-    c->emplace<nn::Flatten>();
-    c->emplace<nn::Dense>(64, 16, rng);
-    c->emplace<nn::ReLU>();
-    c->emplace<nn::Dense>(16, 4, rng);
-    nn::copy_state(*c, net);
-    return c;
-  }
 };
 
 DeployFixture& deploy_fixture() {
@@ -214,13 +204,13 @@ TEST(Determinism, ParallelTrialsMatchSerialRunSchemeSlcAndMlc) {
     {
       ThreadGuard guard(1);
       serial = core::run_scheme(f.net, o, f.ds.train(), f.ds.test(), repeats);
-      par1 = core::run_scheme_parallel([&] { return f.clone(); }, o,
-                                       f.ds.train(), f.ds.test(), repeats);
+      par1 = core::run_scheme_parallel(f.net, o, f.ds.train(), f.ds.test(),
+                                       repeats);
     }
     {
       ThreadGuard guard(4);
-      par4 = core::run_scheme_parallel([&] { return f.clone(); }, o,
-                                       f.ds.train(), f.ds.test(), repeats);
+      par4 = core::run_scheme_parallel(f.net, o, f.ds.train(), f.ds.test(),
+                                       repeats);
     }
     ASSERT_EQ(serial.per_cycle.size(), static_cast<std::size_t>(repeats));
     ASSERT_EQ(par1.per_cycle.size(), static_cast<std::size_t>(repeats));
@@ -260,18 +250,22 @@ TEST(Determinism, DeviceLevelEvaluateMatchesAcrossThreadCounts) {
     nn::train_epoch(net, opt, ds.train(), 16, rng);
   }
 
-  sim::NetworkExecutorOptions o;
-  o.exec.xbar.rows = 16;
-  o.exec.xbar.cols = 32;
-  o.exec.xbar.cell = {rram::CellKind::MLC2, 200.0};
-  o.exec.xbar.variation.sigma = 0.3;
-  o.exec.xbar.active_wordlines = 4;
-  o.exec.offsets.m = 8;
+  core::DeployOptions o;
+  o.scheme = core::Scheme::VAWOStar;
+  o.offsets.m = 8;
+  o.cell = {rram::CellKind::MLC2, 200.0};
+  o.variation.sigma = 0.3;
   o.lut_k_sets = 4;
   o.lut_j_cycles = 4;
   o.grad_samples = 32;
   o.seed = 19;
-  const sim::NetworkExecutor exec(net, ds.train(), o);
+  sim::DeviceSimOptions geom;
+  geom.xbar_rows = 16;
+  geom.xbar_cols = 32;
+  geom.active_wordlines = 4;
+  const core::DeploymentPlan plan = core::compile_plan(net, o, ds.train());
+  sim::DeviceSimBackend exec(plan, net, geom);
+  exec.program_cycle(0);
 
   std::vector<double> x(64);
   const float* img = ds.test().images->data();

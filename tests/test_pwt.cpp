@@ -3,7 +3,9 @@
 
 #include <cmath>
 
+#include "core/backend.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -58,8 +60,11 @@ Fixture& fixture() {
   return f;
 }
 
-float deployed_loss(nn::Layer& net, const nn::DataView& data) {
-  return nn::evaluate(net, data, 64).loss;
+/// Training loss of a backend's deployed twin (the caller's network never
+/// carries deployed weights, so loss probes must go through the backend).
+float deployed_loss(EffectiveWeightBackend& backend,
+                    const nn::DataView& data) {
+  return nn::evaluate(backend.network(), data, 64).loss;
 }
 
 }  // namespace
@@ -67,14 +72,13 @@ float deployed_loss(nn::Layer& net, const nn::DataView& data) {
 TEST(Pwt, TuningReducesTrainingLoss) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::PWT);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  const float loss_before = deployed_loss(f.net, f.ds.train());
-  dep.tune(f.ds.train());
-  const float loss_after = deployed_loss(f.net, f.ds.train());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  const float loss_before = deployed_loss(backend, f.ds.train());
+  backend.tune(f.ds.train());
+  const float loss_after = deployed_loss(backend, f.ds.train());
   EXPECT_LT(loss_after, loss_before);
-  dep.restore();
 }
 
 TEST(Pwt, TuningImprovesTestAccuracy) {
@@ -91,72 +95,70 @@ TEST(Pwt, TuningImprovesTestAccuracy) {
 TEST(Pwt, OffsetsLandOnRegisterGrid) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::PWT);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  dep.tune(f.ds.train());
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (float b : dl.offsets) {
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  backend.tune(f.ds.train());
+  for (const EffectiveWeightBackend::LayerState& ls : backend.layers()) {
+    for (float b : ls.offsets) {
       EXPECT_FLOAT_EQ(b, std::round(b));
       EXPECT_GE(b, -128.0f);
       EXPECT_LE(b, 127.0f);
     }
   }
-  dep.restore();
 }
 
 TEST(Pwt, SomeOffsetsBecomeNonZero) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::PWT);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  dep.tune(f.ds.train());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  backend.tune(f.ds.train());
   int nonzero = 0;
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (float b : dl.offsets) {
+  for (const EffectiveWeightBackend::LayerState& ls : backend.layers()) {
+    for (float b : ls.offsets) {
       if (b != 0.0f) ++nonzero;
     }
   }
   EXPECT_GT(nonzero, 0);
-  dep.restore();
 }
 
 TEST(Pwt, TuneIsNoOpForNonPwtSchemes) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::VAWOStar);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
   std::vector<float> before;
-  for (const DeployedLayer& dl : dep.layers()) {
-    before.insert(before.end(), dl.offsets.begin(), dl.offsets.end());
+  for (const EffectiveWeightBackend::LayerState& ls : backend.layers()) {
+    before.insert(before.end(), ls.offsets.begin(), ls.offsets.end());
   }
-  dep.tune(f.ds.train());
+  backend.tune(f.ds.train());
   std::size_t k = 0;
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (float b : dl.offsets) EXPECT_FLOAT_EQ(b, before[k++]);
+  for (const EffectiveWeightBackend::LayerState& ls : backend.layers()) {
+    for (float b : ls.offsets) EXPECT_FLOAT_EQ(b, before[k++]);
   }
-  dep.restore();
 }
 
 TEST(Pwt, EachCycleStartsFromAPrioriOffsets) {
   // After tuning cycle 0, programming cycle 1 must reset the working
-  // offsets to the VAWO (a-priori) values before re-tuning.
+  // offsets to the VAWO (a-priori) values from the plan before re-tuning.
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::VAWOStarPWT);
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  dep.tune(f.ds.train());
-  dep.program_cycle(1);
-  std::size_t k = 0;
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (std::size_t i = 0; i < dl.offsets.size(); ++i, ++k) {
-      EXPECT_FLOAT_EQ(dl.offsets[i], dl.assign.offsets[i]);
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  backend.tune(f.ds.train());
+  backend.program_cycle(1);
+  for (std::size_t li = 0; li < backend.layers().size(); ++li) {
+    const auto& offsets = backend.layers()[li].offsets;
+    const auto& apriori = plan.layers[li].assign.offsets;
+    ASSERT_EQ(offsets.size(), apriori.size());
+    for (std::size_t i = 0; i < offsets.size(); ++i) {
+      EXPECT_FLOAT_EQ(offsets[i], apriori[i]);
     }
   }
-  dep.restore();
 }
 
 TEST(Pwt, DoesNotHurtACleanDeployment) {
@@ -165,14 +167,13 @@ TEST(Pwt, DoesNotHurtACleanDeployment) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::PWT);
   o.variation.sigma = 0.0;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
-  dep.program_cycle(0);
-  const float clean = dep.evaluate(f.ds.test());
-  dep.tune(f.ds.train());
-  const float tuned = dep.evaluate(f.ds.test());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  const float clean = backend.evaluate(f.ds.test());
+  backend.tune(f.ds.train());
+  const float tuned = backend.evaluate(f.ds.test());
   EXPECT_GE(tuned, clean - 0.05f);
-  dep.restore();
 }
 
 TEST(Pwt, ComplementedGroupsTuneWithFlippedSign) {
@@ -181,17 +182,16 @@ TEST(Pwt, ComplementedGroupsTuneWithFlippedSign) {
   auto& f = fixture();
   DeployOptions o = f.options(Scheme::VAWOStarPWT);
   o.variation.sigma = 0.8;
-  Deployment dep(f.net, o);
-  dep.prepare(f.ds.train());
+  const DeploymentPlan plan = compile_plan(f.net, o, f.ds.train());
   int complemented = 0;
-  for (const DeployedLayer& dl : dep.layers()) {
-    for (auto c : dl.assign.complemented) complemented += c;
+  for (const PlanLayer& pl : plan.layers) {
+    for (auto c : pl.assign.complemented) complemented += c;
   }
   ASSERT_GT(complemented, 0);  // the premise: some groups are inverted
-  dep.program_cycle(0);
-  const float before = deployed_loss(f.net, f.ds.train());
-  dep.tune(f.ds.train());
-  const float after = deployed_loss(f.net, f.ds.train());
+  EffectiveWeightBackend backend(plan, f.net);
+  backend.program_cycle(0);
+  const float before = deployed_loss(backend, f.ds.train());
+  backend.tune(f.ds.train());
+  const float after = deployed_loss(backend, f.ds.train());
   EXPECT_LT(after, before + 1e-4f);
-  dep.restore();
 }

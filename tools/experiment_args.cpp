@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <initializer_list>
 
+#include "core/deploy.h"
+
 namespace rdo::tools {
 
 namespace {
@@ -91,7 +93,9 @@ ParseOutcome parse_experiment_args(int argc, const char* const* argv,
     } else if (flag == "--scheme") {
       if ((value = next()) == nullptr) return missing();
       out.scheme = value;
-      if (!one_of(out.scheme, {"plain", "vawo", "vawo*", "pwt", "vawo*+pwt"})) {
+      // Validated against the core scheme table (the inverse of
+      // core::to_string) so the CLI can never drift from the library.
+      if (!rdo::core::parse_scheme(out.scheme)) {
         return fail("unknown scheme '" + out.scheme +
                     "' (expected plain|vawo|vawo*|pwt|vawo*+pwt)");
       }

@@ -19,6 +19,7 @@
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
+#include "core/plan.h"
 #include "data/synthetic.h"
 #include "experiment_args.h"
 #include "models/lenet.h"
@@ -31,18 +32,6 @@
 #include "quant/act_quant.h"
 
 using namespace rdo;
-
-namespace {
-
-core::Scheme to_scheme(const std::string& s) {
-  if (s == "plain") return core::Scheme::Plain;
-  if (s == "vawo") return core::Scheme::VAWO;
-  if (s == "vawo*") return core::Scheme::VAWOStar;
-  if (s == "pwt") return core::Scheme::PWT;
-  return core::Scheme::VAWOStarPWT;  // "vawo*+pwt" (validated by the parser)
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   tools::ExperimentArgs a;
@@ -108,9 +97,10 @@ int main(int argc, char** argv) {
   }
   std::printf("ideal accuracy: %.2f%%\n\n", 100 * ideal);
 
-  // Deployment.
+  // Deployment. The parser already validated the scheme name through the
+  // same core::parse_scheme table, so the optional is always engaged.
   core::DeployOptions o;
-  o.scheme = to_scheme(a.scheme);
+  o.scheme = core::parse_scheme(a.scheme).value_or(core::Scheme::VAWOStarPWT);
   o.offsets.m = a.m;
   o.offsets.offset_bits = a.offset_bits;
   o.cell = {a.cell == "mlc2" ? rram::CellKind::MLC2 : rram::CellKind::SLC,
@@ -170,28 +160,27 @@ int main(int argc, char** argv) {
       rep.recorder().observe("deploy_evaluate_seconds", s);
     }
 
-    // Hardware accounting for the chosen configuration.
+    // Hardware accounting for the chosen configuration, read off a
+    // compiled plan (the network itself is left untouched).
     obs::PhaseTimer t(rep.recorder(), "hardware_accounting");
-    core::Deployment dep(*net, o);
-    dep.prepare(ds.train());
-    const double ratio = dep.assigned_read_power() / dep.plain_read_power();
+    const core::DeploymentPlan plan = core::compile_plan(*net, o, ds.train());
+    const double ratio = plan.assigned_read_power() / plan.plain_read_power();
     std::printf("\ncrossbars (128x128): %lld\n",
-                static_cast<long long>(dep.total_crossbars()));
+                static_cast<long long>(plan.total_crossbars()));
     std::printf("offset registers: %lld\n",
-                static_cast<long long>(dep.total_offset_registers()));
+                static_cast<long long>(plan.total_offset_registers()));
     std::printf("device reading power vs plain: %.1f%%\n", 100 * ratio);
     const arch::TileOverhead ov = arch::tile_overhead(a.m, a.offset_bits,
                                                       ratio);
     std::printf("ISAAC tile overhead: +%.3f mm^2 (%.1f%%), %+.2f mW "
                 "(%.1f%%)\n",
                 ov.area_mm2, ov.area_pct, ov.power_mw, ov.power_pct);
-    dep.restore();
 
     obs::Json& hw = rep.results()["hardware"];
     hw = obs::Json::object();
-    hw["crossbars"] = static_cast<std::int64_t>(dep.total_crossbars());
+    hw["crossbars"] = static_cast<std::int64_t>(plan.total_crossbars());
     hw["offset_registers"] =
-        static_cast<std::int64_t>(dep.total_offset_registers());
+        static_cast<std::int64_t>(plan.total_offset_registers());
     hw["read_power_ratio"] = ratio;
     hw["tile_area_mm2"] = ov.area_mm2;
     hw["tile_power_mw"] = ov.power_mw;
