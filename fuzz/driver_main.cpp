@@ -1,0 +1,61 @@
+// Standalone corpus-replay driver for the fuzz harnesses.
+//
+// libFuzzer (clang's -fsanitize=fuzzer) supplies its own main(); with any
+// other toolchain the harnesses link this driver instead, which replays
+// every file (or every regular file in every directory) passed on the
+// command line through LLVMFuzzerTestOneInput. That keeps the committed
+// seed corpus running as a plain ctest regression on every build — Debug,
+// Release and all sanitizer presets — even where libFuzzer is absent.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_one(const std::filesystem::path& p) {
+  std::ifstream f(p, std::ios::binary);
+  if (!f) {
+    std::fprintf(stderr, "fuzz driver: cannot open %s\n", p.string().c_str());
+    return 1;
+  }
+  std::vector<char> bytes((std::istreambuf_iterator<char>(f)),
+                          std::istreambuf_iterator<char>());
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int failures = 0;
+  int cases = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+      // Deterministic replay order regardless of directory-entry order.
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());
+      for (const auto& p : files) {
+        failures += run_one(p);
+        ++cases;
+      }
+    } else {
+      failures += run_one(arg);
+      ++cases;
+    }
+  }
+  std::fprintf(stderr, "fuzz driver: replayed %d corpus case(s)\n", cases);
+  return failures == 0 ? 0 : 1;
+}

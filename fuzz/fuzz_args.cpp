@@ -1,0 +1,37 @@
+// Fuzz target: tools::parse_experiment_args — the strict CLI flag parser
+// in front of every rdo_experiment invocation.
+//
+// Contract under fuzzing: any argv vector yields a ParseOutcome (ok or a
+// diagnostic) without crashing, throwing, or reading past the argument
+// array. Input bytes are split on newlines into argv tokens.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "experiment_args.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::vector<std::string> tokens;
+  std::string cur;
+  for (std::size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(cur);
+      cur.clear();
+    } else if (c != '\0') {  // argv strings cannot contain NUL
+      cur += c;
+    }
+  }
+  if (!cur.empty() && tokens.size() < 64) tokens.push_back(cur);
+
+  std::vector<const char*> argv;
+  argv.push_back("rdo_experiment");
+  for (const std::string& t : tokens) argv.push_back(t.c_str());
+
+  rdo::tools::ExperimentArgs args;
+  const rdo::tools::ParseOutcome outcome = rdo::tools::parse_experiment_args(
+      static_cast<int>(argv.size()), argv.data(), args);
+  (void)outcome;
+  return 0;
+}

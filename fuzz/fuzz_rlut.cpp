@@ -1,0 +1,35 @@
+// Fuzz target: RLut::load — the LUT cache deserializer behind
+// RDO_LUT_CACHE_DIR.
+//
+// Contract under fuzzing: arbitrary bytes either load cleanly, report a
+// stale fingerprint (false), or raise LutError; never a crash, an
+// unbounded resize, or a table built from uninitialized memory. The
+// stored fingerprint is lifted out of the input so the fuzzer reaches the
+// post-fingerprint payload path as well as the mismatch path.
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "rram/rlut.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Fingerprint at offset 4 (after the magic), as written by RLut::save.
+  std::uint64_t stored_fp = 0;
+  if (size >= 12) std::memcpy(&stored_fp, data + 4, sizeof(stored_fp));
+
+  for (const std::uint64_t fp : {stored_fp, std::uint64_t{0}}) {
+    std::istringstream in(bytes, std::ios::binary);
+    rdo::rram::RLut out;
+    try {
+      (void)rdo::rram::RLut::load(in, fp, out, "fuzz");
+    } catch (const rdo::rram::LutError&) {
+      // Corrupt input must raise LutError — never crash.
+    }
+    if (stored_fp == 0) break;  // both iterations identical
+  }
+  return 0;
+}

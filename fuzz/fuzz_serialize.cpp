@@ -1,0 +1,57 @@
+// Fuzz target: nn::load_params — the model-file deserializer used to
+// reuse trained weights across experiment binaries.
+//
+// Contract under fuzzing: arbitrary bytes either load into the probe
+// network or raise SerializeError; never a crash, a read past the
+// document, or a partially-overwritten network. Two probe networks (an
+// MLP and a conv+batchnorm stack, the latter exercising the buffer
+// section) are tried against every input.
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "nn/serialize.h"
+
+namespace {
+
+rdo::nn::Sequential& mlp_probe() {
+  static rdo::nn::Sequential* net = [] {
+    rdo::nn::Rng rng(1);
+    auto* s = new rdo::nn::Sequential();
+    s->emplace<rdo::nn::Dense>(4, 8, rng);
+    s->emplace<rdo::nn::Dense>(8, 3, rng);
+    return s;
+  }();
+  return *net;
+}
+
+rdo::nn::Sequential& conv_probe() {
+  static rdo::nn::Sequential* net = [] {
+    rdo::nn::Rng rng(2);
+    auto* s = new rdo::nn::Sequential();
+    s->emplace<rdo::nn::Conv2D>(1, 2, 3, 1, 1, rng);
+    s->emplace<rdo::nn::BatchNorm2D>(2);
+    return s;
+  }();
+  return *net;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+  for (rdo::nn::Sequential* net : {&mlp_probe(), &conv_probe()}) {
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      rdo::nn::load_params(*net, in, "fuzz");
+    } catch (const rdo::nn::SerializeError&) {
+      // Malformed model files must raise SerializeError — never crash.
+    }
+  }
+  return 0;
+}

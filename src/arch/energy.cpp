@@ -1,15 +1,14 @@
 #include "arch/energy.h"
 
-#include <stdexcept>
+#include "core/check.h"
 
 namespace rdo::arch {
 
 VmmEnergy vmm_energy(const VmmGeometry& g, double mean_state_sum,
                      const EnergyParams& p) {
-  if (g.rows <= 0 || g.cols <= 0 || g.active_wordlines <= 0 ||
-      g.input_bits <= 0 || g.m <= 0) {
-    throw std::invalid_argument("vmm_energy: bad geometry");
-  }
+  RDO_CHECK(g.rows > 0 && g.cols > 0 && g.active_wordlines > 0 &&
+                g.input_bits > 0 && g.m > 0,
+            "vmm_energy: bad geometry");
   VmmEnergy e;
   const std::int64_t groups =
       (g.rows + g.active_wordlines - 1) / g.active_wordlines;

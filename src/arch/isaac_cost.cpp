@@ -1,7 +1,9 @@
 #include "arch/isaac_cost.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::arch {
 
@@ -18,9 +20,9 @@ double OffsetHardware::power_uw(const GateCosts& g) const {
 }
 
 OffsetHardware offset_hardware(int m, int offset_bits, const TileParams& tp) {
-  if (m <= 0 || offset_bits <= 0) {
-    throw std::invalid_argument("offset_hardware: bad parameters");
-  }
+  RDO_CHECK(m > 0 && offset_bits > 0,
+            "offset_hardware: m = " + std::to_string(m) +
+                ", offset_bits = " + std::to_string(offset_bits));
   OffsetHardware hw;
   // Bit-count adder for m 1-bit inputs: a compressor tree needs about
   // m - ceil(log2(m+1)) full adders; we use the conservative m - 1 count

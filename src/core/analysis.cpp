@@ -1,7 +1,8 @@
 #include "core/analysis.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace rdo::core {
 
@@ -63,9 +64,7 @@ GranularityChoice choose_granularity(const rdo::nn::Layer& net,
                                      const std::vector<int>& candidate_ms,
                                      double max_risk) {
   GranularityChoice choice;
-  if (candidate_ms.empty()) {
-    throw std::invalid_argument("choose_granularity: no candidates");
-  }
+  RDO_CHECK(!candidate_ms.empty(), "choose_granularity: no candidates");
   double best_risk = -1.0;
   int best_m = candidate_ms.front();
   int coarsest_ok = -1;

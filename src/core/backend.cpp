@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
 
+#include "core/check.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
 
@@ -25,29 +25,23 @@ EffectiveWeightBackend::EffectiveWeightBackend(const DeploymentPlan& plan,
       act_quants_.push_back(aq);
     }
   }
-  if (layers_.size() != plan_.layers.size()) {
-    throw std::invalid_argument(
-        "EffectiveWeightBackend: network does not match the plan "
-        "(crossbar layer count)");
-  }
+  RDO_CHECK(layers_.size() == plan_.layers.size(),
+            "EffectiveWeightBackend: network does not match the plan "
+            "(crossbar layer count)");
   for (std::size_t li = 0; li < layers_.size(); ++li) {
     const PlanLayer& pl = plan_.layers[li];
-    if (layers_[li].op->fan_in() != pl.fan_in ||
-        layers_[li].op->fan_out() != pl.fan_out) {
-      throw std::invalid_argument(
-          "EffectiveWeightBackend: network does not match the plan "
-          "(layer geometry)");
-    }
+    RDO_CHECK(layers_[li].op->fan_in() == pl.fan_in &&
+                  layers_[li].op->fan_out() == pl.fan_out,
+              "EffectiveWeightBackend: network does not match the plan "
+              "(layer geometry)");
     // Move the twin to the plan's quantized operating point.
     rdo::quant::apply_quantized(*layers_[li].op, pl.lq);
   }
   for (auto* aq : act_quants_) aq->disable();
   if (plan_.opt.quantize_activations && !act_quants_.empty()) {
-    if (act_quants_.size() != plan_.act_calib.size()) {
-      throw std::invalid_argument(
-          "EffectiveWeightBackend: network does not match the plan "
-          "(activation quantizer count)");
-    }
+    RDO_CHECK(act_quants_.size() == plan_.act_calib.size(),
+              "EffectiveWeightBackend: network does not match the plan "
+              "(activation quantizer count)");
     for (std::size_t i = 0; i < act_quants_.size(); ++i) {
       act_quants_[i]->calibrate(plan_.act_calib[i].max_abs);
     }
@@ -130,9 +124,8 @@ void EffectiveWeightBackend::apply_group_delta(std::size_t li,
 
 void EffectiveWeightBackend::tune(const rdo::nn::DataView& train) {
   if (!scheme_uses_pwt(plan_.opt.scheme)) return;
-  if (!weights_deployed_) {
-    throw std::logic_error("EffectiveWeightBackend: program_cycle() first");
-  }
+  RDO_CHECK(weights_deployed_,
+            "EffectiveWeightBackend: program_cycle() first");
   rdo::obs::ScopedTimer timer(&stats_.tune_s);
   rdo::obs::TraceSpan span("deploy:tune", "deploy");
   const float lo = static_cast<float>(plan_.opt.offsets.offset_min());
@@ -177,9 +170,8 @@ void EffectiveWeightBackend::tune(const rdo::nn::DataView& train) {
 
 float EffectiveWeightBackend::evaluate(const rdo::nn::DataView& test,
                                        std::int64_t batch) {
-  if (!weights_deployed_) {
-    throw std::logic_error("EffectiveWeightBackend: program_cycle() first");
-  }
+  RDO_CHECK(weights_deployed_,
+            "EffectiveWeightBackend: program_cycle() first");
   rdo::obs::ScopedTimer timer(&stats_.eval_s);
   rdo::obs::TraceSpan span("deploy:evaluate", "deploy");
   span.arg("batch", batch);

@@ -1,0 +1,109 @@
+// Contract-check macros for the deployment stack.
+//
+// Three tiers, all producing a structured "file:line: CHECK(expr) msg"
+// diagnostic so a violated invariant names itself in logs and test output:
+//
+//   RDO_CHECK(cond, msg)    always on; throws rdo::core::ContractViolation.
+//                           Use on every boundary crossed by external data
+//                           (files, CLI flags, caller-supplied dimensions).
+//   RDO_DCHECK(cond, msg)   debug only; compiles to nothing under NDEBUG
+//                           (verified by tests/test_check.cpp). Use on hot
+//                           inner-loop invariants that are internally
+//                           guaranteed but worth auditing in Debug/sanitizer
+//                           builds.
+//   RDO_BOUNDS(i, n)        always on; half-open range check 0 <= i < n with
+//                           both values in the message. For indexing derived
+//                           from untrusted sizes.
+//
+// Throwing (instead of abort()) keeps the contract testable, lets the
+// Monte-Carlo trial runner record a violation as a per-trial failure
+// instead of killing the whole bench harness, and composes with the
+// sanitizer presets: ASan/UBSan builds run the same code paths.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace rdo::core {
+
+/// Thrown by RDO_CHECK / RDO_DCHECK / RDO_BOUNDS. A distinct type so tests
+/// (and trial error accounting) can tell a broken invariant from ordinary
+/// I/O errors. Derives from std::invalid_argument — every contract here is
+/// a precondition on values handed across an API boundary — so call sites
+/// that historically threw invalid_argument can adopt RDO_CHECK without
+/// changing what callers catch.
+class ContractViolation : public std::invalid_argument {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::invalid_argument(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* file, long line,
+                                      const char* expr,
+                                      const std::string& msg) {
+  std::string out(file);
+  out += ':';
+  out += std::to_string(line);
+  out += ": CHECK(";
+  out += expr;
+  out += ") failed";
+  if (!msg.empty()) {
+    out += ": ";
+    out += msg;
+  }
+  throw ContractViolation(out);
+}
+
+[[noreturn]] inline void bounds_failed(const char* file, long line,
+                                       const char* iexpr, std::int64_t i,
+                                       std::int64_t n) {
+  std::string out(file);
+  out += ':';
+  out += std::to_string(line);
+  out += ": BOUNDS(";
+  out += iexpr;
+  out += ") failed: index ";
+  out += std::to_string(i);
+  out += " not in [0, ";
+  out += std::to_string(n);
+  out += ')';
+  throw ContractViolation(out);
+}
+
+inline void bounds_check(const char* file, long line, const char* iexpr,
+                         std::int64_t i, std::int64_t n) {
+  if (i < 0 || i >= n) bounds_failed(file, line, iexpr, i, n);
+}
+
+}  // namespace detail
+}  // namespace rdo::core
+
+/// Always-on contract check; throws rdo::core::ContractViolation with
+/// file:line, the failing expression and `msg` (any expression that
+/// concatenates into std::string).
+#define RDO_CHECK(cond, msg)                                          \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      ::rdo::core::detail::check_failed(__FILE__, __LINE__, #cond,    \
+                                        std::string() + (msg));       \
+    }                                                                 \
+  } while (false)
+
+/// Always-on half-open bounds check: 0 <= (i) < (n).
+#define RDO_BOUNDS(i, n)                                                    \
+  ::rdo::core::detail::bounds_check(__FILE__, __LINE__, #i,                 \
+                                    static_cast<std::int64_t>(i),           \
+                                    static_cast<std::int64_t>(n))
+
+/// Debug-only contract check; expands to nothing under NDEBUG (the
+/// condition is not evaluated), so it is free in Release hot loops.
+#ifdef NDEBUG
+#define RDO_DCHECK(cond, msg) \
+  do {                        \
+  } while (false)
+#else
+#define RDO_DCHECK(cond, msg) RDO_CHECK(cond, msg)
+#endif

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::core {
 
@@ -24,7 +26,7 @@ struct OffsetConfig {
 
 /// Number of offset groups along one column of a `rows`-row matrix.
 inline std::int64_t groups_per_column(std::int64_t rows, int m) {
-  if (m <= 0) throw std::invalid_argument("groups_per_column: m <= 0");
+  RDO_CHECK(m > 0, "groups_per_column: m = " + std::to_string(m) + " <= 0");
   return (rows + m - 1) / m;
 }
 

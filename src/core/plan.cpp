@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/check.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
 #include "quant/act_quant.h"
@@ -133,10 +134,7 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
     if (auto* op = dynamic_cast<rdo::nn::MatrixOp*>(l)) ops.push_back(op);
     if (auto* aq = dynamic_cast<rdo::quant::ActQuant*>(l)) aqs.push_back(aq);
   }
-  if (ops.empty()) {
-    throw std::invalid_argument(
-        "compile_plan: network has no crossbar layers");
-  }
+  RDO_CHECK(!ops.empty(), "compile_plan: network has no crossbar layers");
 
   rdo::obs::ScopedTimer timer(&plan.compile_stats.prepare_s);
   rdo::obs::TraceSpan span("deploy:prepare", "deploy");

@@ -1,7 +1,9 @@
 #include "core/vawo.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::core {
 
@@ -38,9 +40,9 @@ double vawo_solve_group(const std::vector<int>& ntw,
                         const rdo::rram::RLut& lut, int weight_levels,
                         const VawoOptions& opt, int& best_offset,
                         bool& best_complemented, std::vector<int>& best_ctw) {
-  if (ntw.size() != grad.size() || ntw.empty()) {
-    throw std::invalid_argument("vawo_solve_group: bad group");
-  }
+  RDO_CHECK(ntw.size() == grad.size() && !ntw.empty(),
+            "vawo_solve_group: " + std::to_string(ntw.size()) +
+                " weights vs " + std::to_string(grad.size()) + " gradients");
   double best = -1.0;
   std::vector<int> ctw(ntw.size());
   const int forms = opt.use_complement ? 2 : 1;
@@ -65,9 +67,10 @@ VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
                       const std::vector<double>& grads,
                       const rdo::rram::RLut& lut, const VawoOptions& opt) {
   const std::int64_t rows = lq.rows, cols = lq.cols;
-  if (grads.size() != static_cast<std::size_t>(rows * cols)) {
-    throw std::invalid_argument("vawo_layer: gradient matrix mismatch");
-  }
+  RDO_CHECK(grads.size() == static_cast<std::size_t>(rows * cols),
+            "vawo_layer: " + std::to_string(grads.size()) +
+                " gradients for a " + std::to_string(rows) + "x" +
+                std::to_string(cols) + " matrix");
   VawoResult res;
   res.groups_per_col = groups_per_column(rows, opt.offsets.m);
   res.ctw.assign(static_cast<std::size_t>(rows * cols), 0);

@@ -1,7 +1,8 @@
 #include "nn/batchnorm.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace rdo::nn {
 
@@ -18,9 +19,9 @@ BatchNorm2D::BatchNorm2D(std::int64_t channels, float momentum, float eps)
 }
 
 Tensor BatchNorm2D::forward(const Tensor& x, bool train) {
-  if (x.rank() != 4 || x.dim(1) != channels_) {
-    throw std::invalid_argument("BatchNorm2D: bad input " + x.shape_str());
-  }
+  RDO_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+            "BatchNorm2D: bad input " + x.shape_str() + " for " +
+                std::to_string(channels_) + " channels");
   in_shape_ = x.shape();
   last_train_ = train;
   const std::int64_t n = x.dim(0), hw = x.dim(2) * x.dim(3);

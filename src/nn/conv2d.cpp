@@ -1,8 +1,8 @@
 #include "nn/conv2d.h"
 
-#include <stdexcept>
 #include <vector>
 
+#include "core/check.h"
 #include "nn/gemm.h"
 #include "nn/im2col.h"
 
@@ -23,9 +23,9 @@ Conv2D::Conv2D(std::int64_t in_ch, std::int64_t out_ch, std::int64_t kernel,
 }
 
 Tensor Conv2D::forward(const Tensor& x, bool /*train*/) {
-  if (x.rank() != 4 || x.dim(1) != in_ch_) {
-    throw std::invalid_argument("Conv2D::forward: bad input " + x.shape_str());
-  }
+  RDO_CHECK(x.rank() == 4 && x.dim(1) == in_ch_,
+            "Conv2D::forward: bad input " + x.shape_str() + " for " +
+                std::to_string(in_ch_) + " input channels");
   cached_in_ = x;
   const std::int64_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = conv_out_dim(h, kernel_, stride_, pad_);

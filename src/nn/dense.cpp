@@ -1,7 +1,6 @@
 #include "nn/dense.h"
 
-#include <stdexcept>
-
+#include "core/check.h"
 #include "nn/gemm.h"
 
 namespace rdo::nn {
@@ -14,10 +13,8 @@ Dense::Dense(std::int64_t in, std::int64_t out, Rng& rng, bool bias)
 
 Tensor Dense::forward(const Tensor& x, bool /*train*/) {
   Tensor flat = x.rank() == 2 ? x : x.reshaped({x.dim(0), x.size() / x.dim(0)});
-  if (flat.dim(1) != in_) {
-    throw std::invalid_argument("Dense::forward: fan-in mismatch " +
-                                flat.shape_str());
-  }
+  RDO_CHECK(flat.dim(1) == in_,
+            "Dense::forward: fan-in mismatch " + flat.shape_str());
   cached_in_ = flat;
   const std::int64_t n = flat.dim(0);
   Tensor y({n, out_});

@@ -1,13 +1,14 @@
 #include "nn/dropout.h"
 
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::nn {
 
 Tensor Dropout::forward(const Tensor& x, bool train) {
-  if (p_ < 0.0f || p_ >= 1.0f) {
-    throw std::invalid_argument("Dropout: p must be in [0, 1)");
-  }
+  RDO_CHECK(p_ >= 0.0f && p_ < 1.0f,
+            "Dropout: p = " + std::to_string(p_) + " outside [0, 1)");
   last_train_ = train;
   if (!train || p_ == 0.0f) return x;
   const float keep = 1.0f - p_;

@@ -1,16 +1,17 @@
 #include "nn/loss.h"
 
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace rdo::nn {
 
 float SoftmaxCrossEntropy::forward(const Tensor& logits,
                                    const std::vector<int>& labels) {
-  if (logits.rank() != 2 ||
-      logits.dim(0) != static_cast<std::int64_t>(labels.size())) {
-    throw std::invalid_argument("SoftmaxCrossEntropy: shape mismatch");
-  }
+  RDO_CHECK(logits.rank() == 2 &&
+                logits.dim(0) == static_cast<std::int64_t>(labels.size()),
+            "SoftmaxCrossEntropy: logits " + logits.shape_str() + " vs " +
+                std::to_string(labels.size()) + " labels");
   const std::int64_t n = logits.dim(0), k = logits.dim(1);
   probs_ = Tensor({n, k});
   labels_ = labels;

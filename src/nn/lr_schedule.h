@@ -2,7 +2,9 @@
 #pragma once
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::nn {
 
@@ -11,9 +13,8 @@ class StepDecay {
  public:
   StepDecay(float base_lr, int step_every, float gamma = 0.1f)
       : base_(base_lr), every_(step_every), gamma_(gamma) {
-    if (step_every <= 0) {
-      throw std::invalid_argument("StepDecay: step_every <= 0");
-    }
+    RDO_CHECK(step_every > 0, "StepDecay: step_every = " +
+                                  std::to_string(step_every) + " <= 0");
   }
   [[nodiscard]] float at(int epoch) const {
     return base_ * std::pow(gamma_, static_cast<float>(epoch / every_));
@@ -30,9 +31,8 @@ class CosineDecay {
  public:
   CosineDecay(float base_lr, int total_epochs, float min_lr = 0.0f)
       : base_(base_lr), total_(total_epochs), min_(min_lr) {
-    if (total_epochs <= 0) {
-      throw std::invalid_argument("CosineDecay: total_epochs <= 0");
-    }
+    RDO_CHECK(total_epochs > 0, "CosineDecay: total_epochs = " +
+                                    std::to_string(total_epochs) + " <= 0");
   }
   [[nodiscard]] float at(int epoch) const {
     if (epoch >= total_) return min_;

@@ -1,12 +1,14 @@
 #include "nn/pooling.h"
 
 #include <limits>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace rdo::nn {
 
 Tensor MaxPool2D::forward(const Tensor& x, bool /*train*/) {
-  if (x.rank() != 4) throw std::invalid_argument("MaxPool2D: rank != 4");
+  RDO_CHECK(x.rank() == 4, "MaxPool2D: input rank " +
+                               std::to_string(x.rank()) + " != 4");
   const std::int64_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   const std::int64_t oh = h / window_, ow = w / window_;
   in_shape_ = x.shape();
@@ -34,7 +36,8 @@ Tensor MaxPool2D::backward(const Tensor& grad_out) {
 }
 
 Tensor GlobalAvgPool::forward(const Tensor& x, bool /*train*/) {
-  if (x.rank() != 4) throw std::invalid_argument("GlobalAvgPool: rank != 4");
+  RDO_CHECK(x.rank() == 4, "GlobalAvgPool: input rank " +
+                               std::to_string(x.rank()) + " != 4");
   in_shape_ = x.shape();
   const std::int64_t n = x.dim(0), c = x.dim(1), hw = x.dim(2) * x.dim(3);
   Tensor y({n, c});

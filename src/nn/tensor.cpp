@@ -9,15 +9,16 @@ namespace rdo::nn {
 
 Tensor::Tensor(std::vector<std::int64_t> shape) : shape_(std::move(shape)) {
   for (std::int64_t d : shape_) {
-    if (d <= 0) throw std::invalid_argument("Tensor: non-positive dimension");
+    RDO_CHECK(d > 0, "Tensor: non-positive dimension in " + shape_str());
   }
   data_.assign(static_cast<std::size_t>(numel(shape_)), 0.0f);
 }
 
 Tensor Tensor::reshaped(std::vector<std::int64_t> new_shape) const {
-  if (numel(new_shape) != size()) {
-    throw std::invalid_argument("Tensor::reshaped: size mismatch");
-  }
+  RDO_CHECK(numel(new_shape) == size(),
+            "Tensor::reshaped: " + shape_str() + " holds " +
+                std::to_string(size()) + " elements, new shape needs " +
+                std::to_string(numel(new_shape)));
   Tensor t = *this;
   t.shape_ = std::move(new_shape);
   return t;
@@ -44,9 +45,8 @@ void Tensor::uniform_init(Rng& rng, float lo, float hi) {
 }
 
 void Tensor::axpy(float a, const Tensor& other) {
-  if (other.size() != size()) {
-    throw std::invalid_argument("Tensor::axpy: size mismatch");
-  }
+  RDO_CHECK(other.size() == size(),
+            "Tensor::axpy: " + shape_str() + " += a * " + other.shape_str());
   for (std::int64_t i = 0; i < size(); ++i) {
     data_[static_cast<std::size_t>(i)] +=
         a * other.data_[static_cast<std::size_t>(i)];

@@ -2,16 +2,17 @@
 //
 // Row-major contiguous storage, shapes up to rank 4 in practice
 // (N, C, H, W). This is deliberately a simple value type: copies are deep,
-// moves are cheap, and all indexing is bounds-checked in debug builds.
+// moves are cheap, and all indexing is contract-checked via RDO_DCHECK in
+// debug/sanitizer builds (free in Release — see core/check.h).
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 #include <initializer_list>
 #include <numeric>
 #include <string>
 #include <vector>
 
+#include "core/check.h"
 #include "nn/rng.h"
 
 namespace rdo::nn {
@@ -34,7 +35,9 @@ class Tensor {
     return shape_;
   }
   [[nodiscard]] std::int64_t dim(int i) const {
-    assert(i >= 0 && i < static_cast<int>(shape_.size()));
+    RDO_DCHECK(i >= 0 && i < static_cast<int>(shape_.size()),
+               "Tensor::dim: axis " + std::to_string(i) + " of rank " +
+                   std::to_string(shape_.size()));
     return shape_[static_cast<std::size_t>(i)];
   }
   [[nodiscard]] int rank() const { return static_cast<int>(shape_.size()); }
@@ -43,33 +46,43 @@ class Tensor {
   [[nodiscard]] const float* data() const { return data_.data(); }
 
   float& operator[](std::int64_t i) {
-    assert(i >= 0 && i < size());
+    RDO_DCHECK(i >= 0 && i < size(), "Tensor[]: index out of range");
     return data_[static_cast<std::size_t>(i)];
   }
   float operator[](std::int64_t i) const {
-    assert(i >= 0 && i < size());
+    RDO_DCHECK(i >= 0 && i < size(), "Tensor[]: index out of range");
     return data_[static_cast<std::size_t>(i)];
   }
 
   /// 2-D indexing (matrix of shape [d0, d1]).
   float& at(std::int64_t i, std::int64_t j) {
-    assert(rank() == 2);
+    RDO_DCHECK(rank() == 2, "Tensor::at(i,j) on shape " + shape_str());
+    RDO_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+               "Tensor::at: (i,j) out of range");
     return data_[static_cast<std::size_t>(i * shape_[1] + j)];
   }
   float at(std::int64_t i, std::int64_t j) const {
-    assert(rank() == 2);
+    RDO_DCHECK(rank() == 2, "Tensor::at(i,j) on shape " + shape_str());
+    RDO_DCHECK(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1],
+               "Tensor::at: (i,j) out of range");
     return data_[static_cast<std::size_t>(i * shape_[1] + j)];
   }
 
   /// 4-D indexing (n, c, h, w).
   float& at(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
-    assert(rank() == 4);
+    RDO_DCHECK(rank() == 4, "Tensor::at(n,c,h,w) on shape " + shape_str());
+    RDO_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                   h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+               "Tensor::at: (n,c,h,w) out of range");
     return data_[static_cast<std::size_t>(
         ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
   }
   float at(std::int64_t n, std::int64_t c, std::int64_t h,
            std::int64_t w) const {
-    assert(rank() == 4);
+    RDO_DCHECK(rank() == 4, "Tensor::at(n,c,h,w) on shape " + shape_str());
+    RDO_DCHECK(n >= 0 && n < shape_[0] && c >= 0 && c < shape_[1] &&
+                   h >= 0 && h < shape_[2] && w >= 0 && w < shape_[3],
+               "Tensor::at: (n,c,h,w) out of range");
     return data_[static_cast<std::size_t>(
         ((n * shape_[1] + c) * shape_[2] + h) * shape_[3] + w)];
   }

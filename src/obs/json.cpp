@@ -79,6 +79,12 @@ class Parser {
  private:
   const std::string& s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
+
+  // Far deeper than any BENCH/trace document, but bounded: without it a
+  // hostile "[[[[..." input recurses once per byte and overflows the
+  // stack (found by fuzz/fuzz_json.cpp).
+  static constexpr int kMaxDepth = 192;
 
   [[noreturn]] void fail(const std::string& what) const {
     throw std::runtime_error("Json::parse: " + what + " at byte " +
@@ -113,6 +119,7 @@ class Parser {
 
   Json parse_value() {
     skip_ws();
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
     switch (peek()) {
       case '{': return parse_object();
       case '[': return parse_array();
@@ -131,11 +138,13 @@ class Parser {
   }
 
   Json parse_object() {
+    ++depth_;
     expect('{');
     Json obj = Json::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     for (;;) {
@@ -150,16 +159,19 @@ class Parser {
         continue;
       }
       expect('}');
+      --depth_;
       return obj;
     }
   }
 
   Json parse_array() {
+    ++depth_;
     expect('[');
     Json arr = Json::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     for (;;) {
@@ -170,6 +182,7 @@ class Parser {
         continue;
       }
       expect(']');
+      --depth_;
       return arr;
     }
   }
@@ -306,7 +319,7 @@ Json& Json::operator[](const std::string& key) {
   return obj_.back().second;
 }
 
-const Json* Json::find(const std::string& key) const {
+const Json* Json::find(const std::string& key) const& {
   if (type_ != Type::Object) return nullptr;
   for (const auto& kv : obj_) {
     if (kv.first == key) return &kv.second;

@@ -69,7 +69,11 @@ class Json {
   /// converts to object first). Insertion order is serialization order.
   Json& operator[](const std::string& key);
   /// Lookup without insertion; nullptr when absent or not an object.
-  [[nodiscard]] const Json* find(const std::string& key) const;
+  /// Lvalue-only: the pointer aims into this document, so calling it on
+  /// a temporary would dangle the moment the statement ends (a real
+  /// use-after-free once caught by the ASan preset in tests).
+  [[nodiscard]] const Json* find(const std::string& key) const&;
+  const Json* find(const std::string& key) const&& = delete;
   [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members()
       const;
 

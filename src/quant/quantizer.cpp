@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::quant {
 
 LayerQuant quantize_matrix(const rdo::nn::MatrixOp& op, int bits) {
-  if (bits < 1 || bits > 16) {
-    throw std::invalid_argument("quantize_matrix: bits out of range");
-  }
+  RDO_CHECK(bits >= 1 && bits <= 16,
+            "quantize_matrix: " + std::to_string(bits) +
+                " bits outside [1, 16]");
   LayerQuant lq;
   lq.bits = bits;
   lq.rows = op.fan_in();

@@ -9,7 +9,9 @@
 // noise plus a leakage floor on HRS cells.
 #pragma once
 
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::rram {
 
@@ -36,9 +38,9 @@ struct CellModel {
   /// Digitized read value of a cell in state `s` whose conductance got the
   /// multiplicative variation `factor` (= e^theta; 1.0 means no variation).
   [[nodiscard]] double read_value(int s, double factor) const {
-    if (s < 0 || s >= states()) {
-      throw std::invalid_argument("CellModel::read_value: bad state");
-    }
+    RDO_CHECK(s >= 0 && s < states(),
+              "CellModel::read_value: state " + std::to_string(s) +
+                  " outside [0, " + std::to_string(states()) + ")");
     const double c = hrs_offset();
     return (static_cast<double>(s) + c) * factor - c;
   }

@@ -2,34 +2,36 @@
 
 #include <algorithm>
 #include <cmath>
-#include <stdexcept>
+
+#include "core/check.h"
 
 namespace rdo::rram {
 
 Crossbar::Crossbar(CrossbarConfig cfg) : cfg_(cfg) {
-  if (cfg_.rows <= 0 || cfg_.cols <= 0) {
-    throw std::invalid_argument("Crossbar: non-positive dimensions");
-  }
-  if (cfg_.active_wordlines <= 0 || cfg_.active_wordlines > cfg_.rows) {
-    throw std::invalid_argument("Crossbar: bad active_wordlines");
-  }
+  RDO_CHECK(cfg_.rows > 0 && cfg_.cols > 0,
+            "Crossbar: non-positive dimensions " + std::to_string(cfg_.rows) +
+                "x" + std::to_string(cfg_.cols));
+  RDO_CHECK(cfg_.active_wordlines > 0 && cfg_.active_wordlines <= cfg_.rows,
+            "Crossbar: active_wordlines " +
+                std::to_string(cfg_.active_wordlines) + " outside [1, " +
+                std::to_string(cfg_.rows) + "]");
   states_.assign(static_cast<std::size_t>(cfg_.rows) * cfg_.cols, 0);
   factors_.assign(states_.size(), 1.0);
 }
 
 void Crossbar::program(const std::vector<int>& states, rdo::nn::Rng& rng) {
-  if (states.size() != states_.size()) {
-    throw std::invalid_argument("Crossbar::program: state count mismatch");
-  }
+  RDO_CHECK(states.size() == states_.size(),
+            "Crossbar::program: got " + std::to_string(states.size()) +
+                " states for " + std::to_string(states_.size()) + " cells");
   states_ = states;
   for (auto& f : factors_) f = cfg_.variation.sample_factor(rng);
   values_.clear();
 }
 
 void Crossbar::program_ideal(const std::vector<int>& states) {
-  if (states.size() != states_.size()) {
-    throw std::invalid_argument("Crossbar::program_ideal: size mismatch");
-  }
+  RDO_CHECK(states.size() == states_.size(),
+            "Crossbar::program_ideal: got " + std::to_string(states.size()) +
+                " states for " + std::to_string(states_.size()) + " cells");
   states_ = states;
   std::fill(factors_.begin(), factors_.end(), 1.0);
   values_.clear();
@@ -37,9 +39,9 @@ void Crossbar::program_ideal(const std::vector<int>& states) {
 
 void Crossbar::program_with_factors(const std::vector<int>& states,
                                     const std::vector<double>& factors) {
-  if (states.size() != states_.size() || factors.size() != factors_.size()) {
-    throw std::invalid_argument("Crossbar::program_with_factors: size");
-  }
+  RDO_CHECK(states.size() == states_.size() &&
+                factors.size() == factors_.size(),
+            "Crossbar::program_with_factors: state/factor count mismatch");
   states_ = states;
   factors_ = factors;
   values_.clear();
@@ -47,15 +49,17 @@ void Crossbar::program_with_factors(const std::vector<int>& states,
 
 void Crossbar::program_values(const std::vector<int>& states,
                               const std::vector<double>& values) {
-  if (states.size() != states_.size() || values.size() != states_.size()) {
-    throw std::invalid_argument("Crossbar::program_values: size");
-  }
+  RDO_CHECK(states.size() == states_.size() &&
+                values.size() == states_.size(),
+            "Crossbar::program_values: state/value count mismatch");
   states_ = states;
   std::fill(factors_.begin(), factors_.end(), 1.0);
   values_ = values;
 }
 
 double Crossbar::cell_value(int r, int c) const {
+  RDO_DCHECK(r >= 0 && r < cfg_.rows && c >= 0 && c < cfg_.cols,
+             "Crossbar::cell_value: (r, c) outside the array");
   if (!values_.empty()) return values_[idx(r, c)];
   return cfg_.cell.read_value(states_[idx(r, c)], factors_[idx(r, c)]);
 }
@@ -70,12 +74,12 @@ std::vector<double> Crossbar::vmm(const std::vector<double>& x) const {
 
 std::vector<double> Crossbar::vmm_rows(const std::vector<double>& x, int r0,
                                        int r1) const {
-  if (static_cast<int>(x.size()) != cfg_.rows) {
-    throw std::invalid_argument("Crossbar::vmm: input length mismatch");
-  }
-  if (r0 < 0 || r1 > cfg_.rows || r0 % cfg_.active_wordlines != 0) {
-    throw std::invalid_argument("Crossbar::vmm_rows: bad row range");
-  }
+  RDO_CHECK(static_cast<int>(x.size()) == cfg_.rows,
+            "Crossbar::vmm: input length " + std::to_string(x.size()) +
+                " for " + std::to_string(cfg_.rows) + " rows");
+  RDO_CHECK(r0 >= 0 && r1 <= cfg_.rows && r0 % cfg_.active_wordlines == 0,
+            "Crossbar::vmm_rows: bad row range [" + std::to_string(r0) +
+                ", " + std::to_string(r1) + ")");
   std::vector<double> y(static_cast<std::size_t>(cfg_.cols), 0.0);
   // ADC full-scale: the largest group partial sum with unit inputs.
   const double full_scale =

@@ -1,7 +1,9 @@
 #include "rram/programmer.h"
 
 #include <cmath>
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::rram {
 
@@ -12,17 +14,17 @@ WeightProgrammer::WeightProgrammer(CellModel cell, int weight_bits,
       weight_bits_(weight_bits),
       variation_(variation),
       faults_(faults) {
-  if (weight_bits_ % cell_.bits() != 0) {
-    throw std::invalid_argument(
-        "WeightProgrammer: weight bits not divisible by cell bits");
-  }
+  RDO_CHECK(weight_bits_ > 0 && weight_bits_ % cell_.bits() == 0,
+            "WeightProgrammer: " + std::to_string(weight_bits_) +
+                " weight bits not divisible into " +
+                std::to_string(cell_.bits()) + "-bit cells");
   cells_ = weight_bits_ / cell_.bits();
 }
 
 std::vector<int> WeightProgrammer::slice(int v) const {
-  if (v < 0 || v > max_weight()) {
-    throw std::invalid_argument("WeightProgrammer::slice: weight range");
-  }
+  RDO_CHECK(v >= 0 && v <= max_weight(),
+            "WeightProgrammer::slice: CTW " + std::to_string(v) +
+                " outside [0, " + std::to_string(max_weight()) + "]");
   std::vector<int> states(static_cast<std::size_t>(cells_));
   const int mask = cell_.states() - 1;
   for (int k = 0; k < cells_; ++k) {
@@ -85,9 +87,9 @@ double WeightProgrammer::program(int v, rdo::nn::Rng& rng) const {
 
 double WeightProgrammer::program_with_ddv(
     int v, const std::vector<double>& ddv_theta, rdo::nn::Rng& rng) const {
-  if (ddv_theta.size() != static_cast<std::size_t>(cells_)) {
-    throw std::invalid_argument("program_with_ddv: theta count mismatch");
-  }
+  RDO_CHECK(ddv_theta.size() == static_cast<std::size_t>(cells_),
+            "program_with_ddv: " + std::to_string(ddv_theta.size()) +
+                " DDV thetas for " + std::to_string(cells_) + " cells");
   const std::vector<int> states = slice(v);
   std::vector<double> vals(states.size());
   const bool shared =

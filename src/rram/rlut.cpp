@@ -6,6 +6,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <istream>
 #include <stdexcept>
 #include <system_error>
 
@@ -143,18 +144,57 @@ void RLut::save(const std::string& path, std::uint64_t fingerprint) const {
   }
 }
 
-bool RLut::load(const std::string& path, std::uint64_t fingerprint,
-                RLut& out) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return false;
+namespace {
+
+/// Read exactly `n` bytes or throw — the stream state is checked after
+/// every read, so a truncated file can never feed uninitialized memory
+/// into the table.
+void read_exact(std::istream& f, void* dst, std::size_t n,
+                const std::string& source) {
+  f.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+  if (!f || f.gcount() != static_cast<std::streamsize>(n)) {
+    throw LutError("RLut::load: truncated file " + source);
+  }
+}
+
+}  // namespace
+
+bool RLut::load(std::istream& in, std::uint64_t fingerprint, RLut& out,
+                const std::string& source) {
+  // Byte budget: every declared count is bounded by what the stream
+  // actually holds before it is believed.
+  const std::istream::pos_type pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (pos == std::istream::pos_type(-1) || end == std::istream::pos_type(-1) ||
+      !in || end < pos) {
+    throw LutError("RLut::load: unseekable stream " + source);
+  }
+  const std::uint64_t total = static_cast<std::uint64_t>(end - pos);
+  constexpr std::uint64_t kHeaderBytes =
+      sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+  if (total < kHeaderBytes) {
+    throw LutError("RLut::load: corrupt file " + source);
+  }
   std::uint32_t magic = 0;
   std::uint64_t stored_fp = 0;
   std::uint64_t n = 0;
-  f.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  f.read(reinterpret_cast<char*>(&stored_fp), sizeof(stored_fp));
-  f.read(reinterpret_cast<char*>(&n), sizeof(n));
-  if (!f || magic != kLutMagic || n == 0 || n > (1u << 20)) {
-    throw std::runtime_error("RLut::load: corrupt file " + path);
+  read_exact(in, &magic, sizeof(magic), source);
+  read_exact(in, &stored_fp, sizeof(stored_fp), source);
+  read_exact(in, &n, sizeof(n), source);
+  // kMaxEntries: the largest table any supported configuration produces
+  // is 2^16 + 1 entries (16-bit CTWs); 2^20 leaves generous headroom
+  // while keeping a hostile header from driving a multi-GB resize.
+  constexpr std::uint64_t kMaxEntries = 1u << 20;
+  if (magic != kLutMagic || n == 0 || n > kMaxEntries) {
+    throw LutError("RLut::load: corrupt file " + source);
+  }
+  // The payload is two double arrays of exactly n entries each; a size
+  // mismatch in either direction (truncated or trailing bytes) means the
+  // file is damaged.
+  if (total - kHeaderBytes != n * 2 * sizeof(double)) {
+    throw LutError("RLut::load: payload size mismatch in " + source);
   }
   if (stored_fp != fingerprint) {
     // Stale cache: the table was measured for a different device
@@ -164,12 +204,16 @@ bool RLut::load(const std::string& path, std::uint64_t fingerprint,
   }
   out.mean_.resize(n);
   out.var_.resize(n);
-  f.read(reinterpret_cast<char*>(out.mean_.data()),
-         static_cast<std::streamsize>(n * sizeof(double)));
-  f.read(reinterpret_cast<char*>(out.var_.data()),
-         static_cast<std::streamsize>(n * sizeof(double)));
-  if (!f) throw std::runtime_error("RLut::load: truncated file " + path);
+  read_exact(in, out.mean_.data(), n * sizeof(double), source);
+  read_exact(in, out.var_.data(), n * sizeof(double), source);
   return true;
+}
+
+bool RLut::load(const std::string& path, std::uint64_t fingerprint,
+                RLut& out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  return load(f, fingerprint, out, path);
 }
 
 int RLut::invert_mean(double target) const {

@@ -9,13 +9,25 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "core/check.h"
 #include "nn/rng.h"
 #include "rram/programmer.h"
 
 namespace rdo::rram {
+
+/// Raised by RLut::load on a corrupt, truncated or oversized cache file.
+/// Derives from std::runtime_error so existing corrupt-file-throws catch
+/// sites keep working; a distinct type so cache-recovery code can tell a
+/// damaged table from unrelated I/O failures.
+class LutError : public std::runtime_error {
+ public:
+  explicit LutError(const std::string& what) : std::runtime_error(what) {}
+};
 
 class RLut {
  public:
@@ -31,9 +43,13 @@ class RLut {
     return static_cast<int>(mean_.size()) - 1;
   }
   [[nodiscard]] double mean(int v) const {
+    RDO_DCHECK(v >= 0 && v < static_cast<int>(mean_.size()),
+               "RLut::mean: CTW out of range");
     return mean_[static_cast<std::size_t>(v)];
   }
   [[nodiscard]] double var(int v) const {
+    RDO_DCHECK(v >= 0 && v < static_cast<int>(var_.size()),
+               "RLut::var: CTW out of range");
     return var_[static_cast<std::size_t>(v)];
   }
 
@@ -62,9 +78,18 @@ class RLut {
   /// Load a table saved by save(). Returns false if the file does not
   /// exist, or if its stored fingerprint differs from `fingerprint`
   /// (stale cache for another device configuration — the caller
-  /// rebuilds); throws on a corrupt or truncated file.
+  /// rebuilds); throws LutError on a corrupt or truncated file.
   static bool load(const std::string& path, std::uint64_t fingerprint,
                    RLut& out);
+
+  /// Stream form of the loader: parse one complete save() document from
+  /// `in` (must be seekable — an open binary ifstream or istringstream).
+  /// `source` names the stream in diagnostics. Same contract as the path
+  /// overload except a missing file is the caller's problem. This is the
+  /// single parsing path; the path overload and the fuzz harness both
+  /// call it.
+  static bool load(std::istream& in, std::uint64_t fingerprint, RLut& out,
+                   const std::string& source);
 
  private:
   std::vector<double> mean_;

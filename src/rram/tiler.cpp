@@ -1,15 +1,20 @@
 #include "rram/tiler.h"
 
-#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
 
 namespace rdo::rram {
 
 TilingInfo compute_tiling(std::int64_t matrix_rows, std::int64_t matrix_cols,
                           int crossbar_rows, int crossbar_cols,
                           int cells_per_weight) {
-  if (cells_per_weight <= 0 || crossbar_cols < cells_per_weight) {
-    throw std::invalid_argument("compute_tiling: bad cell geometry");
-  }
+  RDO_CHECK(cells_per_weight > 0 && crossbar_cols >= cells_per_weight,
+            "compute_tiling: " + std::to_string(cells_per_weight) +
+                " cells/weight cannot fit " + std::to_string(crossbar_cols) +
+                " crossbar columns");
+  RDO_CHECK(matrix_rows > 0 && matrix_cols > 0 && crossbar_rows > 0,
+            "compute_tiling: non-positive geometry");
   TilingInfo t;
   t.matrix_rows = matrix_rows;
   t.matrix_cols = matrix_cols;
@@ -36,8 +41,11 @@ std::vector<int> tile_states(const rdo::quant::LayerQuant& lq,
       const std::int64_t mc = tc * weights_per_row + wc;
       if (mc >= lq.cols) break;
       const std::vector<int> cells = prog.slice(lq.at(mr, mc));
+      RDO_DCHECK(static_cast<int>(cells.size()) == prog.cells_per_weight(),
+                 "tile_states: slice width mismatch");
       for (int k = 0; k < prog.cells_per_weight(); ++k) {
         const std::int64_t col = wc * prog.cells_per_weight() + k;
+        RDO_DCHECK(col < cfg.cols, "tile_states: cell column overflow");
         states[static_cast<std::size_t>(r * cfg.cols + col)] =
             cells[static_cast<std::size_t>(k)];
       }

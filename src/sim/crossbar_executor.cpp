@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
+#include "core/check.h"
 #include "core/offset.h"
 #include "obs/trace.h"
 
@@ -35,25 +37,22 @@ CrossbarLayerExecutor::CrossbarLayerExecutor(
 }
 
 void CrossbarLayerExecutor::build_tiles(rdo::nn::Rng* rng) {
-  if (cfg_.offsets.m % cfg_.xbar.active_wordlines != 0) {
-    throw std::invalid_argument(
-        "CrossbarLayerExecutor: m must be a multiple of the activated "
-        "wordlines (paper Sec. III-A)");
-  }
-  if (cfg_.xbar.rows % cfg_.offsets.m != 0) {
-    // A value like m = 96 on 128-row crossbars would let one offset
-    // group straddle a row-tile boundary, splitting a single logical
-    // offset register across two physical tiles — the forward pass would
-    // then apply one tile's group offset to rows belonging to the next
-    // group (violates the Sec. III-A geometry, src/core/offset.h).
-    throw std::invalid_argument(
-        "CrossbarLayerExecutor: crossbar rows must be a multiple of m so "
-        "offset groups never straddle a row-tile boundary (paper Sec. "
-        "III-A)");
-  }
-  if (assign_.ctw.size() != lq_.q.size()) {
-    throw std::invalid_argument("CrossbarLayerExecutor: assignment mismatch");
-  }
+  RDO_CHECK(cfg_.offsets.m % cfg_.xbar.active_wordlines == 0,
+            "CrossbarLayerExecutor: m must be a multiple of the activated "
+            "wordlines (paper Sec. III-A)");
+  // A value like m = 96 on 128-row crossbars would let one offset
+  // group straddle a row-tile boundary, splitting a single logical
+  // offset register across two physical tiles — the forward pass would
+  // then apply one tile's group offset to rows belonging to the next
+  // group (violates the Sec. III-A geometry, src/core/offset.h).
+  RDO_CHECK(cfg_.xbar.rows % cfg_.offsets.m == 0,
+            "CrossbarLayerExecutor: crossbar rows must be a multiple of m "
+            "so offset groups never straddle a row-tile boundary (paper "
+            "Sec. III-A)");
+  RDO_CHECK(assign_.ctw.size() == lq_.q.size(),
+            "CrossbarLayerExecutor: " + std::to_string(assign_.ctw.size()) +
+                " assigned CTWs for " + std::to_string(lq_.q.size()) +
+                " quantized weights");
   tiling_ = rdo::rram::compute_tiling(lq_.rows, lq_.cols, cfg_.xbar.rows,
                                       cfg_.xbar.cols,
                                       prog_.cells_per_weight());
@@ -115,10 +114,10 @@ void CrossbarLayerExecutor::build_tiles(rdo::nn::Rng* rng) {
 
 void CrossbarLayerExecutor::program_cell_values(
     const std::vector<std::vector<double>>& cells) {
-  if (cells.size() != lq_.q.size()) {
-    throw std::invalid_argument(
-        "program_cell_values: weight count mismatch");
-  }
+  RDO_CHECK(cells.size() == lq_.q.size(),
+            "program_cell_values: " + std::to_string(cells.size()) +
+                " cell vectors for " + std::to_string(lq_.q.size()) +
+                " weights");
   const int cpw = prog_.cells_per_weight();
   const std::int64_t wpr = cfg_.xbar.cols / cpw;
   rdo::quant::LayerQuant ctw_view = lq_;
@@ -142,10 +141,8 @@ void CrossbarLayerExecutor::program_cell_values(
           if (mc >= lq_.cols) break;
           const std::vector<double>& cv =
               cells[static_cast<std::size_t>(mr * lq_.cols + mc)];
-          if (cv.size() != static_cast<std::size_t>(cpw)) {
-            throw std::invalid_argument(
-                "program_cell_values: cells-per-weight mismatch");
-          }
+          RDO_CHECK(cv.size() == static_cast<std::size_t>(cpw),
+                    "program_cell_values: cells-per-weight mismatch");
           for (int k = 0; k < cpw; ++k) {
             values[static_cast<std::size_t>(r * cfg_.xbar.cols +
                                             wc * cpw + k)] =
@@ -160,17 +157,19 @@ void CrossbarLayerExecutor::program_cell_values(
 }
 
 void CrossbarLayerExecutor::set_offsets(std::vector<float> offsets) {
-  if (offsets.size() != offsets_.size()) {
-    throw std::invalid_argument("set_offsets: size mismatch");
-  }
+  RDO_CHECK(offsets.size() == offsets_.size(),
+            "set_offsets: " + std::to_string(offsets.size()) +
+                " offsets for " + std::to_string(offsets_.size()) +
+                " registers");
   offsets_ = std::move(offsets);
 }
 
 std::vector<double> CrossbarLayerExecutor::forward(
     const std::vector<double>& x) const {
-  if (static_cast<std::int64_t>(x.size()) != lq_.rows) {
-    throw std::invalid_argument("CrossbarLayerExecutor::forward: input size");
-  }
+  RDO_CHECK(static_cast<std::int64_t>(x.size()) == lq_.rows,
+            "CrossbarLayerExecutor::forward: input length " +
+                std::to_string(x.size()) + " for " +
+                std::to_string(lq_.rows) + " rows");
   const std::int64_t cols = lq_.cols;
   const std::int64_t wpr = cfg_.xbar.cols / prog_.cells_per_weight();
   const double maxw = static_cast<double>(prog_.max_weight());
@@ -235,9 +234,9 @@ std::vector<double> CrossbarLayerExecutor::forward(
 
 std::vector<double> CrossbarLayerExecutor::forward_bit_serial(
     const std::vector<double>& x, int input_bits, double x_max) const {
-  if (input_bits < 1 || input_bits > 16 || x_max <= 0.0) {
-    throw std::invalid_argument("forward_bit_serial: bad input format");
-  }
+  RDO_CHECK(input_bits >= 1 && input_bits <= 16 && x_max > 0.0,
+            "forward_bit_serial: bad input format (bits = " +
+                std::to_string(input_bits) + ")");
   rdo::obs::TraceSpan span("sim:forward_bit_serial", "sim");
   span.arg("input_bits", input_bits);
   const int levels = (1 << input_bits) - 1;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/check.h"
 #include "nn/activations.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
@@ -88,10 +89,8 @@ DeviceSimBackend::DeviceSimBackend(const rdo::core::DeploymentPlan& plan,
           "DeviceSimBackend: unsupported layer at device level: " +
           l->name());
     }
-    if (mi >= plan_.layers.size()) {
-      throw std::invalid_argument(
-          "DeviceSimBackend: network does not match the plan");
-    }
+    RDO_CHECK(mi < plan_.layers.size(),
+              "DeviceSimBackend: network does not match the plan");
     stage.plan_index = mi;
     const rdo::core::PlanLayer& pl = plan_.layers[mi];
     ++mi;
@@ -105,10 +104,8 @@ DeviceSimBackend::DeviceSimBackend(const rdo::core::DeploymentPlan& plan,
     }
     stages_.push_back(std::move(stage));
   }
-  if (mi != plan_.layers.size()) {
-    throw std::invalid_argument(
-        "DeviceSimBackend: network does not match the plan");
-  }
+  RDO_CHECK(mi == plan_.layers.size(),
+            "DeviceSimBackend: network does not match the plan");
 }
 
 void DeviceSimBackend::sync_devices() {
@@ -169,9 +166,7 @@ std::vector<double> DeviceSimBackend::forward_image(
         break;
       }
       case Stage::Kind::MaxPool: {
-        if (c <= 0) {
-          throw std::logic_error("DeviceSimBackend: pooling needs an image");
-        }
+        RDO_CHECK(c > 0, "DeviceSimBackend: pooling needs an image");
         const int oh = hh / s.pool_window, ow = ww / s.pool_window;
         std::vector<double> y(static_cast<std::size_t>(c) * oh * ow);
         // Same kernel as the float nn::MaxPool2D layer, so the device
@@ -184,9 +179,7 @@ std::vector<double> DeviceSimBackend::forward_image(
         break;
       }
       case Stage::Kind::Conv: {
-        if (c <= 0) {
-          throw std::logic_error("DeviceSimBackend: conv needs an image");
-        }
+        RDO_CHECK(c > 0, "DeviceSimBackend: conv needs an image");
         const rdo::core::PlanLayer& pl = plan_.layers[s.plan_index];
         rdo::obs::TraceSpan stage_span("sim:conv_stage", "sim");
         stage_span.arg("kernel", s.kernel);
@@ -294,9 +287,7 @@ float DeviceSimBackend::device_accuracy(const rdo::nn::DataView& test,
 
 float DeviceSimBackend::evaluate(const rdo::nn::DataView& test,
                                  std::int64_t batch) {
-  if (!deployed_) {
-    throw std::logic_error("DeviceSimBackend: program_cycle() first");
-  }
+  RDO_CHECK(deployed_, "DeviceSimBackend: program_cycle() first");
   rdo::obs::ScopedTimer timer(&eval_stats_.eval_s);
   rdo::obs::TraceSpan span("deploy:evaluate", "deploy");
   span.arg("batch", batch);

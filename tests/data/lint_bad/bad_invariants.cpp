@@ -1,0 +1,28 @@
+// Seeded rdo_lint violations — this file is a test fixture, never
+// compiled. The WILL_FAIL ctest entry `rdo_lint_detects_seeded_violation`
+// proves the linter actually fires on each rule; if rdo_lint ever starts
+// passing this file, the gate itself is broken.
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <unordered_map>
+
+void naked_read_without_state_check(std::ifstream& f, char* buf) {
+  f.read(buf, 16);
+  // ... four lines without ever looking at the stream state ...
+  buf[0] = 'x';
+  buf[1] = 'y';
+  buf[2] = 'z';
+  buf[3] = static_cast<char>(buf[0] + 1);
+}
+
+unsigned nondeterministic_seed() {
+  std::srand(static_cast<unsigned>(std::time(nullptr)));
+  return static_cast<unsigned>(std::rand());
+}
+
+double sum_in_hash_order(const std::unordered_map<int, double>& m) {
+  double s = 0.0;
+  for (const auto& kv : m) s += kv.second;  // iteration order leaks
+  return s;
+}

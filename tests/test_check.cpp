@@ -1,0 +1,92 @@
+// Contract-macro semantics (src/core/check.h): RDO_CHECK always fires,
+// RDO_DCHECK compiles out of Release builds (NDEBUG) without evaluating
+// its condition, RDO_BOUNDS enforces half-open ranges. These tests run in
+// both the Release tier-1 suite and the Debug sanitizer presets, so both
+// sides of the NDEBUG split are exercised in CI.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/check.h"
+
+using rdo::core::ContractViolation;
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(RDO_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Check, FailingCheckThrowsContractViolation) {
+  EXPECT_THROW(RDO_CHECK(false, "always fails"), ContractViolation);
+}
+
+TEST(Check, ContractViolationIsInvalidArgument) {
+  // Boundary checks threaded through existing code used to raise
+  // std::invalid_argument; catch sites relying on that (or on its
+  // logic_error base) must keep working.
+  EXPECT_THROW(RDO_CHECK(false, "x"), std::invalid_argument);
+  EXPECT_THROW(RDO_CHECK(false, "x"), std::logic_error);
+}
+
+TEST(Check, MessageCarriesLocationExpressionAndText) {
+  try {
+    RDO_CHECK(2 < 1, std::string("two is not less than one"));
+    FAIL() << "RDO_CHECK(false) did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("test_check.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(Check, ConditionEvaluatedExactlyOnce) {
+  int calls = 0;
+  RDO_CHECK(++calls > 0, "side effect");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Bounds, InRangeIndexPasses) {
+  EXPECT_NO_THROW(RDO_BOUNDS(0, 4));
+  EXPECT_NO_THROW(RDO_BOUNDS(3, 4));
+}
+
+TEST(Bounds, OutOfRangeIndexThrowsWithValues) {
+  EXPECT_THROW(RDO_BOUNDS(4, 4), ContractViolation);
+  EXPECT_THROW(RDO_BOUNDS(-1, 4), ContractViolation);
+  try {
+    RDO_BOUNDS(7, 4);
+    FAIL() << "RDO_BOUNDS(7, 4) did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find('7'), std::string::npos) << what;
+    EXPECT_NE(what.find('4'), std::string::npos) << what;
+  }
+}
+
+#ifdef NDEBUG
+
+TEST(Dcheck, CompiledOutInReleaseAndNotEvaluated) {
+  // In Release the macro must be a no-op: the condition expression is
+  // never evaluated, so the counter stays untouched and a false
+  // condition cannot throw.
+  int calls = 0;
+  auto bump = [&calls] { return ++calls > 0; };
+  (void)bump;
+  EXPECT_NO_THROW(RDO_DCHECK(bump(), "must not run"));
+  EXPECT_EQ(calls, 0);
+  EXPECT_NO_THROW(RDO_DCHECK(false, "must not throw in Release"));
+}
+
+#else  // !NDEBUG
+
+TEST(Dcheck, ActiveInDebugBuilds) {
+  int calls = 0;
+  auto bump = [&calls] { return ++calls > 0; };
+  EXPECT_NO_THROW(RDO_DCHECK(bump(), "runs in Debug"));
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(RDO_DCHECK(false, "fires in Debug"), ContractViolation);
+}
+
+#endif  // NDEBUG

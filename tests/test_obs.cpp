@@ -348,7 +348,10 @@ TEST(Recorder, HistogramQuantilesAreBucketMidpointsClampedToRange) {
   // All mass in one bucket: every quantile collapses to the observed
   // value because the midpoint is clamped to [min, max].
   for (int i = 0; i < 100; ++i) rec.observe("tight", 1e-3);
-  const Json* tight = rec.histograms_json().find("tight");
+  // Bind the document: find() returns a pointer into it, so calling it
+  // on the temporary would dangle (caught by the ASan preset).
+  const Json tight_doc = rec.histograms_json();
+  const Json* tight = tight_doc.find("tight");
   ASSERT_NE(tight, nullptr);
   EXPECT_DOUBLE_EQ(tight->find("p50_seconds")->as_double(), 1e-3);
   EXPECT_DOUBLE_EQ(tight->find("p95_seconds")->as_double(), 1e-3);
@@ -359,7 +362,8 @@ TEST(Recorder, HistogramQuantilesAreBucketMidpointsClampedToRange) {
   rec.observe("spread", 2e-6);
   rec.observe("spread", 1e-3);
   rec.observe("spread", 1.0);
-  const Json* spread = rec.histograms_json().find("spread");
+  const Json spread_doc = rec.histograms_json();
+  const Json* spread = spread_doc.find("spread");
   ASSERT_NE(spread, nullptr);
   const double p50 = spread->find("p50_seconds")->as_double();
   const double p95 = spread->find("p95_seconds")->as_double();

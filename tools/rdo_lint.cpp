@@ -1,0 +1,212 @@
+// rdo_lint — project-invariant checker for the deployment stack.
+//
+//   rdo_lint <dir-or-file>...     exit 0 clean, 1 violations, 2 usage/IO
+//
+// Three repo invariants that neither the compiler nor clang-tidy enforce,
+// checked textually over every .cpp/.h under the given roots (comments,
+// string and character literals are stripped first, so naming a pattern
+// in a diagnostic or a regex does not trip the checker):
+//
+//   naked-read        every raw `stream.read(...)` must be followed
+//                     within three lines by a stream-state check
+//                     (`gcount`, `if (!f ...`, or an RDO_CHECK) — in
+//                     practice: route binary reads through a read_exact
+//                     helper. A read whose success is never examined is
+//                     how a truncated file becomes silent garbage.
+//   nondeterminism    `rand()`, `srand()`, `time()` and
+//                     `std::random_device` are banned: every random
+//                     draw must come from a seeded rdo::nn::Rng, or
+//                     deterministic BENCH sections and the cross-backend
+//                     parity gate break.
+//   unordered-iter    `std::unordered_map` / `std::unordered_set` are
+//                     banned: their iteration order is
+//                     implementation-defined, and hashed containers have
+//                     repeatedly leaked that order into "deterministic"
+//                     output. Use std::map or a sorted vector.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Replace comments, string literals and char literals with spaces,
+/// preserving newlines so reported line numbers stay exact.
+std::string strip_non_code(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { Code, LineComment, BlockComment, String, Char };
+  State st = State::Code;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (st) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          st = State::LineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::BlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          st = State::String;
+          out += ' ';
+        } else if (c == '\'') {
+          st = State::Char;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          st = State::Code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          st = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::String:
+      case State::Char: {
+        const char quote = st == State::String ? '"' : '\'';
+        if (c == '\\') {
+          out += "  ";
+          ++i;
+        } else if (c == quote) {
+          st = State::Code;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+struct Violation {
+  fs::path file;
+  std::size_t line;
+  std::string rule;
+  std::string message;
+};
+
+void lint_file(const fs::path& path, std::vector<Violation>& out) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::runtime_error("cannot read " + path.string());
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string stripped = strip_non_code(ss.str());
+
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream ls(stripped);
+  while (std::getline(ls, line)) lines.push_back(line);
+
+  static const std::regex naked_read(R"((^|[^\w])\w+(\.|->)read\s*\()");
+  static const std::regex state_check(
+      R"(gcount|RDO_CHECK|if\s*\(\s*!|\|\|\s*!)");
+  static const std::regex nondet(
+      R"((^|[^\w:.])(rand|srand|time)\s*\(|std\s*::\s*(rand|srand|time)\s*\(|random_device)");
+  static const std::regex unordered(R"(unordered_(map|set)\s*<)");
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], naked_read)) {
+      bool checked = false;
+      for (std::size_t j = i; j < lines.size() && j <= i + 3; ++j) {
+        if (std::regex_search(lines[j], state_check)) {
+          checked = true;
+          break;
+        }
+      }
+      if (!checked) {
+        out.push_back({path, i + 1, "naked-read",
+                       "stream read without a state check within 3 lines; "
+                       "route binary reads through a read_exact helper"});
+      }
+    }
+    if (std::regex_search(lines[i], nondet)) {
+      out.push_back({path, i + 1, "nondeterminism",
+                     "rand()/srand()/time()/random_device are banned; draw "
+                     "from a seeded rdo::nn::Rng instead"});
+    }
+    if (std::regex_search(lines[i], unordered)) {
+      out.push_back({path, i + 1, "unordered-iter",
+                     "hashed-container iteration order is nondeterministic "
+                     "and leaks into BENCH sections; use std::map or a "
+                     "sorted vector"});
+    }
+  }
+}
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: rdo_lint <dir-or-file>...\n");
+    return 2;
+  }
+  std::vector<Violation> violations;
+  int files = 0;
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const fs::path root(argv[i]);
+      if (fs::is_directory(root)) {
+        std::vector<fs::path> paths;
+        for (const auto& entry : fs::recursive_directory_iterator(root)) {
+          if (entry.is_regular_file() && lintable(entry.path())) {
+            paths.push_back(entry.path());
+          }
+        }
+        std::sort(paths.begin(), paths.end());
+        for (const auto& p : paths) {
+          lint_file(p, violations);
+          ++files;
+        }
+      } else if (fs::is_regular_file(root)) {
+        lint_file(root, violations);
+        ++files;
+      } else {
+        std::fprintf(stderr, "rdo_lint: no such file or directory: %s\n",
+                     argv[i]);
+        return 2;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "rdo_lint: %s\n", e.what());
+    return 2;
+  }
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.string().c_str(), v.line,
+                 v.rule.c_str(), v.message.c_str());
+  }
+  std::fprintf(stderr, "rdo_lint: %d file(s), %zu violation(s)\n", files,
+               violations.size());
+  return violations.empty() ? 0 : 1;
+}
