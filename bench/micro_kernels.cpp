@@ -78,29 +78,86 @@ void BM_LutBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_LutBuild)->Arg(4)->Arg(16);
 
+// Args: {group size m, engine (0 = table, 1 = reference)}. The weight
+// range is derived from the LUT bit-width, not hardcoded, so changing the
+// programmer's bits keeps the bench honest.
 void BM_VawoSolveGroup(benchmark::State& state) {
   rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
   const rram::RLut lut = rram::RLut::build_analytic(prog);
+  const int levels = lut.max_weight();
   const int m = static_cast<int>(state.range(0));
+  const bool reference = state.range(1) == 1;
   Rng rng(5);
   std::vector<int> ntw;
   std::vector<double> grad;
   for (int i = 0; i < m; ++i) {
-    ntw.push_back(static_cast<int>(rng.uniform_int(0, 255)));
+    ntw.push_back(static_cast<int>(rng.uniform_int(0, levels)));
     grad.push_back(rng.uniform(0.01, 1.0));
   }
   core::VawoOptions opt;
   opt.use_complement = true;
+  const core::VawoTable table =
+      core::VawoTable::build(lut, levels, opt.offsets, opt.penalize_bias);
+  std::vector<double> g2(grad.size());
+  for (std::size_t i = 0; i < grad.size(); ++i) g2[i] = grad[i] * grad[i];
   for (auto _ : state) {
     int b = 0;
     bool comp = false;
     std::vector<int> ctw;
-    benchmark::DoNotOptimize(
-        core::vawo_solve_group(ntw, grad, lut, 255, opt, b, comp, ctw));
+    if (reference) {
+      benchmark::DoNotOptimize(core::vawo_solve_group(ntw, grad, lut, levels,
+                                                      opt, b, comp, ctw));
+    } else {
+      benchmark::DoNotOptimize(core::vawo_solve_group(
+          ntw, g2, table, opt.use_complement, b, comp, ctw));
+    }
   }
   state.SetItemsProcessed(state.iterations() * m);
 }
-BENCHMARK(BM_VawoSolveGroup)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_VawoSolveGroup)
+    ->Args({16, 0})
+    ->Args({64, 0})
+    ->Args({128, 0})
+    ->Args({16, 1})
+    ->Args({64, 1})
+    ->Args({128, 1});
+
+// Full-layer solve, fast vs reference, where the deploy-time speedup is
+// actually claimed (ROADMAP: `deploy:vawo_solve` dominance). Args:
+// {group size m, engine (0 = table, 1 = reference)}.
+void BM_VawoLayer(benchmark::State& state) {
+  rram::WeightProgrammer prog({rram::CellKind::SLC, 200.0}, 8, {0.5, 0.0});
+  const rram::RLut lut = rram::RLut::build_analytic(prog);
+  const std::int64_t rows = 256, cols = 64;
+  rdo::quant::LayerQuant lq;
+  lq.bits = 8;
+  lq.rows = rows;
+  lq.cols = cols;
+  lq.scale = 0.01f;
+  lq.zero = 128;
+  lq.q.resize(static_cast<std::size_t>(rows * cols));
+  std::vector<double> grads(lq.q.size());
+  Rng rng(9);
+  for (std::size_t i = 0; i < lq.q.size(); ++i) {
+    lq.q[i] = static_cast<int>(rng.uniform_int(0, lq.levels()));
+    grads[i] = rng.uniform(0.0, 1.0);
+  }
+  core::VawoOptions opt;
+  opt.use_complement = true;
+  opt.offsets.m = static_cast<int>(state.range(0));
+  opt.engine = state.range(1) == 1 ? core::VawoEngine::kReference
+                                   : core::VawoEngine::kTable;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::vawo_layer(lq, grads, lut, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * rows * cols);
+}
+BENCHMARK(BM_VawoLayer)
+    ->Args({16, 0})
+    ->Args({128, 0})
+    ->Args({16, 1})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
 
 // Args: {matrix size, pool threads}. The thread sweep is the speedup
 // table recorded in EXPERIMENTS.md; results are bit-identical across the

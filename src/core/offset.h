@@ -18,10 +18,25 @@ struct OffsetConfig {
   int m = 16;           ///< sharing granularity (weights per offset)
   int offset_bits = 8;  ///< offset register width (signed)
 
+  /// Contract check for externally supplied configs. `offset_min()` /
+  /// `offset_max()` shift by `offset_bits - 1`, so `offset_bits = 0` (or
+  /// anything >= 31) is undefined behaviour and a hostile value would
+  /// otherwise enumerate an empty (or astronomically large) offset range.
+  /// Every consumer of an OffsetConfig that crossed an API boundary
+  /// (solver entry points, compile_plan) calls this before using it.
+  void validate() const {
+    RDO_CHECK(m >= 1, "OffsetConfig: m = " + std::to_string(m) + " < 1");
+    RDO_CHECK(offset_bits >= 1 && offset_bits <= 30,
+              "OffsetConfig: offset_bits = " + std::to_string(offset_bits) +
+                  " outside [1, 30]");
+  }
+
   [[nodiscard]] int offset_min() const { return -(1 << (offset_bits - 1)); }
   [[nodiscard]] int offset_max() const {
     return (1 << (offset_bits - 1)) - 1;
   }
+  /// Number of representable register values, 2^offset_bits.
+  [[nodiscard]] int offset_count() const { return 1 << offset_bits; }
 };
 
 /// Number of offset groups along one column of a `rows`-row matrix.

@@ -120,6 +120,9 @@ std::int64_t DeploymentPlan::total_offset_registers() const {
 DeploymentPlan compile_plan(const rdo::nn::Layer& net,
                             const DeployOptions& opt,
                             const rdo::nn::DataView& train) {
+  // DeployOptions crosses the API boundary (CLI flags, bench configs):
+  // reject hostile offset geometry before anything derives ranges from it.
+  opt.offsets.validate();
   DeploymentPlan plan(opt);
   plan.lut = make_lut(plan.prog, opt, plan.compile_stats);
 
@@ -176,6 +179,16 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
     vopt.penalize_bias = opt.penalize_bias;
     rdo::obs::ScopedTimer solve_timer(&plan.compile_stats.vawo_solve_s);
     rdo::obs::TraceSpan solve_span("deploy:vawo_solve", "deploy");
+    // Every layer is quantized to the same weight width, so one dense
+    // target-value cost table (see core/vawo.h) serves the whole plan;
+    // build it once here, timed inside the solve phase.
+    VawoTable vtable;
+    {
+      rdo::obs::TraceSpan table_span("vawo:table", "deploy");
+      vtable = VawoTable::build(plan.lut, (1 << opt.weight_bits) - 1,
+                                opt.offsets, opt.penalize_bias);
+      table_span.arg("entries", static_cast<std::int64_t>(vtable.size()));
+    }
     for (std::size_t li = 0; li < plan.layers.size(); ++li) {
       PlanLayer& pl = plan.layers[li];
       rdo::obs::TraceSpan layer_span("vawo:layer", "deploy");
@@ -190,7 +203,7 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
               ops[li]->weight_grad_at(r, c);
         }
       }
-      pl.assign = vawo_layer(pl.lq, pl.mean_grads, plan.lut, vopt);
+      pl.assign = vawo_layer(pl.lq, pl.mean_grads, plan.lut, vopt, &vtable);
       layer_span.arg("groups", pl.assign.groups_per_col);
     }
   } else {

@@ -9,7 +9,16 @@ namespace rdo::core {
 
 namespace {
 
+/// Gradient floor: weights whose mean gradient is numerically zero (dead
+/// units, converged directions) would make the group objective identically
+/// zero and leave the offset to tie-breaking, producing arbitrarily bad
+/// CTWs for weights that still matter at inference time. Their |g| is
+/// floored at this fraction of the layer's mean |g| (DESIGN.md §5, item 7).
+constexpr double kGradFloorFrac = 0.05;
+
 /// Objective of one candidate (offset, form) for a group; fills `ctw`.
+/// The literal paper procedure — one LUT inversion per weight — kept as
+/// the oracle the table engine must reproduce bit-for-bit.
 double group_objective(const std::vector<int>& ntw,
                        const std::vector<double>& grad,
                        const rdo::rram::RLut& lut, int weight_levels, int b,
@@ -33,17 +42,117 @@ double group_objective(const std::vector<int>& ntw,
   return obj;
 }
 
+/// Table-engine core. Accumulates, for each form, the objective of every
+/// offset candidate in one weight-outer/offset-inner sweep: the candidates
+/// of weight i live in the contiguous table slice starting at its target
+/// value tau_i, so the inner loop is a branch-free gather + multiply-add
+/// the compiler can vectorize, and adjacent offsets share all per-weight
+/// table work (offset b = offset_max - j reads element tau_i + j).
+///
+/// Bit-exactness with group_objective(): for a fixed offset the per-weight
+/// terms are accumulated in the same weight order with identically shaped
+/// expressions (g2*var, then += g2*bias*bias with the raw bias — never a
+/// pre-squared bias, which would round differently), and the winner scan
+/// replicates the reference enumeration order and strict-< tie-breaking.
+/// With penalize_bias off the bias row is all zeros and the += adds +0.0,
+/// which never changes a finite sum.
+double solve_group_table(const int* ntw, const double* g2, std::size_t n,
+                         const VawoTable& table, bool use_complement,
+                         std::vector<double>& acc, int& best_offset,
+                         bool& best_complemented, std::vector<int>& best_ctw) {
+  const int nb = table.offset_count();
+  const int levels = table.weight_levels();
+  const int forms = use_complement ? 2 : 1;
+  acc.assign(static_cast<std::size_t>(nb) * static_cast<std::size_t>(forms),
+             0.0);
+  for (int form = 0; form < forms; ++form) {
+    double* a = acc.data() + static_cast<std::size_t>(form) *
+                                 static_cast<std::size_t>(nb);
+    for (std::size_t i = 0; i < n; ++i) {
+      const int tau = form == 1 ? levels - ntw[i] : ntw[i];
+      const double g = g2[i];
+      const double* vr = table.var_row(tau);
+      const double* br = table.bias_row(tau);
+      for (int j = 0; j < nb; ++j) {
+        double term = g * vr[j];
+        term += g * br[j] * br[j];
+        a[j] += term;
+      }
+    }
+  }
+  double best = -1.0;
+  bool found = false;
+  for (int form = 0; form < forms; ++form) {
+    const double* a = acc.data() + static_cast<std::size_t>(form) *
+                                       static_cast<std::size_t>(nb);
+    for (int b = table.offset_min(); b <= table.offset_max(); ++b) {
+      const double obj = a[table.offset_max() - b];
+      if (best < 0.0 || obj < best) {
+        best = obj;
+        best_offset = b;
+        best_complemented = form == 1;
+      }
+      found = true;
+    }
+  }
+  RDO_CHECK(found, "vawo_solve_group: empty offset enumeration range");
+  best_ctw.resize(n);
+  const int j = table.offset_max() - best_offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int tau = best_complemented ? levels - ntw[i] : ntw[i];
+    best_ctw[i] = table.ctw_row(tau)[j];
+  }
+  return best;
+}
+
+void check_group_shape(std::size_t ntw, std::size_t grad) {
+  RDO_CHECK(ntw == grad && ntw != 0,
+            "vawo_solve_group: " + std::to_string(ntw) + " weights vs " +
+                std::to_string(grad) + " gradients");
+}
+
 }  // namespace
+
+VawoTable VawoTable::build(const rdo::rram::RLut& lut, int weight_levels,
+                           const OffsetConfig& offsets, bool penalize_bias) {
+  offsets.validate();
+  RDO_CHECK(weight_levels >= 1,
+            "VawoTable: weight_levels = " + std::to_string(weight_levels) +
+                " < 1");
+  VawoTable t;
+  t.levels_ = weight_levels;
+  t.bmin_ = offsets.offset_min();
+  t.bmax_ = offsets.offset_max();
+  t.penalize_bias_ = penalize_bias;
+  // Target values span [0 - offset_max, weight_levels - offset_min]:
+  // weight_levels + 2^offset_bits entries. Index idx holds target value
+  // idx - offset_max, so the row of a weight with target_ntw = tau starts
+  // at idx = tau (element j = cost of offset b = offset_max - j).
+  const std::size_t size = static_cast<std::size_t>(weight_levels) +
+                           static_cast<std::size_t>(t.bmax_ - t.bmin_ + 1);
+  t.ctw_.resize(size);
+  t.var_.resize(size);
+  t.bias_.resize(size);
+  for (std::size_t idx = 0; idx < size; ++idx) {
+    const double target_mean =
+        static_cast<double>(static_cast<int>(idx) - t.bmax_);
+    const int v = lut.invert_mean(target_mean);
+    t.ctw_[idx] = v;
+    t.var_[idx] = lut.var(v);
+    t.bias_[idx] = penalize_bias ? lut.mean(v) - target_mean : 0.0;
+  }
+  return t;
+}
 
 double vawo_solve_group(const std::vector<int>& ntw,
                         const std::vector<double>& grad,
                         const rdo::rram::RLut& lut, int weight_levels,
                         const VawoOptions& opt, int& best_offset,
                         bool& best_complemented, std::vector<int>& best_ctw) {
-  RDO_CHECK(ntw.size() == grad.size() && !ntw.empty(),
-            "vawo_solve_group: " + std::to_string(ntw.size()) +
-                " weights vs " + std::to_string(grad.size()) + " gradients");
+  check_group_shape(ntw.size(), grad.size());
+  opt.offsets.validate();
   double best = -1.0;
+  bool found = false;
   std::vector<int> ctw(ntw.size());
   const int forms = opt.use_complement ? 2 : 1;
   for (int form = 0; form < forms; ++form) {
@@ -58,19 +167,40 @@ double vawo_solve_group(const std::vector<int>& ntw,
         best_complemented = comp;
         best_ctw = ctw;
       }
+      found = true;
     }
   }
+  RDO_CHECK(found, "vawo_solve_group: empty offset enumeration range");
   return best;
+}
+
+double vawo_solve_group(const std::vector<int>& ntw,
+                        const std::vector<double>& g2, const VawoTable& table,
+                        bool use_complement, int& best_offset,
+                        bool& best_complemented, std::vector<int>& best_ctw) {
+  check_group_shape(ntw.size(), g2.size());
+  for (int w : ntw) {
+    RDO_CHECK(w >= 0 && w <= table.weight_levels(),
+              "vawo_solve_group: NTW " + std::to_string(w) +
+                  " outside [0, " + std::to_string(table.weight_levels()) +
+                  "]");
+  }
+  std::vector<double> acc;
+  return solve_group_table(ntw.data(), g2.data(), ntw.size(), table,
+                           use_complement, acc, best_offset,
+                           best_complemented, best_ctw);
 }
 
 VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
                       const std::vector<double>& grads,
-                      const rdo::rram::RLut& lut, const VawoOptions& opt) {
+                      const rdo::rram::RLut& lut, const VawoOptions& opt,
+                      const VawoTable* table) {
   const std::int64_t rows = lq.rows, cols = lq.cols;
   RDO_CHECK(grads.size() == static_cast<std::size_t>(rows * cols),
             "vawo_layer: " + std::to_string(grads.size()) +
                 " gradients for a " + std::to_string(rows) + "x" +
                 std::to_string(cols) + " matrix");
+  opt.offsets.validate();
   VawoResult res;
   res.groups_per_col = groups_per_column(rows, opt.offsets.m);
   res.ctw.assign(static_cast<std::size_t>(rows * cols), 0);
@@ -79,23 +209,49 @@ VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
   res.complemented.assign(static_cast<std::size_t>(res.groups_per_col * cols),
                           0);
 
-  // Floor the gradient magnitudes. Weights with (numerically) zero mean
-  // gradient — dead units, converged directions — would otherwise make
-  // the group objective identically zero, leaving the offset choice to
-  // tie-breaking and producing arbitrarily bad CTWs for weights that still
-  // matter at inference time.
+  // Per-weight objective weights: |dL/dw| floored at kGradFloorFrac of the
+  // layer mean (see the constant above; a gradient-free layer floors at
+  // 1.0 so every weight still counts equally). The table engine consumes
+  // the square directly — hoisted here so the hot loop never re-squares —
+  // while the reference oracle squares internally and takes the magnitude.
   double mean_abs = 0.0;
   for (double g : grads) mean_abs += std::fabs(g);
   mean_abs /= static_cast<double>(grads.size());
-  const double floor = mean_abs > 0.0 ? 0.05 * mean_abs : 1.0;
-  std::vector<double> g2(grads.size());
+  const double floor = mean_abs > 0.0 ? kGradFloorFrac * mean_abs : 1.0;
+  const bool fast = opt.engine == VawoEngine::kTable;
+  std::vector<double> gw(grads.size());
   for (std::size_t i = 0; i < grads.size(); ++i) {
-    g2[i] = std::max(std::fabs(grads[i]), floor);
+    gw[i] = std::max(std::fabs(grads[i]), floor);
+    if (fast) gw[i] = gw[i] * gw[i];
+  }
+
+  VawoTable local;
+  if (fast && table == nullptr) {
+    local = VawoTable::build(lut, lq.levels(), opt.offsets,
+                             opt.penalize_bias);
+    table = &local;
+  }
+  if (fast) {
+    RDO_CHECK(table->weight_levels() == lq.levels() &&
+                  table->offset_min() == opt.offsets.offset_min() &&
+                  table->offset_max() == opt.offsets.offset_max() &&
+                  table->penalize_bias() == opt.penalize_bias,
+              "vawo_layer: VawoTable was built for a different LUT/offset "
+              "configuration");
+    // The table is indexed by NTW, so out-of-range quantized weights would
+    // read past it (the reference engine merely clamps them through
+    // invert_mean). One pass up front keeps the hot loop check-free.
+    for (int w : lq.q) {
+      RDO_CHECK(w >= 0 && w <= lq.levels(),
+                "vawo_layer: NTW " + std::to_string(w) + " outside [0, " +
+                    std::to_string(lq.levels()) + "]");
+    }
   }
 
   std::vector<int> ntw;
   std::vector<double> grad;
   std::vector<int> ctw;
+  std::vector<double> acc;
   for (std::int64_t c = 0; c < cols; ++c) {
     for (std::int64_t g = 0; g < res.groups_per_col; ++g) {
       const std::int64_t r0 = g * opt.offsets.m;
@@ -104,12 +260,18 @@ VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
       grad.clear();
       for (std::int64_t r = r0; r < r1; ++r) {
         ntw.push_back(lq.at(r, c));
-        grad.push_back(g2[static_cast<std::size_t>(r * cols + c)]);
+        grad.push_back(gw[static_cast<std::size_t>(r * cols + c)]);
       }
       int b = 0;
       bool comp = false;
-      res.total_objective += vawo_solve_group(ntw, grad, lut, lq.levels(),
-                                              opt, b, comp, ctw);
+      if (fast) {
+        res.total_objective +=
+            solve_group_table(ntw.data(), grad.data(), ntw.size(), *table,
+                              opt.use_complement, acc, b, comp, ctw);
+      } else {
+        res.total_objective += vawo_solve_group(ntw, grad, lut, lq.levels(),
+                                                opt, b, comp, ctw);
+      }
       for (std::int64_t r = r0; r < r1; ++r) {
         res.ctw[static_cast<std::size_t>(r * cols + c)] =
             ctw[static_cast<std::size_t>(r - r0)];

@@ -16,6 +16,21 @@
 // With `use_complement`, the mirrored problem over complemented targets
 // (2^n - 1 - w_i*) is solved too and the better of the two forms is kept
 // (VAWO*).
+//
+// Two engines implement the same enumeration:
+//
+//   kReference  the literal per-candidate procedure: for every
+//               (offset, form, weight) invert the LUT and re-derive the
+//               variance/bias terms. O(forms * 2^bits * m) LUT binary
+//               searches per group. Kept as the parity oracle.
+//   kTable      the per-weight cost depends only on the integer target
+//               value t = target_ntw - b, so a dense VawoTable of
+//               (ctw, var, bias) indexed by t is built once per solve and
+//               the objective collapses to a gather + dot product. The
+//               enumeration order, floating-point expression shapes and
+//               tie-breaking reproduce kReference bit-for-bit (asserted
+//               exhaustively in tests/test_vawo_parity.cpp), so plans are
+//               byte-identical across engines.
 #pragma once
 
 #include <cstdint>
@@ -27,10 +42,68 @@
 
 namespace rdo::core {
 
+/// Solver implementation selector (see file comment). The table engine is
+/// the production default; the reference engine is the oracle the parity
+/// suite and the micro-benchmarks compare against.
+enum class VawoEngine { kTable, kReference };
+
 struct VawoOptions {
   OffsetConfig offsets;
   bool use_complement = false;
   bool penalize_bias = true;
+  VawoEngine engine = VawoEngine::kTable;
+};
+
+/// Dense per-target-value cost table for the fast VAWO engine.
+///
+/// For every integer target value t = target_ntw - b that the enumeration
+/// can produce — t spans [0 - offset_max, weight_levels - offset_min], one
+/// contiguous range of weight_levels + 2^offset_bits entries — the table
+/// stores the inverted CTW `ctw(t) = invert_mean(t)`, its variance
+/// `var(t) = Var[R(ctw(t))]` and the residual bias
+/// `bias(t) = E[R(ctw(t))] - t` (zeroed when `penalize_bias` is off, which
+/// keeps the hot loop branch-free). Entries are laid out so that the
+/// candidates of one weight with target_ntw = tau occupy the contiguous
+/// slice [tau, tau + 2^offset_bits): index tau + j holds the cost of
+/// offset b = offset_max - j. Shifting b by one therefore shifts every
+/// index by one (adjacent offsets share all table work), and the
+/// complement form only mirrors the base index to levels - ntw.
+///
+/// The table depends on the LUT, the weight range and the offset config
+/// only — every group of a layer (and every layer of a plan compiled at
+/// one weight width) shares a single instance.
+class VawoTable {
+ public:
+  /// Precompute the table: one invert_mean per target value instead of
+  /// one per (group x offset x form x weight) candidate.
+  static VawoTable build(const rdo::rram::RLut& lut, int weight_levels,
+                         const OffsetConfig& offsets, bool penalize_bias);
+
+  [[nodiscard]] int weight_levels() const { return levels_; }
+  [[nodiscard]] int offset_min() const { return bmin_; }
+  [[nodiscard]] int offset_max() const { return bmax_; }
+  [[nodiscard]] int offset_count() const { return bmax_ - bmin_ + 1; }
+  [[nodiscard]] bool penalize_bias() const { return penalize_bias_; }
+  [[nodiscard]] std::size_t size() const { return ctw_.size(); }
+
+  /// Row pointers for a weight with target value `tau` (in [0, levels]):
+  /// element j of the row is the cost entry of offset b = offset_max - j.
+  [[nodiscard]] const double* var_row(int tau) const {
+    return var_.data() + tau;
+  }
+  [[nodiscard]] const double* bias_row(int tau) const {
+    return bias_.data() + tau;
+  }
+  [[nodiscard]] const int* ctw_row(int tau) const { return ctw_.data() + tau; }
+
+ private:
+  int levels_ = 0;
+  int bmin_ = 0;
+  int bmax_ = -1;
+  bool penalize_bias_ = true;
+  std::vector<int> ctw_;
+  std::vector<double> var_;
+  std::vector<double> bias_;
 };
 
 /// VAWO output for one layer.
@@ -42,25 +115,42 @@ struct VawoResult {
   double total_objective = 0.0;
 };
 
-/// Solve one offset group.
+/// Solve one offset group — reference engine (the parity oracle).
 ///
 /// `ntw`/`grad` hold the m' (<= m) weights of the group; returns the chosen
 /// offset, complement flag and CTWs through the out-parameters, and the
-/// objective value achieved.
+/// objective value achieved. Throws ContractViolation on an invalid
+/// offset config or an empty enumeration range (the out-parameters are
+/// never left unwritten on a successful return).
 double vawo_solve_group(const std::vector<int>& ntw,
                         const std::vector<double>& grad,
                         const rdo::rram::RLut& lut, int weight_levels,
                         const VawoOptions& opt, int& best_offset,
                         bool& best_complemented, std::vector<int>& best_ctw);
 
+/// Solve one offset group — table engine. Same contract and bit-identical
+/// results as the reference overload, but consumes the precomputed
+/// VawoTable and the already-squared gradient weights `g2` (g2_i =
+/// grad_i^2) directly. All ntw values must lie in
+/// [0, table.weight_levels()].
+double vawo_solve_group(const std::vector<int>& ntw,
+                        const std::vector<double>& g2, const VawoTable& table,
+                        bool use_complement, int& best_offset,
+                        bool& best_complemented, std::vector<int>& best_ctw);
+
 /// Run VAWO over a whole quantized layer.
 ///
 /// `grads` is the row-major [rows*cols] matrix of mean loss gradients
 /// dL/dw (in effective-weight units; only relative magnitudes matter
-/// within a group).
+/// within a group). `opt.engine` selects the implementation; results are
+/// bit-identical either way. When `table` is non-null it must have been
+/// built for (lut, lq.levels(), opt.offsets, opt.penalize_bias) — pass it
+/// to share one table across the layers of a plan; otherwise the table
+/// engine builds its own.
 VawoResult vawo_layer(const rdo::quant::LayerQuant& lq,
                       const std::vector<double>& grads,
-                      const rdo::rram::RLut& lut, const VawoOptions& opt);
+                      const rdo::rram::RLut& lut, const VawoOptions& opt,
+                      const VawoTable* table = nullptr);
 
 /// The "plain" assignment (CTW = NTW, zero offsets) in the same format,
 /// for the baseline scheme.

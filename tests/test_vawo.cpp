@@ -229,6 +229,50 @@ TEST(Vawo, RejectsEmptyOrMismatchedGroup) {
       std::invalid_argument);
 }
 
+TEST(Vawo, RejectsHostileOffsetConfig) {
+  // offset_bits = 0 would shift by -1 (UB) and enumerate nothing, leaving
+  // the out-parameters uninitialized; >= 31 overflows the register range.
+  // Both must fail loudly at the solver boundary, never solve silently.
+  const RLut lut = lut_for(0.5);
+  int b;
+  bool comp;
+  std::vector<int> ctw;
+  for (int bits : {0, -3, 31, 64}) {
+    VawoOptions opt;
+    opt.offsets.offset_bits = bits;
+    EXPECT_THROW(
+        vawo_solve_group({10, 20}, {1.0, 1.0}, lut, 255, opt, b, comp, ctw),
+        rdo::core::ContractViolation)
+        << "offset_bits = " << bits;
+    EXPECT_THROW(rdo::core::VawoTable::build(lut, 255, opt.offsets,
+                                             opt.penalize_bias),
+                 rdo::core::ContractViolation)
+        << "offset_bits = " << bits;
+  }
+  const auto lq = make_lq(4, 1, {1, 2, 3, 4});
+  std::vector<double> grads(4, 1.0);
+  VawoOptions bad_m;
+  bad_m.offsets.m = 0;
+  EXPECT_THROW(vawo_layer(lq, grads, lut, bad_m),
+               rdo::core::ContractViolation);
+}
+
+TEST(Vawo, SolveAlwaysWritesOutParameters) {
+  // A successful solve must never leave the out-parameters untouched
+  // (the historical uninitialized-read hazard in vawo_layer).
+  const RLut lut = lut_for(0.5);
+  VawoOptions opt;
+  opt.offsets.offset_bits = 1;  // smallest legal register: b in {-1, 0}
+  int b = -999;
+  bool comp = true;
+  std::vector<int> ctw;
+  vawo_solve_group({5, 6}, {1.0, 1.0}, lut, 255, opt, b, comp, ctw);
+  EXPECT_GE(b, -1);
+  EXPECT_LE(b, 0);
+  EXPECT_FALSE(comp);  // complement disabled
+  EXPECT_EQ(ctw.size(), 2u);
+}
+
 TEST(Vawo, LayerAssignmentShapes) {
   const RLut lut = lut_for(0.5);
   std::vector<int> q(32 * 3);
