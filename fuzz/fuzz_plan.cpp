@@ -1,0 +1,35 @@
+// Fuzz target: DeploymentPlan::load — the plan cache deserializer behind
+// RDO_PLAN_CACHE_DIR.
+//
+// Contract under fuzzing: arbitrary bytes either load cleanly, report a
+// stale fingerprint (nullopt), or raise PlanError; never a crash, an
+// unbounded resize, a ContractViolation escaping from deeper layers, or
+// a plan built from unvalidated fields. The stored fingerprint is lifted
+// out of the input so the fuzzer reaches the post-fingerprint payload
+// path as well as the mismatch path.
+#include <cstdint>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "core/plan.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string bytes(reinterpret_cast<const char*>(data), size);
+
+  // Fingerprint at offset 4 (after the magic), as written by save().
+  std::uint64_t stored_fp = 0;
+  if (size >= 12) std::memcpy(&stored_fp, data + 4, sizeof(stored_fp));
+
+  for (const std::uint64_t fp : {stored_fp, std::uint64_t{0}}) {
+    std::istringstream in(bytes, std::ios::binary);
+    try {
+      (void)rdo::core::DeploymentPlan::load(in, fp, "fuzz");
+    } catch (const rdo::core::PlanError&) {
+      // Corrupt input must raise PlanError — never crash.
+    }
+    if (stored_fp == 0) break;  // both iterations identical
+  }
+  return 0;
+}

@@ -19,6 +19,12 @@ void DeployStats::merge(const DeployStats& other) {
   eval_s += other.eval_s;
   eval_seconds.insert(eval_seconds.end(), other.eval_seconds.begin(),
                       other.eval_seconds.end());
+  lut_cache_hits += other.lut_cache_hits;
+  lut_cache_misses += other.lut_cache_misses;
+  lut_cache_save_failures += other.lut_cache_save_failures;
+  plan_cache_hits += other.plan_cache_hits;
+  plan_cache_misses += other.plan_cache_misses;
+  plan_cache_save_failures += other.plan_cache_save_failures;
   cycles += other.cycles;
   weights_programmed += other.weights_programmed;
   device_pulses += other.device_pulses;
@@ -55,6 +61,21 @@ void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s) {
   rec.add_phase("deploy:program", s.program_s);
   rec.add_phase("deploy:tune", s.tune_s);
   rec.add_phase("deploy:evaluate", s.eval_s);
+}
+
+void add_deploy_cache_counters(rdo::obs::Recorder& rec,
+                               const DeployStats& s) {
+  if (s.lut_cache_hits == 0 && s.lut_cache_misses == 0 &&
+      s.lut_cache_save_failures == 0 && s.plan_cache_hits == 0 &&
+      s.plan_cache_misses == 0 && s.plan_cache_save_failures == 0) {
+    return;  // no cache configured: keep baseline counter sets unchanged
+  }
+  rec.incr("lut_cache_hits", s.lut_cache_hits);
+  rec.incr("lut_cache_misses", s.lut_cache_misses);
+  rec.incr("lut_cache_save_failures", s.lut_cache_save_failures);
+  rec.incr("plan_cache_hits", s.plan_cache_hits);
+  rec.incr("plan_cache_misses", s.plan_cache_misses);
+  rec.incr("plan_cache_save_failures", s.plan_cache_save_failures);
 }
 
 const char* to_string(Scheme s) {

@@ -114,6 +114,21 @@ struct DeployStats {
   /// excluded from deploy_stats_json().
   std::vector<double> eval_seconds;
 
+  // --- cache-effectiveness counters (environment-dependent) ---
+  // Hit/miss/save-failure counts of the opt-in on-disk caches
+  // (RDO_LUT_CACHE_DIR, RDO_PLAN_CACHE_DIR). They depend on the on-disk
+  // cache state, not on the seeded computation, so they belong to the
+  // volatile half: excluded from deploy_stats_json() and from the
+  // deterministic BENCH sections. Surface them with
+  // add_deploy_cache_counters() where a shared-cache sweep wants to see
+  // cache effectiveness.
+  std::int64_t lut_cache_hits = 0;
+  std::int64_t lut_cache_misses = 0;
+  std::int64_t lut_cache_save_failures = 0;
+  std::int64_t plan_cache_hits = 0;
+  std::int64_t plan_cache_misses = 0;
+  std::int64_t plan_cache_save_failures = 0;
+
   // --- deterministic counters and traces ---
   std::int64_t cycles = 0;              ///< program_cycle() calls
   std::int64_t weights_programmed = 0;  ///< CTWs written across all cycles
@@ -138,6 +153,13 @@ struct DeployStats {
 /// Fold the volatile wall times into a Recorder's phase table under
 /// "deploy:*" names (aggregates across calls).
 void add_deploy_phase_times(rdo::obs::Recorder& rec, const DeployStats& s);
+
+/// Surface the cache-effectiveness counters (lut_cache_* / plan_cache_*)
+/// as Recorder counters. No-op when every counter is zero — a run
+/// without RDO_LUT_CACHE_DIR / RDO_PLAN_CACHE_DIR configured emits no
+/// cache counters at all, so committed BENCH baselines produced without
+/// caches stay byte-identical.
+void add_deploy_cache_counters(rdo::obs::Recorder& rec, const DeployStats& s);
 
 /// Result of running one scheme over several programming cycles.
 struct SchemeResult {

@@ -43,6 +43,7 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
     try {
       if (rdo::rram::RLut::load(path, fp, cached)) {
         span.arg("cache_hit", std::int64_t{1});
+        ++stats.lut_cache_hits;
         return cached;
       }
     } catch (const std::exception& e) {
@@ -54,9 +55,13 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
   rdo::rram::RLut lut = rdo::rram::RLut::build(prog, opt.lut_k_sets,
                                                opt.lut_j_cycles, lut_rng);
   if (!path.empty()) {
+    // A stale or corrupt entry lands here too and gets overwritten by
+    // the rebuilt table (atomically), healing the cache in place.
+    ++stats.lut_cache_misses;
     try {
       lut.save(path, fp);
     } catch (const std::exception& e) {
+      ++stats.lut_cache_save_failures;
       std::fprintf(stderr, "[deploy] cannot cache LUT to %s: %s\n",
                    path.c_str(), e.what());
     }
@@ -117,12 +122,13 @@ std::int64_t DeploymentPlan::total_offset_registers() const {
   return n;
 }
 
-DeploymentPlan compile_plan(const rdo::nn::Layer& net,
-                            const DeployOptions& opt,
-                            const rdo::nn::DataView& train) {
-  // DeployOptions crosses the API boundary (CLI flags, bench configs):
-  // reject hostile offset geometry before anything derives ranges from it.
-  opt.offsets.validate();
+namespace {
+
+/// The actual compile stage (cache-oblivious); compile_plan wraps it
+/// with the optional RDO_PLAN_CACHE_DIR lookup.
+DeploymentPlan compile_plan_uncached(const rdo::nn::Layer& net,
+                                     const DeployOptions& opt,
+                                     const rdo::nn::DataView& train) {
   DeploymentPlan plan(opt);
   plan.lut = make_lut(plan.prog, opt, plan.compile_stats);
 
@@ -210,6 +216,56 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
     for (PlanLayer& pl : plan.layers) {
       pl.assign = plain_layer(pl.lq, opt.offsets.m);
     }
+  }
+  return plan;
+}
+
+}  // namespace
+
+DeploymentPlan compile_plan(const rdo::nn::Layer& net,
+                            const DeployOptions& opt,
+                            const rdo::nn::DataView& train) {
+  // DeployOptions crosses the API boundary (CLI flags, bench configs):
+  // reject hostile offset geometry before anything derives ranges from it.
+  opt.offsets.validate();
+
+  const char* dir = std::getenv("RDO_PLAN_CACHE_DIR");
+  if (dir == nullptr || dir[0] == '\0') {
+    return compile_plan_uncached(net, opt, train);
+  }
+
+  // Opt-in shared plan cache, mirroring the RDO_LUT_CACHE_DIR protocol:
+  // keyed by the full config fingerprint, stale entries recompiled,
+  // corrupt entries recompiled and healed by the atomic re-save.
+  const std::uint64_t fp = plan_fingerprint(net, opt, train);
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(fp));
+  const std::string path = std::string(dir) + "/plan_" + hex + ".bin";
+  {
+    rdo::obs::TraceSpan span("deploy:plan_cache", "deploy");
+    try {
+      if (std::optional<DeploymentPlan> cached =
+              DeploymentPlan::load(path, fp)) {
+        span.arg("cache_hit", std::int64_t{1});
+        cached->compile_stats.plan_cache_hits = 1;
+        return std::move(*cached);
+      }
+    } catch (const PlanError& e) {
+      std::fprintf(stderr, "[deploy] corrupt plan cache entry %s (%s); "
+                   "recompiling\n", path.c_str(), e.what());
+    }
+    span.arg("cache_hit", std::int64_t{0});
+  }
+
+  DeploymentPlan plan = compile_plan_uncached(net, opt, train);
+  plan.compile_stats.plan_cache_misses = 1;
+  try {
+    plan.save(path, fp);
+  } catch (const std::exception& e) {
+    plan.compile_stats.plan_cache_save_failures = 1;
+    std::fprintf(stderr, "[deploy] cannot cache plan to %s: %s\n",
+                 path.c_str(), e.what());
   }
   return plan;
 }

@@ -14,6 +14,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "core/deploy.h"
@@ -26,6 +30,15 @@
 #include "rram/tiler.h"
 
 namespace rdo::core {
+
+/// Raised by DeploymentPlan::load on a corrupt, truncated or oversized
+/// plan file. Derives from std::runtime_error so generic catch sites keep
+/// working; a distinct type so cache-recovery code can tell a damaged
+/// plan from unrelated I/O failures.
+class PlanError : public std::runtime_error {
+ public:
+  explicit PlanError(const std::string& what) : std::runtime_error(what) {}
+};
 
 /// Activation-quantizer calibration captured at compile time (one entry
 /// per ActQuant layer in network traversal order).
@@ -75,12 +88,69 @@ struct DeploymentPlan {
                                              int xbar_cols = 128) const;
   /// Offset registers needed across all layers (Eq. 9 summed).
   [[nodiscard]] std::int64_t total_offset_registers() const;
+
+  // --- serialization (src/core/plan_io.cpp) ---
+  //
+  // A plan file stores everything the compile stage produced — the full
+  // DeployOptions, the embedded RLut (reusing the RLU2 document), every
+  // PlanLayer and the activation calibration — under a "RDP1" header
+  // carrying the caller's config fingerprint (see plan_fingerprint).
+  // compile_stats is wall-clock-only and is NOT serialized: a loaded
+  // plan reports zero compile time, which is exactly what a cache hit
+  // means. Serialization is byte-stable: save(load(save(p))) is
+  // bit-identical to save(p).
+
+  /// Append one complete plan document to `out`. Throws on stream
+  /// failure.
+  void save(std::ostream& out, std::uint64_t fingerprint) const;
+  /// Save to `path` atomically (temp file + rename, pid+counter temp
+  /// suffix — see core/tmpfile.h) so concurrent loaders sharing
+  /// RDO_PLAN_CACHE_DIR only ever observe complete plans. Throws on I/O
+  /// failure.
+  void save(const std::string& path, std::uint64_t fingerprint) const;
+
+  /// Parse one complete save() document from `in` (must be seekable —
+  /// an open binary ifstream or istringstream holding exactly one
+  /// document). Returns nullopt if the stored fingerprint differs from
+  /// `fingerprint` (stale cache — the caller recompiles); throws
+  /// PlanError on corrupt, truncated or oversized input. Every declared
+  /// count is validated against the bytes actually present before it is
+  /// believed, and trailing bytes are rejected. This is the single
+  /// parsing path; the path overload and the fuzz harness both call it.
+  static std::optional<DeploymentPlan> load(std::istream& in,
+                                            std::uint64_t fingerprint,
+                                            const std::string& source);
+  /// Load a plan saved by save(). Returns nullopt if the file does not
+  /// exist or is stale; throws PlanError on a corrupt file.
+  static std::optional<DeploymentPlan> load(const std::string& path,
+                                            std::uint64_t fingerprint);
 };
+
+/// 64-bit FNV-1a fingerprint of everything a cached plan depends on: the
+/// serialization format version, the network (layer structure, shapes and
+/// the bytes of every parameter and buffer), the calibration/gradient
+/// dataset (shape, image bytes and labels) and the full DeployOptions
+/// including its PipelineConfig base (scheme, offsets, cell, variation,
+/// faults, weight bits, PWT knobs, LUT protocol, seed). Two
+/// configurations that would compile different plans never share a
+/// fingerprint (up to hash collisions).
+[[nodiscard]] std::uint64_t plan_fingerprint(const rdo::nn::Layer& net,
+                                             const DeployOptions& opt,
+                                             const rdo::nn::DataView& train);
 
 /// Compile `net` (unchanged; cloned internally) for deployment under
 /// `opt`. `train` feeds activation calibration and, for VAWO schemes, the
 /// mean gradient estimate. Throws std::invalid_argument when the network
 /// has no crossbar-mappable (MatrixOp) layers.
+///
+/// When the RDO_PLAN_CACHE_DIR environment variable names a directory,
+/// compiled plans are cached there under their plan_fingerprint(): a
+/// warm call returns the bit-identical stored plan and skips
+/// lut_build/prepare/vawo_solve entirely (compile_stats reports zero
+/// phase times and plan_cache_hits = 1). A stale or corrupt entry is
+/// recompiled and re-saved over; writes are atomic (temp + rename) so
+/// concurrent compilations sharing a cache directory only ever observe
+/// complete plans.
 DeploymentPlan compile_plan(const rdo::nn::Layer& net,
                             const DeployOptions& opt,
                             const rdo::nn::DataView& train);

@@ -1,0 +1,535 @@
+// DeploymentPlan serialization (save/load/fingerprint) — the on-disk half
+// of the compile-once/execute-many story.
+//
+// Format ("RDP1", version-in-magic like the RLut's "RLU2"):
+//
+//   u32  magic "RDP1"
+//   u64  config fingerprint (plan_fingerprint of the compiling caller)
+//   ...  DeployOptions block (fixed-width fields, see save())
+//   u64  LUT byte count, then one embedded RLut save() document (RLU2)
+//   u32  layer count, then per layer: geometry, LayerQuant, mean
+//        gradients, VawoResult
+//   u32  activation-calibration count, then {bits, max_abs} entries
+//
+// The load path treats the file as untrusted input (it is the payload
+// behind the opt-in RDO_PLAN_CACHE_DIR shared cache): every read is
+// checked against the stream state, every declared count is bounded by
+// the bytes actually remaining before it is believed, enum and range
+// fields are validated before any object is constructed from them, and
+// trailing bytes are rejected. A damaged file raises PlanError — never a
+// partially-initialized plan, an unbounded resize, or a ContractViolation
+// from deeper layers. fuzz/fuzz_plan.cpp hammers exactly this contract.
+//
+// compile_stats is intentionally not serialized: wall times are volatile,
+// and a loaded plan reporting zero compile time is precisely what a cache
+// hit means (the warm-start test asserts it).
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "core/plan.h"
+#include "core/tmpfile.h"
+#include "nn/matrix_op.h"
+#include "quant/act_quant.h"
+
+namespace rdo::core {
+
+namespace {
+
+constexpr std::uint32_t kPlanMagic = 0x52445031;  // "RDP1" (little-endian "1PDR" on disk; a tag, not text)
+
+// Structural ceilings for hostile headers. Far above anything a real
+// network produces, far below anything that could drive a multi-GB
+// resize before the byte budget catches it.
+constexpr std::uint64_t kMaxLayers = 4096;
+constexpr std::uint64_t kMaxLayerElems = std::uint64_t{1} << 28;
+constexpr std::uint64_t kMaxCalib = 4096;
+constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 24;
+
+/// FNV-1a over a byte span (same construction as RLut::fingerprint).
+void fnv1a(const void* data, std::size_t n, std::uint64_t& h) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+}
+
+void fnv1a_u64(std::uint64_t v, std::uint64_t& h) { fnv1a(&v, sizeof(v), h); }
+
+void fnv1a_double(double v, std::uint64_t& h) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  fnv1a_u64(bits, h);
+}
+
+void fnv1a_str(const std::string& s, std::uint64_t& h) {
+  fnv1a_u64(s.size(), h);
+  fnv1a(s.data(), s.size(), h);
+}
+
+void hash_options(const DeployOptions& o, std::uint64_t& h) {
+  fnv1a_u64(static_cast<std::uint64_t>(o.scheme), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.offsets.m), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.offsets.offset_bits), h);
+  fnv1a_u64(o.cell.kind == rdo::rram::CellKind::SLC ? 1u : 2u, h);
+  fnv1a_double(o.cell.on_off_ratio, h);
+  fnv1a_double(o.variation.sigma, h);
+  fnv1a_double(o.variation.ddv_fraction, h);
+  fnv1a_u64(o.variation.scope == rdo::rram::VariationScope::PerWeight ? 1u
+                                                                      : 2u,
+            h);
+  fnv1a_double(o.faults.stuck_hrs_rate, h);
+  fnv1a_double(o.faults.stuck_lrs_rate, h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.weight_bits), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.pwt.epochs), h);
+  fnv1a_double(static_cast<double>(o.pwt.lr), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.pwt.batch_size), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.pwt.max_samples), h);
+  fnv1a_u64(o.pwt.mean_init ? 1u : 0u, h);
+  fnv1a_u64(o.quantize_activations ? 1u : 0u, h);
+  fnv1a_u64(o.penalize_bias ? 1u : 0u, h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.lut_k_sets), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.lut_j_cycles), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.grad_samples), h);
+  fnv1a_u64(static_cast<std::uint64_t>(o.grad_batch), h);
+  fnv1a_u64(o.seed, h);
+}
+
+/// Binary writer with stream-state checking.
+class Writer {
+ public:
+  explicit Writer(std::ostream& out) : out_(out) {}
+
+  void raw(const void* data, std::size_t n) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    if (!out_) {
+      throw std::runtime_error("DeploymentPlan::save: stream write failed");
+    }
+  }
+  template <typename T>
+  void scalar(T v) {
+    raw(&v, sizeof(v));
+  }
+  template <typename T>
+  void array(const std::vector<T>& v) {
+    scalar(static_cast<std::uint64_t>(v.size()));
+    raw(v.data(), v.size() * sizeof(T));
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+/// Binary reader with a byte budget: every read is bounded by the bytes
+/// the stream actually holds, so a hostile count can never drive an
+/// allocation or a read past the document.
+class Reader {
+ public:
+  Reader(std::istream& in, std::uint64_t total, std::string source)
+      : in_(in), remaining_(total), source_(std::move(source)) {}
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw PlanError("DeploymentPlan::load: " + what + " in " + source_);
+  }
+  void require(bool cond, const char* what) const {
+    if (!cond) fail(what);
+  }
+
+  void raw(void* dst, std::size_t n) {
+    if (n > remaining_) fail("truncated file");
+    in_.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (!in_ || in_.gcount() != static_cast<std::streamsize>(n)) {
+      fail("truncated file");
+    }
+    remaining_ -= n;
+  }
+  template <typename T>
+  T scalar() {
+    T v;
+    raw(&v, sizeof(v));
+    return v;
+  }
+  /// Length-prefixed array whose count must satisfy `max_count` and the
+  /// byte budget before anything is allocated.
+  template <typename T>
+  std::vector<T> array(std::uint64_t max_count) {
+    const auto n = scalar<std::uint64_t>();
+    require(n <= max_count, "oversized array count");
+    require(n * sizeof(T) <= remaining_, "array count exceeds file size");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    raw(v.data(), static_cast<std::size_t>(n) * sizeof(T));
+    return v;
+  }
+  double finite_double() {
+    const auto v = scalar<double>();
+    require(std::isfinite(v), "non-finite floating-point field");
+    return v;
+  }
+  float finite_float() {
+    const auto v = scalar<float>();
+    require(std::isfinite(v), "non-finite floating-point field");
+    return v;
+  }
+
+  [[nodiscard]] std::uint64_t remaining() const { return remaining_; }
+  [[nodiscard]] const std::string& source() const { return source_; }
+
+ private:
+  std::istream& in_;
+  std::uint64_t remaining_;
+  std::string source_;
+};
+
+void write_options(Writer& w, const DeployOptions& o) {
+  w.scalar(static_cast<std::uint32_t>(o.scheme));
+  w.scalar(static_cast<std::int32_t>(o.offsets.m));
+  w.scalar(static_cast<std::int32_t>(o.offsets.offset_bits));
+  w.scalar(static_cast<std::uint32_t>(o.cell.kind));
+  w.scalar(o.cell.on_off_ratio);
+  w.scalar(o.variation.sigma);
+  w.scalar(o.variation.ddv_fraction);
+  w.scalar(static_cast<std::uint32_t>(o.variation.scope));
+  w.scalar(o.faults.stuck_hrs_rate);
+  w.scalar(o.faults.stuck_lrs_rate);
+  w.scalar(static_cast<std::int32_t>(o.weight_bits));
+  w.scalar(static_cast<std::int32_t>(o.pwt.epochs));
+  w.scalar(o.pwt.lr);
+  w.scalar(o.pwt.batch_size);
+  w.scalar(o.pwt.max_samples);
+  w.scalar(static_cast<std::uint8_t>(o.pwt.mean_init ? 1 : 0));
+  w.scalar(static_cast<std::uint8_t>(o.quantize_activations ? 1 : 0));
+  w.scalar(static_cast<std::uint8_t>(o.penalize_bias ? 1 : 0));
+  w.scalar(static_cast<std::int32_t>(o.lut_k_sets));
+  w.scalar(static_cast<std::int32_t>(o.lut_j_cycles));
+  w.scalar(o.grad_samples);
+  w.scalar(o.grad_batch);
+  w.scalar(o.seed);
+}
+
+DeployOptions read_options(Reader& r) {
+  DeployOptions o;
+  const auto scheme = r.scalar<std::uint32_t>();
+  r.require(scheme <= static_cast<std::uint32_t>(Scheme::VAWOStarPWT),
+            "unknown scheme");
+  o.scheme = static_cast<Scheme>(scheme);
+  const auto m = r.scalar<std::int32_t>();
+  r.require(m >= 1 && static_cast<std::uint64_t>(m) <= kMaxDim,
+            "offset group size out of range");
+  o.offsets.m = m;
+  const auto obits = r.scalar<std::int32_t>();
+  r.require(obits >= 1 && obits <= 30, "offset register width out of range");
+  o.offsets.offset_bits = obits;
+  const auto kind = r.scalar<std::uint32_t>();
+  r.require(kind <= 1, "unknown cell kind");
+  o.cell.kind = static_cast<rdo::rram::CellKind>(kind);
+  o.cell.on_off_ratio = r.finite_double();
+  r.require(o.cell.on_off_ratio > 1.0, "ON/OFF ratio out of range");
+  o.variation.sigma = r.finite_double();
+  r.require(o.variation.sigma >= 0.0, "negative sigma");
+  o.variation.ddv_fraction = r.finite_double();
+  r.require(o.variation.ddv_fraction >= 0.0 && o.variation.ddv_fraction <= 1.0,
+            "DDV fraction out of range");
+  const auto scope = r.scalar<std::uint32_t>();
+  r.require(scope <= 1, "unknown variation scope");
+  o.variation.scope = static_cast<rdo::rram::VariationScope>(scope);
+  o.faults.stuck_hrs_rate = r.finite_double();
+  o.faults.stuck_lrs_rate = r.finite_double();
+  r.require(o.faults.stuck_hrs_rate >= 0.0 && o.faults.stuck_hrs_rate <= 1.0 &&
+                o.faults.stuck_lrs_rate >= 0.0 &&
+                o.faults.stuck_lrs_rate <= 1.0,
+            "fault rate out of range");
+  const auto wbits = r.scalar<std::int32_t>();
+  r.require(wbits >= 1 && wbits <= 16, "weight bits out of range");
+  r.require(wbits % o.cell.bits() == 0,
+            "weight bits not divisible into cells");
+  o.weight_bits = wbits;
+  o.pwt.epochs = r.scalar<std::int32_t>();
+  r.require(o.pwt.epochs >= 0, "negative PWT epoch count");
+  o.pwt.lr = r.finite_float();
+  o.pwt.batch_size = r.scalar<std::int64_t>();
+  o.pwt.max_samples = r.scalar<std::int64_t>();
+  r.require(o.pwt.batch_size >= 1 && o.pwt.max_samples >= 0,
+            "PWT batch geometry out of range");
+  o.pwt.mean_init = r.scalar<std::uint8_t>() != 0;
+  o.quantize_activations = r.scalar<std::uint8_t>() != 0;
+  o.penalize_bias = r.scalar<std::uint8_t>() != 0;
+  o.lut_k_sets = r.scalar<std::int32_t>();
+  o.lut_j_cycles = r.scalar<std::int32_t>();
+  r.require(o.lut_k_sets >= 1 &&
+                static_cast<std::uint64_t>(o.lut_k_sets) <= kMaxDim &&
+                o.lut_j_cycles >= 1 &&
+                static_cast<std::uint64_t>(o.lut_j_cycles) <= kMaxDim,
+            "LUT protocol out of range");
+  o.grad_samples = r.scalar<std::int64_t>();
+  o.grad_batch = r.scalar<std::int64_t>();
+  r.require(o.grad_samples >= 0 && o.grad_batch >= 1,
+            "gradient budget out of range");
+  o.seed = r.scalar<std::uint64_t>();
+  return o;
+}
+
+}  // namespace
+
+void DeploymentPlan::save(std::ostream& out,
+                          std::uint64_t fingerprint) const {
+  Writer w(out);
+  w.scalar(kPlanMagic);
+  w.scalar(fingerprint);
+  write_options(w, opt);
+
+  // Embed the LUT as one length-prefixed RLU2 document so the hardened
+  // RLut loader parses it back (single parsing path for LUT bytes).
+  std::ostringstream lut_bytes(std::ios::binary);
+  lut.save(lut_bytes, rdo::rram::RLut::fingerprint(prog, opt.lut_k_sets,
+                                                   opt.lut_j_cycles,
+                                                   opt.seed));
+  const std::string blob = lut_bytes.str();
+  w.scalar(static_cast<std::uint64_t>(blob.size()));
+  w.raw(blob.data(), blob.size());
+
+  w.scalar(static_cast<std::uint32_t>(layers.size()));
+  for (const PlanLayer& pl : layers) {
+    w.scalar(pl.fan_in);
+    w.scalar(pl.fan_out);
+    w.scalar(static_cast<std::int32_t>(pl.lq.bits));
+    w.scalar(pl.lq.scale);
+    w.scalar(static_cast<std::int32_t>(pl.lq.zero));
+    w.scalar(pl.lq.rows);
+    w.scalar(pl.lq.cols);
+    w.array(pl.lq.q);
+    w.array(pl.mean_grads);
+    w.array(pl.assign.ctw);
+    w.array(pl.assign.offsets);
+    w.array(pl.assign.complemented);
+    w.scalar(pl.assign.groups_per_col);
+    w.scalar(pl.assign.total_objective);
+  }
+
+  w.scalar(static_cast<std::uint32_t>(act_calib.size()));
+  for (const ActCalibration& ac : act_calib) {
+    w.scalar(static_cast<std::int32_t>(ac.bits));
+    w.scalar(ac.max_abs);
+  }
+}
+
+void DeploymentPlan::save(const std::string& path,
+                          std::uint64_t fingerprint) const {
+  const std::string tmp = path + unique_tmp_suffix();
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      throw std::runtime_error("DeploymentPlan::save: cannot open " + tmp);
+    }
+    save(f, fingerprint);
+    if (!f) {
+      throw std::runtime_error("DeploymentPlan::save: write failed for " +
+                               tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    throw std::runtime_error("DeploymentPlan::save: cannot rename into " +
+                             path);
+  }
+}
+
+std::optional<DeploymentPlan> DeploymentPlan::load(std::istream& in,
+                                                   std::uint64_t fingerprint,
+                                                   const std::string& source) {
+  // Byte budget: bound every declared count by what the stream holds.
+  const std::istream::pos_type pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (pos == std::istream::pos_type(-1) || end == std::istream::pos_type(-1) ||
+      !in || end < pos) {
+    throw PlanError("DeploymentPlan::load: unseekable stream " + source);
+  }
+  Reader r(in, static_cast<std::uint64_t>(end - pos), source);
+
+  if (r.scalar<std::uint32_t>() != kPlanMagic) r.fail("bad magic");
+  const auto stored_fp = r.scalar<std::uint64_t>();
+  if (stored_fp != fingerprint) {
+    // Stale cache: compiled for another configuration (or a format/seed
+    // change). Not corruption — the caller recompiles and overwrites.
+    return std::nullopt;
+  }
+
+  const DeployOptions opt = read_options(r);
+  DeploymentPlan plan(opt);
+
+  // Embedded LUT: extract the length-prefixed blob and feed it to the
+  // hardened RLut loader, which re-checks its own header, payload size
+  // and fingerprint over exactly this span.
+  const auto lut_blob = r.array<char>(r.remaining());
+  {
+    std::istringstream lut_in(std::string(lut_blob.data(), lut_blob.size()),
+                              std::ios::binary);
+    const std::uint64_t lut_fp = rdo::rram::RLut::fingerprint(
+        plan.prog, opt.lut_k_sets, opt.lut_j_cycles, opt.seed);
+    try {
+      if (!rdo::rram::RLut::load(lut_in, lut_fp, plan.lut,
+                                 source + " (embedded LUT)")) {
+        r.fail("embedded LUT fingerprint mismatch");
+      }
+    } catch (const rdo::rram::LutError& e) {
+      throw PlanError(std::string("DeploymentPlan::load: ") + e.what());
+    }
+  }
+  r.require(plan.lut.max_weight() == plan.prog.max_weight(),
+            "embedded LUT size does not match weight bits");
+
+  const auto n_layers = r.scalar<std::uint32_t>();
+  r.require(n_layers >= 1 && n_layers <= kMaxLayers,
+            "layer count out of range");
+  plan.layers.resize(n_layers);
+  const int levels = (1 << opt.weight_bits) - 1;
+  for (std::uint32_t li = 0; li < n_layers; ++li) {
+    PlanLayer& pl = plan.layers[li];
+    pl.fan_in = r.scalar<std::int64_t>();
+    pl.fan_out = r.scalar<std::int64_t>();
+    r.require(pl.fan_in >= 1 &&
+                  static_cast<std::uint64_t>(pl.fan_in) <= kMaxDim &&
+                  pl.fan_out >= 1 &&
+                  static_cast<std::uint64_t>(pl.fan_out) <= kMaxDim,
+              "layer fan geometry out of range");
+    const auto bits = r.scalar<std::int32_t>();
+    r.require(bits == opt.weight_bits, "layer bit width mismatch");
+    pl.lq.bits = bits;
+    pl.lq.scale = r.finite_float();
+    pl.lq.zero = r.scalar<std::int32_t>();
+    pl.lq.rows = r.scalar<std::int64_t>();
+    pl.lq.cols = r.scalar<std::int64_t>();
+    r.require(pl.lq.rows >= 1 &&
+                  static_cast<std::uint64_t>(pl.lq.rows) <= kMaxDim &&
+                  pl.lq.cols >= 1 &&
+                  static_cast<std::uint64_t>(pl.lq.cols) <= kMaxDim,
+              "layer matrix shape out of range");
+    const std::uint64_t elems = static_cast<std::uint64_t>(pl.lq.rows) *
+                                static_cast<std::uint64_t>(pl.lq.cols);
+    r.require(elems <= kMaxLayerElems, "layer element count out of range");
+
+    pl.lq.q = r.array<int>(elems);
+    r.require(pl.lq.q.size() == elems, "NTW count mismatch");
+    for (int v : pl.lq.q) {
+      r.require(v >= 0 && v <= levels, "NTW value out of range");
+    }
+    pl.mean_grads = r.array<double>(elems);
+    r.require(pl.mean_grads.empty() || pl.mean_grads.size() == elems,
+              "gradient count mismatch");
+    for (double g : pl.mean_grads) {
+      r.require(std::isfinite(g), "non-finite gradient");
+    }
+    pl.assign.ctw = r.array<int>(elems);
+    r.require(pl.assign.ctw.size() == elems, "CTW count mismatch");
+    for (int v : pl.assign.ctw) {
+      r.require(v >= 0 && v <= levels, "CTW value out of range");
+    }
+    const std::uint64_t groups =
+        static_cast<std::uint64_t>(groups_per_column(pl.lq.rows,
+                                                     opt.offsets.m)) *
+        static_cast<std::uint64_t>(pl.lq.cols);
+    pl.assign.offsets = r.array<float>(groups);
+    r.require(pl.assign.offsets.size() == groups, "offset count mismatch");
+    for (float b : pl.assign.offsets) {
+      r.require(std::isfinite(b), "non-finite offset");
+    }
+    pl.assign.complemented = r.array<std::uint8_t>(groups);
+    r.require(pl.assign.complemented.size() == groups,
+              "complement-flag count mismatch");
+    for (std::uint8_t c : pl.assign.complemented) {
+      r.require(c <= 1, "complement flag out of range");
+    }
+    pl.assign.groups_per_col = r.scalar<std::int64_t>();
+    r.require(pl.assign.groups_per_col ==
+                  groups_per_column(pl.lq.rows, opt.offsets.m),
+              "group count does not match geometry");
+    pl.assign.total_objective = r.finite_double();
+  }
+
+  const auto n_calib = r.scalar<std::uint32_t>();
+  r.require(n_calib <= kMaxCalib, "calibration count out of range");
+  plan.act_calib.resize(n_calib);
+  for (std::uint32_t i = 0; i < n_calib; ++i) {
+    const auto bits = r.scalar<std::int32_t>();
+    r.require(bits >= 1 && bits <= 16, "calibration bits out of range");
+    plan.act_calib[i].bits = bits;
+    plan.act_calib[i].max_abs = r.finite_float();
+    r.require(plan.act_calib[i].max_abs >= 0.0f,
+              "negative calibration range");
+  }
+
+  r.require(r.remaining() == 0, "trailing bytes");
+  return plan;
+}
+
+std::optional<DeploymentPlan> DeploymentPlan::load(const std::string& path,
+                                                   std::uint64_t fingerprint) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return std::nullopt;
+  return load(f, fingerprint, path);
+}
+
+std::uint64_t plan_fingerprint(const rdo::nn::Layer& net,
+                               const DeployOptions& opt,
+                               const rdo::nn::DataView& train) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  fnv1a_u64(kPlanMagic, h);  // format bumps invalidate every cached plan
+  hash_options(opt, h);
+
+  // Network: structure (layer names + crossbar shapes in traversal
+  // order) and content (every parameter and buffer byte). params() and
+  // buffers() are non-const in the Layer interface but only read here.
+  auto& mut = const_cast<rdo::nn::Layer&>(net);
+  std::vector<rdo::nn::Layer*> all;
+  rdo::nn::collect_layers(&mut, all);
+  fnv1a_u64(all.size(), h);
+  for (rdo::nn::Layer* l : all) {
+    fnv1a_str(l->name(), h);
+    if (const auto* op = dynamic_cast<const rdo::nn::MatrixOp*>(l)) {
+      fnv1a_u64(static_cast<std::uint64_t>(op->fan_in()), h);
+      fnv1a_u64(static_cast<std::uint64_t>(op->fan_out()), h);
+    }
+    if (const auto* aq = dynamic_cast<const rdo::quant::ActQuant*>(l)) {
+      fnv1a_u64(static_cast<std::uint64_t>(aq->bits()), h);
+    }
+  }
+  for (rdo::nn::Param* p : mut.params()) {
+    fnv1a_u64(static_cast<std::uint64_t>(p->value.size()), h);
+    fnv1a(p->value.data(),
+          static_cast<std::size_t>(p->value.size()) * sizeof(float), h);
+  }
+  for (rdo::nn::Tensor* b : mut.buffers()) {
+    fnv1a_u64(static_cast<std::uint64_t>(b->size()), h);
+    fnv1a(b->data(), static_cast<std::size_t>(b->size()) * sizeof(float), h);
+  }
+
+  // Calibration/gradient dataset: activation calibration and the VAWO
+  // mean-gradient estimate both read it, so two different datasets must
+  // never share a plan.
+  fnv1a_u64(static_cast<std::uint64_t>(train.images->size()), h);
+  for (std::int64_t d : train.images->shape()) {
+    fnv1a_u64(static_cast<std::uint64_t>(d), h);
+  }
+  fnv1a(train.images->data(),
+        static_cast<std::size_t>(train.images->size()) * sizeof(float), h);
+  fnv1a_u64(train.labels->size(), h);
+  fnv1a(train.labels->data(), train.labels->size() * sizeof(int), h);
+  return h;
+}
+
+}  // namespace rdo::core

@@ -1,0 +1,33 @@
+// Unique temp-file suffixes for atomic write-then-rename cache writers.
+//
+// Every on-disk cache in this repo (RLut under RDO_LUT_CACHE_DIR,
+// DeploymentPlan under RDO_PLAN_CACHE_DIR) publishes entries by writing a
+// temp file next to the target and renaming it into place, so concurrent
+// readers only ever observe complete documents. That only holds if the
+// temp names themselves never collide: two *processes* sharing a cache
+// directory can allocate an object at the same address, so an
+// address-derived suffix (the original scheme) can interleave two writers
+// into one temp file and rename a torn document into place. pid plus a
+// process-wide atomic counter is unique across processes and across
+// threads within a process.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include <unistd.h>
+
+namespace rdo::core {
+
+/// A suffix of the form ".tmp.<pid>.<n>" that no concurrent writer — in
+/// this process or any other sharing the directory — will pick for the
+/// same target path.
+inline std::string unique_tmp_suffix() {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t n = counter.fetch_add(1, std::memory_order_relaxed);
+  return ".tmp." + std::to_string(static_cast<long long>(::getpid())) + "." +
+         std::to_string(n);
+}
+
+}  // namespace rdo::core

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <stdexcept>
 #include <system_error>
 
 #include "nn/parallel.h"
@@ -68,7 +69,14 @@ std::string BenchReport::write() const {
     if (d[0] != '\0') {
       dir = d;
       std::error_code ec;
-      std::filesystem::create_directories(dir, ec);  // write_to reports errors
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        // Surface the real failure here: swallowing it used to turn a
+        // bogus RDO_BENCH_DIR into a confusing downstream open error.
+        throw std::runtime_error("BenchReport::write: cannot create "
+                                 "RDO_BENCH_DIR \"" + dir + "\": " +
+                                 ec.message());
+      }
     }
   }
   const std::string path = dir + "/BENCH_" + name_ + ".json";

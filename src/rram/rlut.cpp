@@ -7,8 +7,11 @@
 #include <filesystem>
 #include <fstream>
 #include <istream>
+#include <ostream>
 #include <stdexcept>
 #include <system_error>
+
+#include "core/tmpfile.h"
 
 namespace rdo::rram {
 
@@ -118,22 +121,29 @@ std::uint64_t RLut::fingerprint(const WeightProgrammer& prog, int k_sets,
   return h;
 }
 
+void RLut::save(std::ostream& out, std::uint64_t fingerprint) const {
+  const std::uint64_t n = mean_.size();
+  out.write(reinterpret_cast<const char*>(&kLutMagic), sizeof(kLutMagic));
+  out.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
+  out.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  out.write(reinterpret_cast<const char*>(mean_.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+  out.write(reinterpret_cast<const char*>(var_.data()),
+            static_cast<std::streamsize>(n * sizeof(double)));
+  if (!out) throw std::runtime_error("RLut::save: stream write failed");
+}
+
 void RLut::save(const std::string& path, std::uint64_t fingerprint) const {
   // Write-then-rename: concurrent loaders (parallel Monte-Carlo trials
-  // sharing RDO_LUT_CACHE_DIR) only ever see complete tables.
-  const std::string tmp =
-      path + ".tmp." + std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  // sharing RDO_LUT_CACHE_DIR) only ever see complete tables. The temp
+  // suffix is unique across processes too (see core/tmpfile.h) so
+  // concurrent savers sharing a cache directory never interleave writes
+  // into one temp file.
+  const std::string tmp = path + rdo::core::unique_tmp_suffix();
   {
     std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
     if (!f) throw std::runtime_error("RLut::save: cannot open " + tmp);
-    const std::uint64_t n = mean_.size();
-    f.write(reinterpret_cast<const char*>(&kLutMagic), sizeof(kLutMagic));
-    f.write(reinterpret_cast<const char*>(&fingerprint), sizeof(fingerprint));
-    f.write(reinterpret_cast<const char*>(&n), sizeof(n));
-    f.write(reinterpret_cast<const char*>(mean_.data()),
-            static_cast<std::streamsize>(n * sizeof(double)));
-    f.write(reinterpret_cast<const char*>(var_.data()),
-            static_cast<std::streamsize>(n * sizeof(double)));
+    save(f, fingerprint);
     if (!f) throw std::runtime_error("RLut::save: write failed for " + tmp);
   }
   std::error_code ec;

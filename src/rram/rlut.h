@@ -72,9 +72,15 @@ class RLut {
 
   /// Persist the table together with its config fingerprint (device
   /// characterization is expensive on real hardware; cache it). Writes
-  /// atomically via a temp file + rename so a concurrent load never
-  /// observes a half-written table. Throws on I/O failure.
+  /// atomically via a temp file + rename — with a pid+counter temp
+  /// suffix that is unique across concurrent saver *processes* too — so
+  /// a concurrent load never observes a half-written or interleaved
+  /// table. Throws on I/O failure.
   void save(const std::string& path, std::uint64_t fingerprint) const;
+  /// Stream form of the writer: append one complete save() document to
+  /// `out` (used to embed tables inside DeploymentPlan files). Throws on
+  /// stream failure.
+  void save(std::ostream& out, std::uint64_t fingerprint) const;
   /// Load a table saved by save(). Returns false if the file does not
   /// exist, or if its stored fingerprint differs from `fingerprint`
   /// (stale cache for another device configuration — the caller

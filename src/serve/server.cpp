@@ -1,0 +1,297 @@
+#include "serve/server.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/stopwatch.h"
+#include "obs/trace.h"
+
+namespace rdo::serve {
+
+using rdo::obs::Json;
+
+bool AdmissionGate::enter() {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (active_ < max_active_) {
+    ++active_;
+    return true;
+  }
+  if (queued_ >= max_queued_) return false;  // shed
+  ++queued_;
+  cv_.wait(lk, [&] { return active_ < max_active_; });
+  --queued_;
+  ++active_;
+  return true;
+}
+
+void AdmissionGate::leave() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    --active_;
+  }
+  cv_.notify_one();
+}
+
+int AdmissionGate::active() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return active_;
+}
+
+int AdmissionGate::queued() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queued_;
+}
+
+InferenceService::InferenceService(const rdo::nn::Layer& net,
+                                   rdo::nn::DataView train,
+                                   rdo::nn::DataView test,
+                                   rdo::core::DeployOptions base,
+                                   ServeConfig cfg, rdo::obs::Recorder* rec)
+    : net_(net.clone()),
+      train_(train),
+      test_(test),
+      base_(base),
+      cfg_(cfg),
+      rec_(rec),
+      gate_(cfg.max_active, cfg.max_queued) {}
+
+void InferenceService::incr(const char* name,
+                            std::int64_t ServeCounters::* field) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    counters_.*field += 1;
+  }
+  if (rec_ != nullptr) rec_->incr(name);
+}
+
+ServeCounters InferenceService::counters() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counters_;
+}
+
+std::size_t InferenceService::cached_plans() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return lru_.size();
+}
+
+std::shared_ptr<InferenceService::PlanEntry> InferenceService::get_plan(
+    const rdo::core::DeployOptions& opt, bool& lru_hit) {
+  const std::uint64_t fp = rdo::core::plan_fingerprint(*net_, opt, train_);
+  const auto find_hot = [&]() -> std::shared_ptr<PlanEntry> {
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+      if ((*it)->fp == fp) {
+        lru_.splice(lru_.begin(), lru_, it);  // touch
+        return lru_.front();
+      }
+    }
+    return nullptr;
+  };
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto hot = find_hot()) {
+      ++counters_.plan_hits;
+      lru_hit = true;
+      if (rec_ != nullptr) rec_->incr("serve_plan_hits");
+      return hot;
+    }
+  }
+
+  // Serialize compilation so a burst of identical cold requests compiles
+  // once instead of N times; re-check the LRU after winning the lock.
+  std::lock_guard<std::mutex> compile_lk(compile_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (auto hot = find_hot()) {
+      ++counters_.plan_hits;
+      lru_hit = true;
+      if (rec_ != nullptr) rec_->incr("serve_plan_hits");
+      return hot;
+    }
+  }
+  lru_hit = false;
+  auto entry =
+      std::make_shared<PlanEntry>(rdo::core::compile_plan(*net_, opt, train_));
+  entry->fp = fp;
+  entry->from_disk_cache = entry->plan.compile_stats.plan_cache_hits > 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++counters_.plan_misses;
+    lru_.push_front(entry);
+    while (lru_.size() > cfg_.max_plans) {
+      // In-flight requests keep their shared_ptr; the plan dies when the
+      // last one finishes.
+      lru_.pop_back();
+      ++counters_.plan_evictions;
+    }
+  }
+  if (rec_ != nullptr) rec_->incr("serve_plan_misses");
+  return entry;
+}
+
+Json InferenceService::evaluate(const ServeRequest& req) {
+  AdmissionTicket ticket(gate_);
+  if (!ticket.admitted()) {
+    throw ProtocolError(ErrorCode::Overloaded,
+                        "active and queued request limits reached");
+  }
+
+  // Resolve the requested samples into a self-contained batch.
+  rdo::nn::Tensor images;
+  std::vector<int> labels;
+  if (req.data.is_inline()) {
+    if (req.data.inline_images.dim(0) > cfg_.max_request_samples) {
+      throw ProtocolError(ErrorCode::BadRequest,
+                          "inline batch exceeds max_request_samples");
+    }
+    images = req.data.inline_images;
+    labels = req.data.inline_labels;
+  } else {
+    const rdo::nn::DataView& src =
+        req.data.split == "train" ? train_ : test_;
+    const std::int64_t total = src.size();
+    if (req.data.offset > total) {
+      throw ProtocolError(ErrorCode::BadRequest, "offset beyond dataset");
+    }
+    const std::int64_t count = req.data.count == 0
+                                   ? total - req.data.offset
+                                   : req.data.count;
+    if (count < 1 || req.data.offset + count > total) {
+      throw ProtocolError(ErrorCode::BadRequest,
+                          "offset/count outside dataset");
+    }
+    if (count > cfg_.max_request_samples) {
+      throw ProtocolError(ErrorCode::BadRequest,
+                          "count exceeds max_request_samples");
+    }
+    std::vector<std::int64_t> idx;
+    idx.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      idx.push_back(req.data.offset + i);
+    }
+    images = rdo::nn::gather_batch(*src.images, idx);
+    labels.assign(src.labels->begin() + req.data.offset,
+                  src.labels->begin() + req.data.offset + count);
+  }
+  const rdo::nn::DataView view{&images, &labels};
+
+  bool lru_hit = false;
+  std::shared_ptr<PlanEntry> entry = get_plan(req.options, lru_hit);
+
+  // Check out a programmed backend for this cycle, or build one.
+  std::unique_ptr<rdo::core::EffectiveWeightBackend> backend;
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    auto& idle = entry->pools[req.cycle];
+    if (!idle.empty()) {
+      backend = std::move(idle.back());
+      idle.pop_back();
+    }
+  }
+  if (backend != nullptr) {
+    incr("serve_backend_reuses", &ServeCounters::backend_reuses);
+  } else {
+    incr("serve_backend_creates", &ServeCounters::backend_creates);
+    rdo::obs::TraceSpan span("serve:backend_create", "serve");
+    backend = std::make_unique<rdo::core::EffectiveWeightBackend>(entry->plan,
+                                                                  *net_);
+    backend->program_cycle(req.cycle);
+    backend->tune(train_);
+  }
+
+  const float acc = backend->evaluate(view, req.batch);
+
+  {
+    std::lock_guard<std::mutex> lk(entry->mu);
+    auto& idle = entry->pools[req.cycle];
+    if (idle.size() < cfg_.max_backends_per_plan) {
+      idle.push_back(std::move(backend));
+    }
+    // else: drop it — the pool is full.
+  }
+
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(entry->fp));
+  Json r = Json::object();
+  r["accuracy"] = static_cast<double>(acc);
+  r["samples"] = images.dim(0);
+  r["cycle"] = static_cast<std::int64_t>(req.cycle);
+  r["plan_fingerprint"] = std::string(hex);
+  r["cached_plan"] = lru_hit;
+  r["plan_from_disk_cache"] = entry->from_disk_cache;
+  r["backend"] = "effective-weight";
+  return r;
+}
+
+std::string InferenceService::handle_line(const std::string& line) {
+  rdo::obs::Stopwatch watch;
+  rdo::obs::TraceSpan span("serve:request", "serve");
+  incr("serve_requests", &ServeCounters::requests);
+  Json id;
+  std::string out;
+  try {
+    Json doc;
+    try {
+      doc = Json::parse(line);
+    } catch (const std::exception& e) {
+      throw ProtocolError(ErrorCode::BadRequest,
+                          std::string("malformed JSON: ") + e.what());
+    }
+    ServeRequest req = parse_request(doc, base_);
+    id = req.id;
+    switch (req.op) {
+      case Op::Ping: {
+        Json r = Json::object();
+        r["pong"] = true;
+        out = ok_response(id, std::move(r));
+        break;
+      }
+      case Op::Stats: {
+        const ServeCounters c = counters();
+        Json r = Json::object();
+        r["requests"] = c.requests;
+        r["ok"] = c.ok;
+        r["bad_request"] = c.bad_request;
+        r["overloaded"] = c.overloaded;
+        r["internal"] = c.internal;
+        r["plan_hits"] = c.plan_hits;
+        r["plan_misses"] = c.plan_misses;
+        r["plan_evictions"] = c.plan_evictions;
+        r["backend_creates"] = c.backend_creates;
+        r["backend_reuses"] = c.backend_reuses;
+        r["cached_plans"] = static_cast<std::int64_t>(cached_plans());
+        r["active"] = gate_.active();
+        r["queued"] = gate_.queued();
+        out = ok_response(id, std::move(r));
+        break;
+      }
+      case Op::Evaluate: {
+        out = ok_response(id, evaluate(req));
+        break;
+      }
+    }
+    incr("serve_ok", &ServeCounters::ok);
+  } catch (const ProtocolError& e) {
+    span.arg("error", to_string(e.code));
+    switch (e.code) {
+      case ErrorCode::BadRequest:
+        incr("serve_bad_request", &ServeCounters::bad_request);
+        break;
+      case ErrorCode::Overloaded:
+        incr("serve_overloaded", &ServeCounters::overloaded);
+        break;
+      case ErrorCode::Internal:
+        incr("serve_internal", &ServeCounters::internal);
+        break;
+    }
+    out = error_response(id, e.code, e.what());
+  } catch (const std::exception& e) {
+    span.arg("error", "internal");
+    incr("serve_internal", &ServeCounters::internal);
+    out = error_response(id, ErrorCode::Internal, e.what());
+  }
+  if (rec_ != nullptr) rec_->observe("serve_request_seconds", watch.seconds());
+  return out;
+}
+
+}  // namespace rdo::serve

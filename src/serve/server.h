@@ -1,0 +1,171 @@
+// Deployment-as-a-service: a long-running inference service over the
+// compile-once/execute-many pipeline.
+//
+// An InferenceService owns one trained network plus its registered
+// train/test datasets and answers line-protocol requests
+// (serve/protocol.h). Per request config it compiles (or re-uses) a
+// DeploymentPlan and evaluates on a pooled ExecutionBackend:
+//
+//   request config -> plan_fingerprint -> LRU of hot plans
+//                  -> per-(plan, cycle) pool of programmed backends
+//                  -> evaluate() -> response line
+//
+// Plans are immutable pure data, so one cached plan serves any number of
+// concurrent backends; backends own all mutable state, so checking one
+// out gives a request exclusive use with no further locking. Plan
+// compilation additionally consults the on-disk RDO_PLAN_CACHE_DIR /
+// RDO_LUT_CACHE_DIR caches (core/plan.h), which is what makes a cold
+// server start cheap on a warmed cache.
+//
+// Admission control is a bounded active-set plus a bounded FIFO wait
+// queue; beyond that requests are shed with a typed "overloaded" error
+// instead of queueing without bound. Per-request latency lands in the
+// Recorder's log2-microsecond histograms and, under RDO_TRACE, as
+// "serve:request" spans.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/backend.h"
+#include "core/deploy.h"
+#include "core/plan.h"
+#include "nn/layer.h"
+#include "nn/trainer.h"
+#include "obs/recorder.h"
+#include "serve/protocol.h"
+
+namespace rdo::serve {
+
+struct ServeConfig {
+  std::size_t max_plans = 4;             ///< LRU capacity (hot plans)
+  std::size_t max_backends_per_plan = 2; ///< idle pool cap per (plan, cycle)
+  int max_active = 4;                    ///< requests evaluating at once
+  int max_queued = 16;                   ///< requests waiting for a slot
+  std::int64_t max_request_samples = 1 << 16;  ///< eval budget per request
+};
+
+/// Service-level counters (monotonic; snapshot via counters()).
+struct ServeCounters {
+  std::int64_t requests = 0;
+  std::int64_t ok = 0;
+  std::int64_t bad_request = 0;
+  std::int64_t overloaded = 0;
+  std::int64_t internal = 0;
+  std::int64_t plan_hits = 0;
+  std::int64_t plan_misses = 0;
+  std::int64_t plan_evictions = 0;
+  std::int64_t backend_creates = 0;
+  std::int64_t backend_reuses = 0;
+};
+
+/// Bounded admission: at most `max_active` holders at once, at most
+/// `max_queued` waiters behind them; anything beyond is shed.
+class AdmissionGate {
+ public:
+  AdmissionGate(int max_active, int max_queued)
+      : max_active_(max_active), max_queued_(max_queued) {}
+
+  /// Take a slot, waiting in the bounded queue if necessary. Returns
+  /// false (without blocking) when both the active set and the queue are
+  /// full — the caller sheds the request.
+  bool enter();
+  void leave();
+
+  [[nodiscard]] int active() const;
+  [[nodiscard]] int queued() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int max_active_;
+  int max_queued_;
+  int active_ = 0;
+  int queued_ = 0;
+};
+
+/// RAII admission slot. `admitted()` is false when the gate shed the
+/// request; destruction releases the slot exactly once.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionGate& gate)
+      : gate_(gate), admitted_(gate.enter()) {}
+  ~AdmissionTicket() {
+    if (admitted_) gate_.leave();
+  }
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  [[nodiscard]] bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionGate& gate_;
+  bool admitted_;
+};
+
+class InferenceService {
+ public:
+  /// `net` is cloned; `train`/`test` must outlive the service (train
+  /// feeds plan compilation and PWT, test/train serve "split" selectors).
+  /// `rec` (optional) receives the serve_* counters and the
+  /// serve_request_seconds latency histogram.
+  InferenceService(const rdo::nn::Layer& net, rdo::nn::DataView train,
+                   rdo::nn::DataView test, rdo::core::DeployOptions base,
+                   ServeConfig cfg, rdo::obs::Recorder* rec = nullptr);
+
+  /// Handle one request line, returning one response line (no trailing
+  /// newline). Never throws: every failure becomes a typed error
+  /// response. Safe to call concurrently from transport threads.
+  std::string handle_line(const std::string& line);
+
+  [[nodiscard]] ServeCounters counters() const;
+  [[nodiscard]] const ServeConfig& config() const { return cfg_; }
+  /// Plans currently resident in the LRU (test hook).
+  [[nodiscard]] std::size_t cached_plans() const;
+  /// Admission gate (test hook: tests hold AdmissionTickets directly to
+  /// drive the gate into deterministic overload states).
+  [[nodiscard]] AdmissionGate& gate() { return gate_; }
+
+ private:
+  /// One hot plan plus its pools of programmed backends, keyed by cycle
+  /// salt. shared_ptr-held so a request keeps its plan alive across an
+  /// LRU eviction; `plan` is declared before the pools so backends (which
+  /// reference it) are destroyed first.
+  struct PlanEntry {
+    explicit PlanEntry(rdo::core::DeploymentPlan p) : plan(std::move(p)) {}
+    rdo::core::DeploymentPlan plan;
+    std::uint64_t fp = 0;
+    bool from_disk_cache = false;
+    std::mutex mu;  ///< guards pools
+    std::map<std::uint64_t,
+             std::vector<std::unique_ptr<rdo::core::EffectiveWeightBackend>>>
+        pools;
+  };
+
+  std::shared_ptr<PlanEntry> get_plan(const rdo::core::DeployOptions& opt,
+                                      bool& lru_hit);
+  rdo::obs::Json evaluate(const ServeRequest& req);
+  void incr(const char* name, std::int64_t ServeCounters::* field);
+
+  std::unique_ptr<rdo::nn::Layer> net_;
+  rdo::nn::DataView train_;
+  rdo::nn::DataView test_;
+  rdo::core::DeployOptions base_;
+  ServeConfig cfg_;
+  rdo::obs::Recorder* rec_;
+  AdmissionGate gate_;
+
+  mutable std::mutex mu_;       ///< guards lru_ and counters_
+  std::mutex compile_mu_;       ///< serializes plan compilation
+  /// Most-recently-used first; eviction drops the tail.
+  std::list<std::shared_ptr<PlanEntry>> lru_;
+  ServeCounters counters_;
+};
+
+}  // namespace rdo::serve

@@ -4,7 +4,9 @@
 // byte-identical across RDO_THREADS settings for a fixed seed.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <limits>
 #include <memory>
 #include <stdexcept>
@@ -399,4 +401,34 @@ TEST(BenchReport, HistogramsAreVolatileButValidated) {
   Json bad_entry = rep.document();
   bad_entry["histograms"]["trial_seconds"]["bucket_counts"] = "nope";
   EXPECT_FALSE(rdo::obs::validate_bench_document(bad_entry, &err));
+}
+
+TEST(BenchReport, WriteSurfacesUnusableBenchDirWithPath) {
+  // RDO_BENCH_DIR that cannot be created (a path component is a regular
+  // file): write() must throw with the offending path in the message,
+  // not silently write into the current directory.
+  namespace fs = std::filesystem;
+  const fs::path blocker =
+      fs::temp_directory_path() / "rdo_bench_dir_blocker";
+  { std::ofstream f(blocker); }
+  const std::string dir = (blocker / "sub").string();
+  const char* old = std::getenv("RDO_BENCH_DIR");
+  const std::string saved = old != nullptr ? old : "";
+  ::setenv("RDO_BENCH_DIR", dir.c_str(), 1);
+
+  rdo::obs::BenchReport rep("unit_test_dir_error", 1);
+  try {
+    (void)rep.write();
+    ADD_FAILURE() << "write() succeeded into an uncreatable RDO_BENCH_DIR";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(dir), std::string::npos)
+        << e.what();
+  }
+
+  if (old != nullptr) {
+    ::setenv("RDO_BENCH_DIR", saved.c_str(), 1);
+  } else {
+    ::unsetenv("RDO_BENCH_DIR");
+  }
+  fs::remove(blocker);
 }

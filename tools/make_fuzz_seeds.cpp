@@ -17,11 +17,14 @@
 #include <string>
 #include <vector>
 
+#include "core/plan.h"
 #include "nn/batchnorm.h"
 #include "nn/conv2d.h"
 #include "nn/dense.h"
 #include "nn/sequential.h"
 #include "nn/serialize.h"
+#include "nn/tensor.h"
+#include "nn/trainer.h"
 #include "rram/rlut.h"
 
 namespace {
@@ -119,6 +122,58 @@ void make_rlut_seeds(const fs::path& dir) {
   spit(dir / "lut_stale_fp.bin", stale);
 }
 
+void make_plan_seeds(const fs::path& dir) {
+  fs::create_directories(dir);
+  // Tiny but complete plan: one Dense layer, VAWO* so the gradient and
+  // offset sections are populated, a cheap 2x2 LUT protocol. Must stay
+  // deterministic (fixed seed, fixed data) so regeneration is
+  // byte-identical.
+  rdo::nn::Rng rng(7);
+  rdo::nn::Sequential net;
+  net.emplace<rdo::nn::Dense>(4, 3, rng);
+
+  rdo::nn::Tensor images({8, 4});
+  for (std::int64_t i = 0; i < images.size(); ++i) {
+    images[i] = 0.125f * static_cast<float>(i % 9) - 0.5f;
+  }
+  const std::vector<int> labels = {0, 1, 2, 0, 1, 2, 0, 1};
+  const rdo::nn::DataView train{&images, &labels};
+
+  rdo::core::DeployOptions opt;
+  opt.scheme = rdo::core::Scheme::VAWOStar;
+  opt.weight_bits = 4;
+  opt.offsets.m = 2;
+  opt.offsets.offset_bits = 4;
+  opt.lut_k_sets = 2;
+  opt.lut_j_cycles = 2;
+  opt.grad_samples = 8;
+  opt.seed = 7;
+
+  const rdo::core::DeploymentPlan plan =
+      rdo::core::compile_plan(net, opt, train);
+  const std::uint64_t fp = rdo::core::plan_fingerprint(net, opt, train);
+  plan.save((dir / "valid.bin").string(), fp);
+
+  const std::vector<char> valid = slurp(dir / "valid.bin");
+  corrupt_variants(dir, "plan", valid);
+
+  // Valid plan with a different fingerprint: the stale-cache path
+  // (returns nullopt, no throw).
+  std::vector<char> stale = valid;
+  const std::uint64_t other_fp = fp ^ 0xDEADBEEFull;
+  std::memcpy(stale.data() + 4, &other_fp, sizeof(other_fp));
+  spit(dir / "plan_stale_fp.bin", stale);
+
+  // Embedded-LUT blob length far beyond the file: must be rejected by
+  // the byte budget before any allocation. The length field sits right
+  // after the fixed-width options block (magic 4 + fingerprint 8 +
+  // options 123 bytes — see plan_io.cpp write_options).
+  std::vector<char> huge_lut = valid;
+  const std::uint64_t huge = 1ull << 40;
+  std::memcpy(huge_lut.data() + 135, &huge, sizeof(huge));
+  spit(dir / "plan_huge_lut.bin", huge_lut);
+}
+
 void make_json_seeds(const fs::path& dir) {
   fs::create_directories(dir);
   spit(dir / "scalars.json", std::string("[0, -1, 2.5, 1e-3, true, false, "
@@ -163,6 +218,7 @@ int main(int argc, char** argv) {
   try {
     make_serialize_seeds(root / "fuzz_serialize");
     make_rlut_seeds(root / "fuzz_rlut");
+    make_plan_seeds(root / "fuzz_plan");
     make_json_seeds(root / "fuzz_json");
     make_args_seeds(root / "fuzz_args");
   } catch (const std::exception& e) {
