@@ -8,6 +8,8 @@
 #include <string>
 
 #include "core/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/stopwatch.h"
 #include "obs/trace.h"
 #include "quant/act_quant.h"
@@ -44,11 +46,13 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
       if (rdo::rram::RLut::load(path, fp, cached)) {
         span.arg("cache_hit", std::int64_t{1});
         ++stats.lut_cache_hits;
+        rdo::obs::global_metrics().counter("deploy_lut_cache_hits").add();
         return cached;
       }
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "[deploy] corrupt LUT cache entry %s (%s); "
-                   "rebuilding\n", path.c_str(), e.what());
+      rdo::obs::log_warn("deploy", "corrupt LUT cache entry; rebuilding")
+          .with("path", path)
+          .with("error", e.what());
     }
   }
   span.arg("cache_hit", std::int64_t{0});
@@ -58,12 +62,17 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
     // A stale or corrupt entry lands here too and gets overwritten by
     // the rebuilt table (atomically), healing the cache in place.
     ++stats.lut_cache_misses;
+    rdo::obs::global_metrics().counter("deploy_lut_cache_misses").add();
     try {
       lut.save(path, fp);
     } catch (const std::exception& e) {
       ++stats.lut_cache_save_failures;
-      std::fprintf(stderr, "[deploy] cannot cache LUT to %s: %s\n",
-                   path.c_str(), e.what());
+      rdo::obs::global_metrics()
+          .counter("deploy_lut_cache_save_failures")
+          .add();
+      rdo::obs::log_warn("deploy", "cannot cache LUT")
+          .with("path", path)
+          .with("error", e.what());
     }
   }
   return lut;
@@ -249,23 +258,30 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
               DeploymentPlan::load(path, fp)) {
         span.arg("cache_hit", std::int64_t{1});
         cached->compile_stats.plan_cache_hits = 1;
+        rdo::obs::global_metrics().counter("deploy_plan_cache_hits").add();
         return std::move(*cached);
       }
     } catch (const PlanError& e) {
-      std::fprintf(stderr, "[deploy] corrupt plan cache entry %s (%s); "
-                   "recompiling\n", path.c_str(), e.what());
+      rdo::obs::log_warn("deploy", "corrupt plan cache entry; recompiling")
+          .with("path", path)
+          .with("error", e.what());
     }
     span.arg("cache_hit", std::int64_t{0});
   }
 
   DeploymentPlan plan = compile_plan_uncached(net, opt, train);
   plan.compile_stats.plan_cache_misses = 1;
+  rdo::obs::global_metrics().counter("deploy_plan_cache_misses").add();
   try {
     plan.save(path, fp);
   } catch (const std::exception& e) {
     plan.compile_stats.plan_cache_save_failures = 1;
-    std::fprintf(stderr, "[deploy] cannot cache plan to %s: %s\n",
-                 path.c_str(), e.what());
+    rdo::obs::global_metrics()
+        .counter("deploy_plan_cache_save_failures")
+        .add();
+    rdo::obs::log_warn("deploy", "cannot cache plan")
+        .with("path", path)
+        .with("error", e.what());
   }
   return plan;
 }

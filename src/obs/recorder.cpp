@@ -1,27 +1,16 @@
 #include "obs/recorder.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "obs/metrics.h"
 
 namespace rdo::obs {
 
+// Bucket geometry (index mapping, midpoints, quantile walk) is shared
+// with the live registry — see latency_bucket_index and friends in
+// obs/metrics.h — so Recorder and registry histograms merge losslessly.
+
 namespace {
-
-/// Bucket index for a latency: floor(log2(microseconds)), clamped to
-/// the fixed range. frexp is exact, so the mapping is deterministic
-/// (no transcendental rounding at bucket boundaries).
-int bucket_index(double seconds) {
-  const double us = seconds * 1e6;
-  if (!(us >= 1.0)) return 0;  // sub-microsecond, NaN, negative
-  int exp = 0;
-  std::frexp(us, &exp);  // us = m * 2^exp, m in [0.5, 1)
-  return std::min(exp - 1, kLatencyBuckets - 1);
-}
-
-/// Seconds at the geometric midpoint of bucket i: sqrt(2^i * 2^(i+1)) us.
-double bucket_midpoint_seconds(int i) {
-  return std::exp2(i + 0.5) * 1e-6;
-}
 
 template <typename T>
 T* find_entry(std::vector<std::pair<std::string, T>>& v,
@@ -85,7 +74,32 @@ void Recorder::observe(const std::string& name, double seconds) {
     h->max_seconds = std::max(h->max_seconds, seconds);
   }
   ++h->count;
-  ++h->buckets[bucket_index(seconds)];
+  ++h->buckets[static_cast<std::size_t>(latency_bucket_index(seconds))];
+}
+
+void Recorder::merge_histogram(
+    const std::string& name, std::int64_t count, double min_seconds,
+    double max_seconds,
+    const std::array<std::int64_t, kLatencyBuckets>& bucket_counts) {
+  if (count <= 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram* h = find_entry(histograms_, name);
+  if (h == nullptr) {
+    histograms_.emplace_back(name, Histogram{});
+    h = &histograms_.back().second;
+  }
+  if (h->count == 0) {
+    h->min_seconds = min_seconds;
+    h->max_seconds = max_seconds;
+  } else {
+    h->min_seconds = std::min(h->min_seconds, min_seconds);
+    h->max_seconds = std::max(h->max_seconds, max_seconds);
+  }
+  h->count += count;
+  for (int i = 0; i < kLatencyBuckets; ++i) {
+    h->buckets[static_cast<std::size_t>(i)] +=
+        bucket_counts[static_cast<std::size_t>(i)];
+  }
 }
 
 double Recorder::phase_seconds(const std::string& name) const {
@@ -126,28 +140,6 @@ Json Recorder::gauges_json() const {
   return obj;
 }
 
-namespace {
-
-/// Value at quantile q: walk buckets to the sample of rank ceil(q*n),
-/// report that bucket's geometric midpoint clamped to the observed
-/// range (exact when all samples share a bucket).
-double histogram_quantile(const std::array<std::int64_t, kLatencyBuckets>& b,
-                          std::int64_t count, double q, double min_s,
-                          double max_s) {
-  const auto rank = static_cast<std::int64_t>(
-      std::ceil(q * static_cast<double>(count)));
-  std::int64_t seen = 0;
-  for (int i = 0; i < kLatencyBuckets; ++i) {
-    seen += b[i];
-    if (seen >= rank) {
-      return std::clamp(bucket_midpoint_seconds(i), min_s, max_s);
-    }
-  }
-  return max_s;
-}
-
-}  // namespace
-
 Json Recorder::histograms_json() const {
   std::lock_guard<std::mutex> lock(mu_);
   Json obj = Json::object();
@@ -156,11 +148,11 @@ Json Recorder::histograms_json() const {
     e["count"] = h.count;
     e["min_seconds"] = h.min_seconds;
     e["max_seconds"] = h.max_seconds;
-    e["p50_seconds"] = histogram_quantile(h.buckets, h.count, 0.50,
+    e["p50_seconds"] = latency_histogram_quantile(h.buckets, h.count, 0.50,
                                           h.min_seconds, h.max_seconds);
-    e["p95_seconds"] = histogram_quantile(h.buckets, h.count, 0.95,
+    e["p95_seconds"] = latency_histogram_quantile(h.buckets, h.count, 0.95,
                                           h.min_seconds, h.max_seconds);
-    e["p99_seconds"] = histogram_quantile(h.buckets, h.count, 0.99,
+    e["p99_seconds"] = latency_histogram_quantile(h.buckets, h.count, 0.99,
                                           h.min_seconds, h.max_seconds);
     Json buckets = Json::array();
     for (const std::int64_t c : h.buckets) buckets.push_back(c);

@@ -44,6 +44,15 @@ class Recorder {
   /// the top bucket in the last one; min/max track the raw values.
   void observe(const std::string& name, double seconds);
 
+  /// Merge a pre-bucketed histogram (same fixed geometry) into
+  /// histogram `name`: bucket counts add, min/max widen. Used by
+  /// absorb_metrics (obs/metrics.h) to fold a live registry histogram
+  /// into the report without resampling. A zero-count merge is a no-op.
+  void merge_histogram(const std::string& name, std::int64_t count,
+                       double min_seconds, double max_seconds,
+                       const std::array<std::int64_t, kLatencyBuckets>&
+                           bucket_counts);
+
   [[nodiscard]] double phase_seconds(const std::string& name) const;
   [[nodiscard]] std::int64_t counter(const std::string& name) const;
 

@@ -8,6 +8,7 @@
 
 #include "nn/parallel.h"
 #include "obs/env.h"
+#include "obs/log.h"
 
 namespace rdo::obs {
 
@@ -90,9 +91,9 @@ void BenchReport::write_to(const std::string& path) const {
 
 int BenchReport::exit_code() const {
   if (!any_failure()) return 0;
-  std::fprintf(stderr, "[bench] %zu unit(s) of work failed; see the "
-               "\"failures\" section of BENCH_%s.json\n",
-               failure_count(), name_.c_str());
+  log_error("bench", "units of work failed; see the \"failures\" section")
+      .with("failed", static_cast<std::int64_t>(failure_count()))
+      .with("report", "BENCH_" + name_ + ".json");
   return 1;
 }
 

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <utility>
 #include <vector>
+
+#include "obs/log.h"
 
 namespace rdo::obs {
 
@@ -189,21 +190,41 @@ void trace_start(const std::string& path) {
   g_state.store(2, std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Caller holds s.mu. Serialize the current buffer to s.path.
+std::string write_document_locked(trace_internal::State& s) {
+  const Json doc = trace_internal::build_document_locked(s);
+  try {
+    write_json_file(doc, s.path);
+  } catch (const std::exception& e) {
+    log_error("trace", "cannot write trace file")
+        .with("path", s.path)
+        .with("error", e.what());
+    return "";
+  }
+  return s.path;
+}
+
+}  // namespace
+
 std::string trace_stop() {
   trace_internal::State& s = trace_internal::state();
   std::lock_guard<std::mutex> lock(s.mu);
   if (g_state.load(std::memory_order_relaxed) != 2) return "";
   g_state.store(1, std::memory_order_relaxed);
-  const Json doc = trace_internal::build_document_locked(s);
+  std::string written = write_document_locked(s);
   s.events.clear();
-  try {
-    write_json_file(doc, s.path);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "[trace] cannot write %s: %s\n", s.path.c_str(),
-                 e.what());
-    return "";
-  }
-  return s.path;
+  return written;
+}
+
+std::string trace_flush() {
+  trace_internal::State& s = trace_internal::state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (g_state.load(std::memory_order_relaxed) != 2) return "";
+  // Keep the buffer and stay in the recording state: a later flush or
+  // the final trace_stop() rewrites the file with a superset.
+  return write_document_locked(s);
 }
 
 void trace_bind_thread(int tid, const std::string& name) {

@@ -51,8 +51,16 @@ void trace_start(const std::string& path);
 
 /// Write buffered events to the configured path and stop recording.
 /// Returns the path written, or an empty string when tracing was not
-/// active (or the write failed — diagnosed on stderr). Idempotent.
+/// active (or the write failed — diagnosed via the logger). Idempotent.
 std::string trace_stop();
+
+/// Write buffered events to the configured path *without* stopping:
+/// recording continues and buffered events are kept, so a later flush
+/// or stop rewrites the file with a superset. Returns the path written,
+/// or an empty string when tracing is not active or the write failed.
+/// This is the signal-shutdown hook — before trace_flush(), a process
+/// killed between atexit registration and exit lost its whole trace.
+std::string trace_flush();
 
 /// Bind the calling thread to a stable track: `tid` becomes its thread
 /// id in the trace and `name` its thread_name metadata. Pool workers

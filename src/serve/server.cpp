@@ -1,9 +1,10 @@
 #include "serve/server.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
-#include "obs/stopwatch.h"
+#include "obs/log.h"
 #include "obs/trace.h"
 
 namespace rdo::serve {
@@ -29,7 +30,15 @@ void AdmissionGate::leave() {
     std::lock_guard<std::mutex> lk(mu_);
     --active_;
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: both a queued request and a wait_idle()
+  // drainer may be parked on this cv, and waking only one could leave
+  // the other waiting on a notification that never comes.
+  cv_.notify_all();
+}
+
+void AdmissionGate::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return active_ == 0 && queued_ == 0; });
 }
 
 int AdmissionGate::active() const {
@@ -46,32 +55,55 @@ InferenceService::InferenceService(const rdo::nn::Layer& net,
                                    rdo::nn::DataView train,
                                    rdo::nn::DataView test,
                                    rdo::core::DeployOptions base,
-                                   ServeConfig cfg, rdo::obs::Recorder* rec)
+                                   ServeConfig cfg)
     : net_(net.clone()),
       train_(train),
       test_(test),
       base_(base),
       cfg_(cfg),
-      rec_(rec),
-      gate_(cfg.max_active, cfg.max_queued) {}
-
-void InferenceService::incr(const char* name,
-                            std::int64_t ServeCounters::* field) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    counters_.*field += 1;
+      gate_(cfg.max_active, cfg.max_queued) {
+  if (const char* p = std::getenv("RDO_SLOW_REQUEST_MS")) {
+    char* end = nullptr;
+    const double ms = std::strtod(p, &end);
+    if (end != p && *end == '\0' && ms >= 0.0) {
+      slow_threshold_s_ = ms / 1000.0;
+    }
   }
-  if (rec_ != nullptr) rec_->incr(name);
 }
 
 ServeCounters InferenceService::counters() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  return counters_;
+  ServeCounters c;
+  c.requests = c_requests_.value();
+  c.ok = c_ok_.value();
+  c.bad_request = c_bad_request_.value();
+  c.overloaded = c_overloaded_.value();
+  c.internal = c_internal_.value();
+  c.plan_hits = c_plan_hits_.value();
+  c.plan_misses = c_plan_misses_.value();
+  c.plan_evictions = c_plan_evictions_.value();
+  c.backend_creates = c_backend_creates_.value();
+  c.backend_reuses = c_backend_reuses_.value();
+  c.slow_requests = c_slow_requests_.value();
+  return c;
 }
 
 std::size_t InferenceService::cached_plans() const {
   std::lock_guard<std::mutex> lk(mu_);
   return lru_.size();
+}
+
+std::size_t InferenceService::pooled_backends() const {
+  std::vector<std::shared_ptr<PlanEntry>> entries;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    entries.assign(lru_.begin(), lru_.end());
+  }
+  std::size_t n = 0;
+  for (const auto& e : entries) {
+    std::lock_guard<std::mutex> lk(e->mu);
+    for (const auto& [cycle, idle] : e->pools) n += idle.size();
+  }
+  return n;
 }
 
 std::shared_ptr<InferenceService::PlanEntry> InferenceService::get_plan(
@@ -89,9 +121,8 @@ std::shared_ptr<InferenceService::PlanEntry> InferenceService::get_plan(
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (auto hot = find_hot()) {
-      ++counters_.plan_hits;
+      c_plan_hits_.add();
       lru_hit = true;
-      if (rec_ != nullptr) rec_->incr("serve_plan_hits");
       return hot;
     }
   }
@@ -102,9 +133,8 @@ std::shared_ptr<InferenceService::PlanEntry> InferenceService::get_plan(
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (auto hot = find_hot()) {
-      ++counters_.plan_hits;
+      c_plan_hits_.add();
       lru_hit = true;
-      if (rec_ != nullptr) rec_->incr("serve_plan_hits");
       return hot;
     }
   }
@@ -115,16 +145,15 @@ std::shared_ptr<InferenceService::PlanEntry> InferenceService::get_plan(
   entry->from_disk_cache = entry->plan.compile_stats.plan_cache_hits > 0;
   {
     std::lock_guard<std::mutex> lk(mu_);
-    ++counters_.plan_misses;
+    c_plan_misses_.add();
     lru_.push_front(entry);
     while (lru_.size() > cfg_.max_plans) {
       // In-flight requests keep their shared_ptr; the plan dies when the
       // last one finishes.
       lru_.pop_back();
-      ++counters_.plan_evictions;
+      c_plan_evictions_.add();
     }
   }
-  if (rec_ != nullptr) rec_->incr("serve_plan_misses");
   return entry;
 }
 
@@ -188,9 +217,9 @@ Json InferenceService::evaluate(const ServeRequest& req) {
     }
   }
   if (backend != nullptr) {
-    incr("serve_backend_reuses", &ServeCounters::backend_reuses);
+    c_backend_reuses_.add();
   } else {
-    incr("serve_backend_creates", &ServeCounters::backend_creates);
+    c_backend_creates_.add();
     rdo::obs::TraceSpan span("serve:backend_create", "serve");
     backend = std::make_unique<rdo::core::EffectiveWeightBackend>(entry->plan,
                                                                   *net_);
@@ -223,10 +252,55 @@ Json InferenceService::evaluate(const ServeRequest& req) {
   return r;
 }
 
+Json InferenceService::stats_result() {
+  // Refresh the point-in-time gauges before snapshotting so the nested
+  // registry view and the flat fields agree within one stats response.
+  const std::size_t pooled = pooled_backends();
+  const std::size_t plans = cached_plans();
+  const int active = gate_.active();
+  const int queued = gate_.queued();
+  const double uptime = uptime_.seconds();
+  metrics_.gauge("serve_active_requests").set(active);
+  metrics_.gauge("serve_queued_requests").set(queued);
+  metrics_.gauge("serve_cached_plans").set(static_cast<double>(plans));
+  metrics_.gauge("serve_pooled_backends").set(static_cast<double>(pooled));
+  metrics_.gauge("serve_uptime_seconds").set(uptime);
+
+  const ServeCounters c = counters();
+  Json r = Json::object();
+  r["requests"] = c.requests;
+  r["ok"] = c.ok;
+  r["bad_request"] = c.bad_request;
+  r["overloaded"] = c.overloaded;
+  r["internal"] = c.internal;
+  r["plan_hits"] = c.plan_hits;
+  r["plan_misses"] = c.plan_misses;
+  r["plan_evictions"] = c.plan_evictions;
+  r["backend_creates"] = c.backend_creates;
+  r["backend_reuses"] = c.backend_reuses;
+  r["slow_requests"] = c.slow_requests;
+  r["cached_plans"] = static_cast<std::int64_t>(plans);
+  r["pooled_backends"] = static_cast<std::int64_t>(pooled);
+  r["active"] = active;
+  r["queued"] = queued;
+  r["uptime_seconds"] = uptime;
+  const std::int64_t lookups = c.plan_hits + c.plan_misses;
+  r["plan_hit_rate"] = lookups > 0 ? static_cast<double>(c.plan_hits) /
+                                         static_cast<double>(lookups)
+                                   : 0.0;
+  r["metrics"] = metrics_.snapshot_json();
+  return r;
+}
+
 std::string InferenceService::handle_line(const std::string& line) {
   rdo::obs::Stopwatch watch;
+  const auto rid = static_cast<std::int64_t>(
+      request_seq_.fetch_add(1, std::memory_order_relaxed) + 1);
   rdo::obs::TraceSpan span("serve:request", "serve");
-  incr("serve_requests", &ServeCounters::requests);
+  span.arg("request_id", rid);
+  c_requests_.add();
+  const char* op_name = "?";
+  const char* status = "ok";
   Json id;
   std::string out;
   try {
@@ -241,56 +315,61 @@ std::string InferenceService::handle_line(const std::string& line) {
     id = req.id;
     switch (req.op) {
       case Op::Ping: {
+        op_name = "ping";
         Json r = Json::object();
         r["pong"] = true;
         out = ok_response(id, std::move(r));
         break;
       }
       case Op::Stats: {
-        const ServeCounters c = counters();
-        Json r = Json::object();
-        r["requests"] = c.requests;
-        r["ok"] = c.ok;
-        r["bad_request"] = c.bad_request;
-        r["overloaded"] = c.overloaded;
-        r["internal"] = c.internal;
-        r["plan_hits"] = c.plan_hits;
-        r["plan_misses"] = c.plan_misses;
-        r["plan_evictions"] = c.plan_evictions;
-        r["backend_creates"] = c.backend_creates;
-        r["backend_reuses"] = c.backend_reuses;
-        r["cached_plans"] = static_cast<std::int64_t>(cached_plans());
-        r["active"] = gate_.active();
-        r["queued"] = gate_.queued();
-        out = ok_response(id, std::move(r));
+        op_name = "stats";
+        out = ok_response(id, stats_result());
         break;
       }
       case Op::Evaluate: {
+        op_name = "evaluate";
         out = ok_response(id, evaluate(req));
         break;
       }
     }
-    incr("serve_ok", &ServeCounters::ok);
+    c_ok_.add();
   } catch (const ProtocolError& e) {
-    span.arg("error", to_string(e.code));
+    status = to_string(e.code);
+    span.arg("error", status);
     switch (e.code) {
       case ErrorCode::BadRequest:
-        incr("serve_bad_request", &ServeCounters::bad_request);
+        c_bad_request_.add();
         break;
       case ErrorCode::Overloaded:
-        incr("serve_overloaded", &ServeCounters::overloaded);
+        c_overloaded_.add();
         break;
       case ErrorCode::Internal:
-        incr("serve_internal", &ServeCounters::internal);
+        c_internal_.add();
         break;
     }
     out = error_response(id, e.code, e.what());
   } catch (const std::exception& e) {
-    span.arg("error", "internal");
-    incr("serve_internal", &ServeCounters::internal);
+    status = "internal";
+    span.arg("error", status);
+    c_internal_.add();
     out = error_response(id, ErrorCode::Internal, e.what());
   }
-  if (rec_ != nullptr) rec_->observe("serve_request_seconds", watch.seconds());
+  const double seconds = watch.seconds();
+  h_request_seconds_.observe(seconds);
+  if (slow_threshold_s_ >= 0.0 && seconds >= slow_threshold_s_) {
+    c_slow_requests_.add();
+    rdo::obs::log_warn("serve", "slow request")
+        .with("request_id", rid)
+        .with("op", op_name)
+        .with("status", status)
+        .with("seconds", seconds)
+        .with("threshold_seconds", slow_threshold_s_);
+  }
+  rdo::obs::log_debug("serve", "request handled")
+      .with("request_id", rid)
+      .with("op", op_name)
+      .with("status", status)
+      .with("seconds", seconds);
   return out;
 }
 

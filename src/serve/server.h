@@ -19,11 +19,18 @@
 //
 // Admission control is a bounded active-set plus a bounded FIFO wait
 // queue; beyond that requests are shed with a typed "overloaded" error
-// instead of queueing without bound. Per-request latency lands in the
-// Recorder's log2-microsecond histograms and, under RDO_TRACE, as
-// "serve:request" spans.
+// instead of queueing without bound.
+//
+// Telemetry: every service owns a MetricsRegistry (obs/metrics.h) whose
+// sharded counters and the serve_request_seconds histogram sit on the
+// request hot path; the `stats` op snapshots it live. Each request gets
+// a monotonically increasing request id carried by its "serve:request"
+// trace span and its log lines; requests slower than RDO_SLOW_REQUEST_MS
+// (milliseconds; unset = disabled) are logged at warn level. Harnesses
+// fold the registry into a BENCH report with absorb_metrics at exit.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <list>
@@ -38,7 +45,8 @@
 #include "core/plan.h"
 #include "nn/layer.h"
 #include "nn/trainer.h"
-#include "obs/recorder.h"
+#include "obs/metrics.h"
+#include "obs/stopwatch.h"
 #include "serve/protocol.h"
 
 namespace rdo::serve {
@@ -51,7 +59,9 @@ struct ServeConfig {
   std::int64_t max_request_samples = 1 << 16;  ///< eval budget per request
 };
 
-/// Service-level counters (monotonic; snapshot via counters()).
+/// Service-level counters (monotonic; snapshot via counters()). This is
+/// a point-in-time read of the service's MetricsRegistry, kept as a
+/// plain struct for ergonomic test assertions.
 struct ServeCounters {
   std::int64_t requests = 0;
   std::int64_t ok = 0;
@@ -63,6 +73,7 @@ struct ServeCounters {
   std::int64_t plan_evictions = 0;
   std::int64_t backend_creates = 0;
   std::int64_t backend_reuses = 0;
+  std::int64_t slow_requests = 0;
 };
 
 /// Bounded admission: at most `max_active` holders at once, at most
@@ -77,6 +88,11 @@ class AdmissionGate {
   /// full — the caller sheds the request.
   bool enter();
   void leave();
+
+  /// Block until no request holds a slot or waits in the queue — the
+  /// graceful-shutdown drain. Callers must have stopped admitting new
+  /// requests first or this can wait forever.
+  void wait_idle();
 
   [[nodiscard]] int active() const;
   [[nodiscard]] int queued() const;
@@ -113,11 +129,11 @@ class InferenceService {
  public:
   /// `net` is cloned; `train`/`test` must outlive the service (train
   /// feeds plan compilation and PWT, test/train serve "split" selectors).
-  /// `rec` (optional) receives the serve_* counters and the
-  /// serve_request_seconds latency histogram.
+  /// The ctor reads RDO_SLOW_REQUEST_MS (milliseconds, fractional ok)
+  /// for the slow-request log threshold; unset or invalid disables it.
   InferenceService(const rdo::nn::Layer& net, rdo::nn::DataView train,
                    rdo::nn::DataView test, rdo::core::DeployOptions base,
-                   ServeConfig cfg, rdo::obs::Recorder* rec = nullptr);
+                   ServeConfig cfg);
 
   /// Handle one request line, returning one response line (no trailing
   /// newline). Never throws: every failure becomes a typed error
@@ -128,9 +144,19 @@ class InferenceService {
   [[nodiscard]] const ServeConfig& config() const { return cfg_; }
   /// Plans currently resident in the LRU (test hook).
   [[nodiscard]] std::size_t cached_plans() const;
+  /// Idle programmed backends pooled across every hot plan and cycle.
+  [[nodiscard]] std::size_t pooled_backends() const;
+  /// Seconds since the service was constructed (monotonic clock).
+  [[nodiscard]] double uptime_seconds() const { return uptime_.seconds(); }
   /// Admission gate (test hook: tests hold AdmissionTickets directly to
   /// drive the gate into deterministic overload states).
   [[nodiscard]] AdmissionGate& gate() { return gate_; }
+  /// Live instrument registry: counters, gauges and the request-latency
+  /// histogram. Harnesses absorb it into a Recorder at report time.
+  [[nodiscard]] rdo::obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const rdo::obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
 
  private:
   /// One hot plan plus its pools of programmed backends, keyed by cycle
@@ -151,21 +177,44 @@ class InferenceService {
   std::shared_ptr<PlanEntry> get_plan(const rdo::core::DeployOptions& opt,
                                       bool& lru_hit);
   rdo::obs::Json evaluate(const ServeRequest& req);
-  void incr(const char* name, std::int64_t ServeCounters::* field);
+  rdo::obs::Json stats_result();
 
   std::unique_ptr<rdo::nn::Layer> net_;
   rdo::nn::DataView train_;
   rdo::nn::DataView test_;
   rdo::core::DeployOptions base_;
   ServeConfig cfg_;
-  rdo::obs::Recorder* rec_;
   AdmissionGate gate_;
 
-  mutable std::mutex mu_;       ///< guards lru_ and counters_
+  mutable std::mutex mu_;       ///< guards lru_
   std::mutex compile_mu_;       ///< serializes plan compilation
   /// Most-recently-used first; eviction drops the tail.
   std::list<std::shared_ptr<PlanEntry>> lru_;
-  ServeCounters counters_;
+
+  rdo::obs::MetricsRegistry metrics_;
+  // Hot-path instruments resolved once (references stay valid for the
+  // registry's lifetime, i.e. the service's).
+  rdo::obs::Counter& c_requests_ = metrics_.counter("serve_requests");
+  rdo::obs::Counter& c_ok_ = metrics_.counter("serve_ok");
+  rdo::obs::Counter& c_bad_request_ = metrics_.counter("serve_bad_request");
+  rdo::obs::Counter& c_overloaded_ = metrics_.counter("serve_overloaded");
+  rdo::obs::Counter& c_internal_ = metrics_.counter("serve_internal");
+  rdo::obs::Counter& c_plan_hits_ = metrics_.counter("serve_plan_hits");
+  rdo::obs::Counter& c_plan_misses_ = metrics_.counter("serve_plan_misses");
+  rdo::obs::Counter& c_plan_evictions_ =
+      metrics_.counter("serve_plan_evictions");
+  rdo::obs::Counter& c_backend_creates_ =
+      metrics_.counter("serve_backend_creates");
+  rdo::obs::Counter& c_backend_reuses_ =
+      metrics_.counter("serve_backend_reuses");
+  rdo::obs::Counter& c_slow_requests_ =
+      metrics_.counter("serve_slow_requests");
+  rdo::obs::Histogram& h_request_seconds_ =
+      metrics_.histogram("serve_request_seconds");
+
+  std::atomic<std::uint64_t> request_seq_{0};
+  double slow_threshold_s_ = -1.0;  ///< < 0 => slow-request log disabled
+  rdo::obs::Stopwatch uptime_;
 };
 
 }  // namespace rdo::serve

@@ -18,7 +18,9 @@
 #include "nn/dense.h"
 #include "nn/sequential.h"
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/recorder.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/server.h"
 
@@ -67,8 +69,8 @@ struct ServeFixture {
   }
 
   [[nodiscard]] serve::InferenceService make_service(
-      serve::ServeConfig cfg = {}, obs::Recorder* rec = nullptr) const {
-    return {*net, train(), test(), base, cfg, rec};
+      serve::ServeConfig cfg = {}) const {
+    return {*net, train(), test(), base, cfg};
   }
 };
 
@@ -101,6 +103,53 @@ TEST(Serve, PingEchoesIdAndStatsCountRequests) {
   EXPECT_EQ(r->find("requests")->as_int(), 2);
   EXPECT_EQ(r->find("ok")->as_int(), 1);  // snapshot before this reply
   EXPECT_EQ(r->find("cached_plans")->as_int(), 0);
+  EXPECT_EQ(r->find("pooled_backends")->as_int(), 0);
+  EXPECT_GE(r->find("uptime_seconds")->as_double(), 0.0);
+  EXPECT_EQ(r->find("plan_hit_rate")->as_double(), 0.0);
+  // The nested live-registry snapshot is structurally valid and agrees
+  // with the flat counters.
+  const Json* metrics = r->find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  std::string err;
+  EXPECT_TRUE(obs::validate_metrics_json(*metrics, &err)) << err;
+  EXPECT_EQ(metrics->find("counters")->find("serve_requests")->as_int(), 2);
+  EXPECT_EQ(
+      metrics->find("gauges")->find("serve_active_requests")->as_double(),
+      0.0);
+  const Json* hist =
+      metrics->find("histograms")->find("serve_request_seconds");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->as_int(), 1);  // snapshot mid-request #2
+}
+
+TEST(Serve, StatsReflectsKnownRequestAndCacheCounts) {
+  const ServeFixture f;
+  serve::InferenceService svc = f.make_service();
+  const std::string eval_line =
+      R"({"op": "evaluate", "data": {"split": "test", "count": 4}})";
+  const Json first = reply(svc, eval_line);
+  ASSERT_TRUE(first.find("ok")->as_bool());
+  const Json second = reply(svc, eval_line);
+  ASSERT_TRUE(second.find("ok")->as_bool());
+  expect_bad_request(reply(svc, "nope"), "nope");
+
+  const Json stats = reply(svc, R"({"op": "stats"})");
+  const Json* r = stats.find("result");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->find("requests")->as_int(), 4);
+  EXPECT_EQ(r->find("ok")->as_int(), 2);
+  EXPECT_EQ(r->find("bad_request")->as_int(), 1);
+  EXPECT_EQ(r->find("plan_hits")->as_int(), 1);
+  EXPECT_EQ(r->find("plan_misses")->as_int(), 1);
+  EXPECT_EQ(r->find("cached_plans")->as_int(), 1);
+  EXPECT_EQ(r->find("pooled_backends")->as_int(), 1);
+  EXPECT_EQ(r->find("plan_hit_rate")->as_double(), 0.5);
+  EXPECT_EQ(r->find("active")->as_int(), 0);
+  EXPECT_EQ(r->find("queued")->as_int(), 0);
+  const Json* counters = r->find("metrics")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("serve_backend_creates")->as_int(), 1);
+  EXPECT_EQ(counters->find("serve_backend_reuses")->as_int(), 1);
 }
 
 TEST(Serve, EvaluateMatchesDirectBackendBitIdentically) {
@@ -353,13 +402,17 @@ TEST(Serve, BackendPoolIsKeyedByCycle) {
 
 TEST(Serve, LatencyAndCountersLandInRecorder) {
   const ServeFixture f;
-  obs::Recorder rec;
-  serve::InferenceService svc = f.make_service({}, &rec);
+  serve::InferenceService svc = f.make_service();
   const Json ev = reply(svc, R"({"op": "evaluate"})");
   ASSERT_TRUE(ev.find("ok")->as_bool()) << ev.dump();
   const Json ping = reply(svc, R"({"op": "ping"})");
   ASSERT_TRUE(ping.find("ok")->as_bool());
   expect_bad_request(reply(svc, "nope"), "nope");
+
+  // Report-time bridge: the live registry folds into a Recorder once,
+  // instead of the service writing the Recorder per event.
+  obs::Recorder rec;
+  obs::absorb_metrics(rec, svc.metrics());
 
   EXPECT_EQ(rec.counter("serve_requests"), 3);
   EXPECT_EQ(rec.counter("serve_ok"), 2);
@@ -374,10 +427,13 @@ TEST(Serve, LatencyAndCountersLandInRecorder) {
 #ifdef RDO_SERVE_BIN
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 namespace {
 
@@ -459,5 +515,71 @@ TEST(ServeTcp, EndToEndOverRealSocket) {
   EXPECT_EQ(bad.find("error")->find("code")->as_string(), "bad_request");
 
   EXPECT_EQ(::pclose(proc), 0);
+}
+
+// Graceful shutdown end-to-end: SIGTERM must exit 0 after draining, the
+// RDO_TRACE file must be flushed and valid (not lost to the signal), and
+// stderr must carry the shutdown, slow-request and final-snapshot log
+// lines. `echo $$; exec env ... bin` makes the popen'd shell print its
+// own PID and then *become* the server, so line 1 is the PID to kill.
+TEST(ServeTcp, SigtermDrainsFlushesTraceAndSnapshot) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "rdo_serve_sigterm";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string trace = (dir / "trace.json").string();
+  const std::string errfile = (dir / "stderr.log").string();
+  const std::string cmd = "echo $$; exec env RDO_TRACE='" + trace +
+                          "' RDO_METRICS_INTERVAL_S=0.1"
+                          " RDO_SLOW_REQUEST_MS=0 '" +
+                          RDO_SERVE_BIN +
+                          "' --port 0 --epochs 0 --train-per-class 3"
+                          " --test-per-class 3 2>'" +
+                          errfile + "'";
+  std::FILE* proc = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(proc, nullptr);
+
+  char line[256] = {0};
+  ASSERT_NE(std::fgets(line, sizeof(line), proc), nullptr);
+  int pid = 0;
+  ASSERT_EQ(std::sscanf(line, "%d", &pid), 1) << line;
+  ASSERT_GT(pid, 0);
+  ASSERT_NE(std::fgets(line, sizeof(line), proc), nullptr);
+  int port = 0;
+  ASSERT_EQ(std::sscanf(line, "rdo_serve: listening on 127.0.0.1:%d", &port),
+            1)
+      << line;
+
+  {
+    TcpClient client;
+    ASSERT_TRUE(client.connect_to(port));
+    const Json pong = Json::parse(client.request(R"({"op": "ping"})"));
+    EXPECT_TRUE(pong.find("ok")->as_bool());
+    const Json stats = Json::parse(client.request(R"({"op": "stats"})"));
+    EXPECT_TRUE(stats.find("ok")->as_bool());
+    EXPECT_EQ(stats.find("result")->find("requests")->as_int(), 2);
+  }
+  // Give the periodic dumper (0.1 s interval) time to fire at least once,
+  // then interrupt the accept() wait.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  EXPECT_EQ(::pclose(proc), 0);  // graceful: drained and exited 0
+
+  std::string err;
+  const Json doc = obs::read_json_file(trace);
+  EXPECT_TRUE(obs::validate_trace_document(doc, &err)) << err;
+
+  std::ifstream errs(errfile);
+  const std::string stderr_text((std::istreambuf_iterator<char>(errs)),
+                                std::istreambuf_iterator<char>());
+  EXPECT_NE(stderr_text.find("shutdown signal received"), std::string::npos)
+      << stderr_text;
+  EXPECT_NE(stderr_text.find("final metrics snapshot"), std::string::npos)
+      << stderr_text;
+  EXPECT_NE(stderr_text.find("metrics dump"), std::string::npos)
+      << stderr_text;
+  EXPECT_NE(stderr_text.find("slow request"), std::string::npos)
+      << stderr_text;
+  fs::remove_all(dir);
 }
 #endif  // RDO_SERVE_BIN

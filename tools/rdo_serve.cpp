@@ -19,19 +19,31 @@
 //               limits are exercised in-process by tests/test_serve.cpp.
 //
 // With --bench, a BENCH_rdo_serve.json report (request latency
-// histogram, serve_* counters) is written on exit, honouring
-// RDO_BENCH_DIR; RDO_TRACE emits serve:request spans like every other
-// harness.
+// histogram, serve_* counters absorbed from the live registry) is
+// written on exit, honouring RDO_BENCH_DIR; RDO_TRACE emits
+// serve:request spans like every other harness.
+//
+// Operational telemetry (see src/obs/log.h and src/obs/metrics.h):
+// structured log lines go to stderr (RDO_LOG_LEVEL, RDO_LOG_FORMAT);
+// RDO_METRICS_INTERVAL_S > 0 dumps a registry snapshot every interval;
+// SIGINT/SIGTERM shut down gracefully — stop accepting, drain in-flight
+// requests, flush the trace and log a final metrics snapshot.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "core/deploy.h"
 #include "data/synthetic.h"
@@ -40,13 +52,80 @@
 #include "nn/dense.h"
 #include "nn/optimizer.h"
 #include "nn/sequential.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "quant/act_quant.h"
 #include "serve/server.h"
 
 using namespace rdo;
 
 namespace {
+
+/// Set by the SIGINT/SIGTERM handler; the transport loops poll it and
+/// the interrupted accept()/read() (no SA_RESTART) returns EINTR so a
+/// blocked loop wakes promptly.
+volatile std::sig_atomic_t g_shutdown = 0;
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_shutdown_signal(int sig) {
+  g_shutdown = 1;
+  g_signal = sig;
+}
+
+void install_signal_handlers() {
+  struct sigaction sa {};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: blocking syscalls must wake
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/// Background thread logging a metrics snapshot every RDO_METRICS_INTERVAL_S
+/// seconds (fractional values allowed; unset or <= 0 disables it).
+class MetricsDumper {
+ public:
+  explicit MetricsDumper(serve::InferenceService& svc) {
+    double interval_s = 0.0;
+    if (const char* p = std::getenv("RDO_METRICS_INTERVAL_S")) {
+      char* end = nullptr;
+      const double v = std::strtod(p, &end);
+      if (end != p && *end == '\0' && v > 0.0) interval_s = v;
+    }
+    if (interval_s <= 0.0) return;
+    th_ = std::thread([this, &svc, interval_s] {
+      std::unique_lock<std::mutex> lk(mu_);
+      while (!cv_.wait_for(lk, std::chrono::duration<double>(interval_s),
+                           [this] { return stop_; })) {
+        lk.unlock();
+        obs::log_info("serve", "metrics dump")
+            .with("snapshot", svc.metrics().snapshot_json().dump());
+        lk.lock();
+      }
+    });
+  }
+
+  ~MetricsDumper() {
+    if (!th_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    th_.join();
+  }
+
+  MetricsDumper(const MetricsDumper&) = delete;
+  MetricsDumper& operator=(const MetricsDumper&) = delete;
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread th_;
+};
 
 struct ServeArgs {
   std::string model = "mlp";  // mlp | lenet
@@ -168,12 +247,15 @@ long serve_stream(serve::InferenceService& svc, std::FILE* in,
                   std::FILE* out, long budget, long handled) {
   std::string line;
   int c = 0;
-  while (budget == 0 || handled < budget) {
+  while ((budget == 0 || handled < budget) && g_shutdown == 0) {
     line.clear();
     while ((c = std::fgetc(in)) != EOF && c != '\n') {
       line.push_back(static_cast<char>(c));
       if (line.size() > (1u << 26)) break;  // 64 MiB request-line cap
     }
+    // A shutdown signal interrupts the blocking read (EOF + EINTR, no
+    // SA_RESTART); drop the partial line and let the caller drain.
+    if (c == EOF && g_shutdown != 0) break;
     if (line.empty() && c == EOF) break;
     const std::string resp = svc.handle_line(line);
     std::fputs(resp.c_str(), out);
@@ -210,9 +292,9 @@ int run_tcp(serve::InferenceService& svc, int port, long max_requests) {
   std::fflush(stdout);
 
   long handled = 0;
-  while (max_requests == 0 || handled < max_requests) {
+  while ((max_requests == 0 || handled < max_requests) && g_shutdown == 0) {
     const int conn = ::accept(listener, nullptr, nullptr);
-    if (conn < 0) break;
+    if (conn < 0) break;  // includes EINTR from a shutdown signal
     std::FILE* in = ::fdopen(conn, "r");
     std::FILE* out = ::fdopen(::dup(conn), "w");
     if (in == nullptr || out == nullptr) {
@@ -273,38 +355,61 @@ int main(int argc, char** argv) {
     }
   }
   const float ideal = nn::evaluate(*net, ds.test(), 64).accuracy;
-  std::fprintf(stderr, "rdo_serve: %s trained, ideal accuracy %.2f%%\n",
-               a.model.c_str(), 100 * ideal);
+  obs::log_info("serve", "model trained")
+      .with("model", a.model)
+      .with("ideal_accuracy", static_cast<double>(ideal));
 
   core::DeployOptions base;
   base.seed = a.seed;
-  serve::InferenceService svc(*net, ds.train(), ds.test(), base, a.cfg,
-                              &rep.recorder());
+  serve::InferenceService svc(*net, ds.train(), ds.test(), base, a.cfg);
 
+  install_signal_handlers();
   int rc = 0;
-  if (a.stdio) {
-    serve_stream(svc, stdin, stdout, a.max_requests, 0);
-  } else {
-    rc = run_tcp(svc, a.port, a.max_requests);
-  }
+  {
+    MetricsDumper dumper(svc);
+    if (a.stdio) {
+      serve_stream(svc, stdin, stdout, a.max_requests, 0);
+    } else {
+      rc = run_tcp(svc, a.port, a.max_requests);
+    }
+
+    if (g_shutdown != 0) {
+      // Graceful shutdown: new admissions have stopped (the transport
+      // loop exited); wait out whatever is still evaluating, then make
+      // sure the trace is on disk even though exit is still normal.
+      obs::log_info("serve", "shutdown signal received; draining")
+          .with("signal", static_cast<std::int64_t>(g_signal))
+          .with("active", svc.gate().active())
+          .with("queued", svc.gate().queued());
+      svc.gate().wait_idle();
+      obs::trace_flush();
+      rc = 0;
+    }
+  }  // joins the dumper thread
+
+  obs::log_info("serve", "final metrics snapshot")
+      .with("snapshot", svc.metrics().snapshot_json().dump());
 
   const serve::ServeCounters c = svc.counters();
-  std::fprintf(stderr,
-               "rdo_serve: %lld requests (%lld ok, %lld bad, %lld shed), "
-               "%lld plan hits / %lld misses / %lld evictions\n",
-               static_cast<long long>(c.requests),
-               static_cast<long long>(c.ok),
-               static_cast<long long>(c.bad_request),
-               static_cast<long long>(c.overloaded),
-               static_cast<long long>(c.plan_hits),
-               static_cast<long long>(c.plan_misses),
-               static_cast<long long>(c.plan_evictions));
+  obs::log_info("serve", "request summary")
+      .with("requests", c.requests)
+      .with("ok", c.ok)
+      .with("bad_request", c.bad_request)
+      .with("overloaded", c.overloaded)
+      .with("plan_hits", c.plan_hits)
+      .with("plan_misses", c.plan_misses)
+      .with("plan_evictions", c.plan_evictions);
   if (a.bench) {
+    // Fold the live registry (serve_* instruments plus the process-wide
+    // deploy cache counters) into the report's recorder.
+    obs::absorb_metrics(rep.recorder(), svc.metrics());
+    obs::absorb_metrics(rep.recorder(), obs::global_metrics());
     try {
       const std::string path = rep.write();
-      std::fprintf(stderr, "rdo_serve: wrote %s\n", path.c_str());
+      obs::log_info("serve", "wrote bench report").with("path", path);
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "rdo_serve: cannot write report: %s\n", e.what());
+      obs::log_error("serve", "cannot write bench report")
+          .with("error", e.what());
       return 1;
     }
   }

@@ -1,12 +1,15 @@
-// validate_bench_json — schema check for BENCH_*.json documents and
-// (with --trace) Perfetto trace files.
+// validate_bench_json — schema check for BENCH_*.json documents,
+// (with --trace) Perfetto trace files, and (with --stats) saved
+// `stats` responses from rdo_serve.
 //
 //   validate_bench_json BENCH_ablation_design.json [more.json ...]
 //   validate_bench_json --trace trace_ablation_design.json
+//   validate_bench_json --stats stats_response.json
 //
 // Exit codes (distinct so tests and CI can tell failure modes apart):
 //   0  every file parses and conforms to the expected layout
-//      (obs/report.h for BENCH documents, obs/trace.h for traces)
+//      (obs/report.h for BENCH documents, obs/trace.h for traces,
+//      serve stats envelope + obs/metrics.h for --stats)
 //   1  at least one file parsed but violates the schema
 //   2  usage error (no files given / unknown flag)
 //   3  at least one file could not be read or is not valid JSON
@@ -16,14 +19,78 @@
 #include <string>
 
 #include "obs/json.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
 
+namespace {
+
+bool scheck(bool cond, const std::string& what, std::string* err) {
+  if (cond) return true;
+  if (err != nullptr) *err = what;
+  return false;
+}
+
+/// One rdo_serve `stats` response line: {"id":..., "ok":true,
+/// "result": {counters..., gauges..., "metrics": <registry snapshot>}}.
+bool validate_stats_response(const rdo::obs::Json& doc, std::string* err) {
+  if (!scheck(doc.is_object(), "stats response is not an object", err)) {
+    return false;
+  }
+  const rdo::obs::Json* ok = doc.find("ok");
+  if (!scheck(ok != nullptr && ok->is_bool() && ok->as_bool(),
+              "response is not ok:true", err)) {
+    return false;
+  }
+  const rdo::obs::Json* result = doc.find("result");
+  if (!scheck(result != nullptr && result->is_object(),
+              "missing result object", err)) {
+    return false;
+  }
+  for (const char* key :
+       {"requests", "ok", "bad_request", "overloaded", "internal",
+        "plan_hits", "plan_misses", "plan_evictions", "backend_creates",
+        "backend_reuses", "slow_requests", "cached_plans",
+        "pooled_backends", "active", "queued"}) {
+    const rdo::obs::Json* v = result->find(key);
+    if (!scheck(v != nullptr && v->is_int(),
+                std::string("result.") + key + " is not an int", err)) {
+      return false;
+    }
+  }
+  for (const char* key : {"uptime_seconds", "plan_hit_rate"}) {
+    const rdo::obs::Json* v = result->find(key);
+    if (!scheck(v != nullptr && v->is_number(),
+                std::string("result.") + key + " is not a number", err)) {
+      return false;
+    }
+  }
+  const rdo::obs::Json* up = result->find("uptime_seconds");
+  if (!scheck(up->as_double() >= 0.0, "negative uptime_seconds", err)) {
+    return false;
+  }
+  const rdo::obs::Json* metrics = result->find("metrics");
+  if (!scheck(metrics != nullptr, "missing result.metrics", err)) {
+    return false;
+  }
+  std::string merr;
+  if (!rdo::obs::validate_metrics_json(*metrics, &merr)) {
+    return scheck(false, "result.metrics: " + merr, err);
+  }
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool trace_mode = false;
+  bool stats_mode = false;
   int first_file = 1;
   if (argc > 1 && std::strcmp(argv[1], "--trace") == 0) {
     trace_mode = true;
+    first_file = 2;
+  } else if (argc > 1 && std::strcmp(argv[1], "--stats") == 0) {
+    stats_mode = true;
     first_file = 2;
   } else if (argc > 1 && argv[1][0] == '-') {
     std::fprintf(stderr, "validate_bench_json: unknown flag %s\n", argv[1]);
@@ -31,7 +98,7 @@ int main(int argc, char** argv) {
   }
   if (first_file >= argc) {
     std::fprintf(stderr,
-                 "usage: validate_bench_json [--trace] <file.json> "
+                 "usage: validate_bench_json [--trace|--stats] <file.json> "
                  "[more ...]\n");
     return 2;
   }
@@ -51,6 +118,16 @@ int main(int argc, char** argv) {
         }
         std::printf("%s: ok (%zu trace events)\n", path.c_str(),
                     doc.find("traceEvents")->size());
+      } else if (stats_mode) {
+        if (!validate_stats_response(doc, &err)) {
+          std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
+                       err.c_str());
+          ++invalid;
+          continue;
+        }
+        std::printf("%s: ok (%lld requests)\n", path.c_str(),
+                    static_cast<long long>(
+                        doc.find("result")->find("requests")->as_int()));
       } else {
         if (!rdo::obs::validate_bench_document(doc, &err)) {
           std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(),
