@@ -50,6 +50,59 @@ double sum_multi_delay_ns(int m, const GateCosts& g) {
   return (adder_depth + wallace_depth + cpa_depth) * g.fa_delay_ns;
 }
 
+long long layer_offset_registers(long long rows, long long cols, int m) {
+  RDO_CHECK(rows > 0 && cols > 0 && m > 0,
+            "layer_offset_registers: rows = " + std::to_string(rows) +
+                ", cols = " + std::to_string(cols) +
+                ", m = " + std::to_string(m));
+  return (rows + m - 1) / m * cols;
+}
+
+PlanOverhead plan_overhead(const std::vector<LayerOffsetCost>& layers,
+                           int offset_bits, double read_power_ratio,
+                           const TileParams& tp, const GateCosts& g) {
+  RDO_CHECK(offset_bits > 0,
+            "plan_overhead: offset_bits = " + std::to_string(offset_bits));
+  PlanOverhead o;
+  long long crossbars = 0;
+  double gate_area_um2 = 0.0;
+  double gate_power_uw = 0.0;
+  for (const LayerOffsetCost& lc : layers) {
+    RDO_CHECK(lc.m > 0 && lc.crossbars >= 0 && lc.registers >= 0,
+              "plan_overhead: bad layer cost entry");
+    crossbars += lc.crossbars;
+    o.registers += lc.registers;
+    // Adder + multiplier per crossbar at this layer's own m; the
+    // register file is priced at the registers the plan actually keeps
+    // (shared registers are fabricated once), not the Eq. 9 count.
+    OffsetHardware hw = offset_hardware(lc.m, offset_bits, tp);
+    hw.register_bits = 0;
+    gate_area_um2 += hw.area_um2(g) * static_cast<double>(lc.crossbars);
+    gate_power_uw += hw.power_uw(g) * static_cast<double>(lc.crossbars);
+  }
+  o.register_bits = o.registers * offset_bits;
+  o.tiles_used = (crossbars + tp.crossbars_per_tile - 1) /
+                 tp.crossbars_per_tile;
+  o.area_mm2 = (gate_area_um2 + static_cast<double>(o.register_bits) *
+                                    g.sram_bit_area_um2) *
+               1e-6;
+  const double digital_mw =
+      (gate_power_uw + static_cast<double>(o.register_bits) *
+                           g.sram_bit_power_uw) *
+      1e-3;
+  const double read_saving_mw = (1.0 - read_power_ratio) *
+                                tp.device_read_power_mw *
+                                static_cast<double>(o.tiles_used);
+  o.power_mw = digital_mw - read_saving_mw;
+  const double base_area =
+      tp.tile_area_mm2 * static_cast<double>(o.tiles_used);
+  const double base_power =
+      tp.tile_power_mw * static_cast<double>(o.tiles_used);
+  o.area_pct = base_area > 0.0 ? 100.0 * o.area_mm2 / base_area : 0.0;
+  o.power_pct = base_power > 0.0 ? 100.0 * o.power_mw / base_power : 0.0;
+  return o;
+}
+
 TileOverhead tile_overhead(int m, int offset_bits, double read_power_ratio,
                            const TileParams& tp, const GateCosts& g) {
   const OffsetHardware hw = offset_hardware(m, offset_bits, tp);

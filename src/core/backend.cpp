@@ -63,16 +63,33 @@ void EffectiveWeightBackend::program_cycle(std::uint64_t cycle_salt) {
     rdo::nn::Rng lrng = rng.split(li);
     ls.crw.resize(pl.assign.ctw.size());
     if (keep_cells_) ls.cells.resize(pl.assign.ctw.size());
+    // Dead columns (eliminate_dead_tiles) are never programmed: the RNG
+    // draws are consumed and discarded so every live weight sees exactly
+    // the stream it would without the pass, and the column reads back the
+    // zero point exactly (ideal unprogrammed cells).
+    const bool has_dead = !pl.dead_cols.empty();
+    const auto cols = static_cast<std::size_t>(pl.lq.cols);
+    std::vector<double> ideal_zero;
+    if (has_dead && keep_cells_) {
+      for (int s : plan_.prog.slice(pl.lq.zero)) {
+        ideal_zero.push_back(static_cast<double>(s));
+      }
+    }
+    std::int64_t live = 0;
     for (std::size_t i = 0; i < pl.assign.ctw.size(); ++i) {
       std::vector<double> cells =
           plan_.prog.program_cells(pl.assign.ctw[i], lrng);
+      if (has_dead && pl.dead_cols[i % cols] != 0) {
+        ls.crw[i] = static_cast<double>(pl.lq.zero);
+        if (keep_cells_) ls.cells[i] = ideal_zero;
+        continue;
+      }
       ls.crw[i] = plan_.prog.compose(cells);
       if (keep_cells_) ls.cells[i] = std::move(cells);
+      ++live;
     }
-    stats_.weights_programmed +=
-        static_cast<std::int64_t>(pl.assign.ctw.size());
-    stats_.device_pulses += static_cast<std::int64_t>(pl.assign.ctw.size()) *
-                            plan_.prog.cells_per_weight();
+    stats_.weights_programmed += live;
+    stats_.device_pulses += live * plan_.prog.cells_per_weight();
     // Each cycle starts from the a-priori (VAWO or zero) offsets; PWT then
     // adapts them to this cycle's CRWs.
     ls.offsets = pl.assign.offsets;
@@ -89,7 +106,7 @@ void EffectiveWeightBackend::apply_effective_weights() {
     LayerState& ls = layers_[li];
     const std::int64_t rows = pl.lq.rows, cols = pl.lq.cols;
     for (std::int64_t r = 0; r < rows; ++r) {
-      const std::int64_t g = group_of_row(r, plan_.opt.offsets.m);
+      const std::int64_t g = group_of_row(r, pl.m);
       for (std::int64_t c = 0; c < cols; ++c) {
         const std::size_t gi = static_cast<std::size_t>(g * cols + c);
         const float b = ls.offsets[gi];
@@ -114,9 +131,8 @@ void EffectiveWeightBackend::apply_group_delta(std::size_t li,
   const std::size_t gi = static_cast<std::size_t>(g * cols + c);
   const float sign = pl.assign.complemented[gi] ? -1.0f : 1.0f;
   const float dw = sign * pl.lq.scale * delta_b;
-  const std::int64_t r0 = g * plan_.opt.offsets.m;
-  const std::int64_t r1 =
-      std::min<std::int64_t>(pl.lq.rows, r0 + plan_.opt.offsets.m);
+  const std::int64_t r0 = g * pl.m;
+  const std::int64_t r1 = std::min<std::int64_t>(pl.lq.rows, r0 + pl.m);
   for (std::int64_t r = r0; r < r1; ++r) {
     ls.op->set_weight_at(r, c, ls.op->weight_at(r, c) + dw);
   }
@@ -141,9 +157,8 @@ void EffectiveWeightBackend::tune(const rdo::nn::DataView& train) {
       for (std::int64_t c = 0; c < cols; ++c) {
         for (std::int64_t g = 0; g < pl.assign.groups_per_col; ++g) {
           const std::size_t gi = static_cast<std::size_t>(g * cols + c);
-          const std::int64_t r0 = g * plan_.opt.offsets.m;
-          const std::int64_t r1 =
-              std::min<std::int64_t>(rows, r0 + plan_.opt.offsets.m);
+          const std::int64_t r0 = g * pl.m;
+          const std::int64_t r1 = std::min<std::int64_t>(rows, r0 + pl.m);
           double acc = 0.0;
           for (std::int64_t r = r0; r < r1; ++r) {
             const int ntw = pl.lq.at(r, c);

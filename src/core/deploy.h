@@ -79,6 +79,12 @@ struct PipelineConfig {
   std::int64_t grad_samples = 256;
   std::int64_t grad_batch = 32;
   std::uint64_t seed = 1;  ///< master seed (LUT build, programming base)
+  /// Comma-separated optimizer pass list run over the compiled plan (see
+  /// core/opt/pipeline.h; "" = no passes, plans are byte-identical to a
+  /// build without the optimizer). Fed by the RDO_OPT_PASSES environment
+  /// variable in rdo_experiment and the "opt_passes" serve config key;
+  /// covered by plan_fingerprint so on-disk caches key on it.
+  std::string opt_passes;
 };
 
 struct DeployOptions : PipelineConfig {

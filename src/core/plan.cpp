@@ -8,6 +8,7 @@
 #include <string>
 
 #include "core/check.h"
+#include "core/opt/pipeline.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -125,9 +126,7 @@ std::int64_t DeploymentPlan::total_crossbars(int xbar_rows,
 
 std::int64_t DeploymentPlan::total_offset_registers() const {
   std::int64_t n = 0;
-  for (const PlanLayer& pl : layers) {
-    n += groups_per_column(pl.fan_in, opt.offsets.m) * pl.fan_out;
-  }
+  for (const PlanLayer& pl : layers) n += pl.offset_registers;
   return n;
 }
 
@@ -225,6 +224,27 @@ DeploymentPlan compile_plan_uncached(const rdo::nn::Layer& net,
     for (PlanLayer& pl : plan.layers) {
       pl.assign = plain_layer(pl.lq, opt.offsets.m);
     }
+  }
+
+  // 3. Seed the per-layer execution metadata (the optimizer passes refine
+  //    it), then run the configured pass pipeline over the frozen plan.
+  //    The pipeline runs inside the uncached path on purpose: the plan
+  //    cache stores optimized plans, keyed by a fingerprint that covers
+  //    the pass list.
+  for (PlanLayer& pl : plan.layers) {
+    pl.m = opt.offsets.m;
+    pl.offset_registers = groups_per_column(pl.lq.rows, pl.m) * pl.lq.cols;
+  }
+  if (!opt.opt_passes.empty()) {
+    std::string err;
+    std::optional<std::vector<std::string>> names =
+        opt::parse_pass_list(opt.opt_passes, &err);
+    if (!names) {
+      // Callers validate user input with parse_pass_list before building
+      // DeployOptions; this is the defensive backstop.
+      throw std::invalid_argument("compile_plan: " + err);
+    }
+    opt::run_pipeline(plan, *names);
   }
   return plan;
 }

@@ -54,6 +54,21 @@ struct PlanLayer {
   rdo::quant::LayerQuant lq;       ///< NTWs + scale/zero
   std::vector<double> mean_grads;  ///< row-major dL/dw (VAWO schemes only)
   VawoResult assign;               ///< CTWs, base offsets, complement flags
+  /// Offset-group size of THIS layer. compile_plan sets it to the global
+  /// DeployOptions::offsets.m; the tune_group_size optimizer pass may
+  /// raise it per layer. Backends and the serializer read this field,
+  /// never opt.offsets.m, so a tuned plan executes consistently.
+  int m = 1;
+  /// Offset registers this layer actually needs. Defaults to the Eq. 9
+  /// geometric count groups_per_column(rows, m) * cols; the
+  /// color_offset_registers pass may lower it (registers shared across
+  /// tiles). Accounting-only: backends still index the full per-group
+  /// offset vectors.
+  std::int64_t offset_registers = 0;
+  /// Per-column dead flags set by eliminate_dead_tiles (1 = every NTW of
+  /// the column quantized to the zero point, so the column is never
+  /// programmed and reads back exactly 0). Empty = no dead columns.
+  std::vector<std::uint8_t> dead_cols;
 };
 
 /// The shared compile product. Immutable by convention once compile_plan
@@ -67,6 +82,11 @@ struct DeploymentPlan {
   rdo::rram::RLut lut;
   std::vector<PlanLayer> layers;
   std::vector<ActCalibration> act_calib;
+  /// Pass-provenance record: the optimizer passes (core/opt) that ran
+  /// over this plan, in execution order. Empty for an unoptimized plan.
+  /// Serialized with the plan, so a cache hit reports the pipeline that
+  /// produced it.
+  std::vector<std::string> passes_applied;
   /// Wall times of the compile stage (lut_build_s, prepare_s,
   /// vawo_solve_s). Compilation contributes no deterministic counters, so
   /// merging this into backend stats reproduces the legacy single-object
@@ -86,15 +106,19 @@ struct DeploymentPlan {
   /// Crossbars needed to hold all layers (Table III accounting).
   [[nodiscard]] std::int64_t total_crossbars(int xbar_rows = 128,
                                              int xbar_cols = 128) const;
-  /// Offset registers needed across all layers (Eq. 9 summed).
+  /// Offset registers needed across all layers: the sum of the per-layer
+  /// PlanLayer::offset_registers counts (Eq. 9 at each layer's own m,
+  /// minus whatever the optimizer passes shared away).
   [[nodiscard]] std::int64_t total_offset_registers() const;
 
   // --- serialization (src/core/plan_io.cpp) ---
   //
   // A plan file stores everything the compile stage produced — the full
-  // DeployOptions, the embedded RLut (reusing the RLU2 document), every
-  // PlanLayer and the activation calibration — under a "RDP1" header
-  // carrying the caller's config fingerprint (see plan_fingerprint).
+  // DeployOptions (including the optimizer pass list), the embedded RLut
+  // (reusing the RLU2 document), every PlanLayer (with its per-layer m,
+  // register count and dead-column mask) and the activation calibration —
+  // under a "RDP2" header carrying the caller's config fingerprint (see
+  // plan_fingerprint). RDP1 files are rejected cleanly ("bad magic").
   // compile_stats is wall-clock-only and is NOT serialized: a loaded
   // plan reports zero compile time, which is exactly what a cache hit
   // means. Serialization is byte-stable: save(load(save(p))) is

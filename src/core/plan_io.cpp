@@ -1,15 +1,24 @@
 // DeploymentPlan serialization (save/load/fingerprint) — the on-disk half
 // of the compile-once/execute-many story.
 //
-// Format ("RDP1", version-in-magic like the RLut's "RLU2"):
+// Format ("RDP2", version-in-magic like the RLut's "RLU2"):
 //
-//   u32  magic "RDP1"
+//   u32  magic "RDP2"
 //   u64  config fingerprint (plan_fingerprint of the compiling caller)
-//   ...  DeployOptions block (fixed-width fields, see save())
+//   ...  DeployOptions block (fixed-width fields + the length-prefixed
+//        optimizer pass list, see save())
 //   u64  LUT byte count, then one embedded RLut save() document (RLU2)
-//   u32  layer count, then per layer: geometry, LayerQuant, mean
-//        gradients, VawoResult
+//   u32  layer count, then per layer: geometry, per-layer offset-group
+//        size m and register count (written before the arrays so their
+//        declared counts validate against the layer's own m), LayerQuant,
+//        mean gradients, VawoResult, dead-column mask
 //   u32  activation-calibration count, then {bits, max_abs} entries
+//   u32  applied-pass count, then length-prefixed registered pass names
+//
+// RDP1 files fail the magic check and raise PlanError ("bad magic") —
+// the cache-recovery path then recompiles and overwrites them; since the
+// magic participates in plan_fingerprint, stale RDP1 cache entries can
+// never alias an RDP2 fingerprint either.
 //
 // The load path treats the file as untrusted input (it is the payload
 // behind the opt-in RDO_PLAN_CACHE_DIR shared cache): every read is
@@ -36,6 +45,7 @@
 #include <system_error>
 #include <vector>
 
+#include "core/opt/pipeline.h"
 #include "core/plan.h"
 #include "core/tmpfile.h"
 #include "nn/matrix_op.h"
@@ -45,7 +55,7 @@ namespace rdo::core {
 
 namespace {
 
-constexpr std::uint32_t kPlanMagic = 0x52445031;  // "RDP1" (little-endian "1PDR" on disk; a tag, not text)
+constexpr std::uint32_t kPlanMagic = 0x52445032;  // "RDP2" (little-endian "2PDR" on disk; a tag, not text)
 
 // Structural ceilings for hostile headers. Far above anything a real
 // network produces, far below anything that could drive a multi-GB
@@ -54,6 +64,8 @@ constexpr std::uint64_t kMaxLayers = 4096;
 constexpr std::uint64_t kMaxLayerElems = std::uint64_t{1} << 28;
 constexpr std::uint64_t kMaxCalib = 4096;
 constexpr std::uint64_t kMaxDim = std::uint64_t{1} << 24;
+constexpr std::uint64_t kMaxPassSpec = 4096;  ///< pass-list string bytes
+constexpr std::uint64_t kMaxPasses = 64;      ///< applied-pass record entries
 
 /// FNV-1a over a byte span (same construction as RLut::fingerprint).
 void fnv1a(const void* data, std::size_t n, std::uint64_t& h) {
@@ -104,6 +116,7 @@ void hash_options(const DeployOptions& o, std::uint64_t& h) {
   fnv1a_u64(static_cast<std::uint64_t>(o.grad_samples), h);
   fnv1a_u64(static_cast<std::uint64_t>(o.grad_batch), h);
   fnv1a_u64(o.seed, h);
+  fnv1a_str(o.opt_passes, h);
 }
 
 /// Binary writer with stream-state checking.
@@ -216,6 +229,8 @@ void write_options(Writer& w, const DeployOptions& o) {
   w.scalar(o.grad_samples);
   w.scalar(o.grad_batch);
   w.scalar(o.seed);
+  w.scalar(static_cast<std::uint64_t>(o.opt_passes.size()));
+  w.raw(o.opt_passes.data(), o.opt_passes.size());
 }
 
 DeployOptions read_options(Reader& r) {
@@ -277,6 +292,15 @@ DeployOptions read_options(Reader& r) {
   r.require(o.grad_samples >= 0 && o.grad_batch >= 1,
             "gradient budget out of range");
   o.seed = r.scalar<std::uint64_t>();
+  const auto pass_len = r.scalar<std::uint64_t>();
+  r.require(pass_len <= kMaxPassSpec, "oversized optimizer pass list");
+  std::string spec(static_cast<std::size_t>(pass_len), '\0');
+  if (pass_len > 0) r.raw(spec.data(), spec.size());
+  std::string err;
+  if (!opt::parse_pass_list(spec, &err)) {
+    r.fail("invalid optimizer pass list: " + err);
+  }
+  o.opt_passes = std::move(spec);
   return o;
 }
 
@@ -303,6 +327,10 @@ void DeploymentPlan::save(std::ostream& out,
   for (const PlanLayer& pl : layers) {
     w.scalar(pl.fan_in);
     w.scalar(pl.fan_out);
+    // Per-layer execution metadata goes before the arrays so the loader
+    // can validate their declared counts against this layer's own m.
+    w.scalar(static_cast<std::int32_t>(pl.m));
+    w.scalar(pl.offset_registers);
     w.scalar(static_cast<std::int32_t>(pl.lq.bits));
     w.scalar(pl.lq.scale);
     w.scalar(static_cast<std::int32_t>(pl.lq.zero));
@@ -315,12 +343,19 @@ void DeploymentPlan::save(std::ostream& out,
     w.array(pl.assign.complemented);
     w.scalar(pl.assign.groups_per_col);
     w.scalar(pl.assign.total_objective);
+    w.array(pl.dead_cols);
   }
 
   w.scalar(static_cast<std::uint32_t>(act_calib.size()));
   for (const ActCalibration& ac : act_calib) {
     w.scalar(static_cast<std::int32_t>(ac.bits));
     w.scalar(ac.max_abs);
+  }
+
+  w.scalar(static_cast<std::uint32_t>(passes_applied.size()));
+  for (const std::string& name : passes_applied) {
+    w.scalar(static_cast<std::uint64_t>(name.size()));
+    w.raw(name.data(), name.size());
   }
 }
 
@@ -407,6 +442,12 @@ std::optional<DeploymentPlan> DeploymentPlan::load(std::istream& in,
                   pl.fan_out >= 1 &&
                   static_cast<std::uint64_t>(pl.fan_out) <= kMaxDim,
               "layer fan geometry out of range");
+    const auto layer_m = r.scalar<std::int32_t>();
+    r.require(layer_m >= opt.offsets.m && layer_m % opt.offsets.m == 0 &&
+                  static_cast<std::uint64_t>(layer_m) <= kMaxDim,
+              "layer group size out of range");
+    pl.m = layer_m;
+    pl.offset_registers = r.scalar<std::int64_t>();
     const auto bits = r.scalar<std::int32_t>();
     r.require(bits == opt.weight_bits, "layer bit width mismatch");
     pl.lq.bits = bits;
@@ -439,9 +480,12 @@ std::optional<DeploymentPlan> DeploymentPlan::load(std::istream& in,
     for (int v : pl.assign.ctw) {
       r.require(v >= 0 && v <= levels, "CTW value out of range");
     }
+    r.require(pl.offset_registers >= 1 &&
+                  pl.offset_registers <=
+                      groups_per_column(pl.lq.rows, pl.m) * pl.lq.cols,
+              "layer register count out of range");
     const std::uint64_t groups =
-        static_cast<std::uint64_t>(groups_per_column(pl.lq.rows,
-                                                     opt.offsets.m)) *
+        static_cast<std::uint64_t>(groups_per_column(pl.lq.rows, pl.m)) *
         static_cast<std::uint64_t>(pl.lq.cols);
     pl.assign.offsets = r.array<float>(groups);
     r.require(pl.assign.offsets.size() == groups, "offset count mismatch");
@@ -456,9 +500,35 @@ std::optional<DeploymentPlan> DeploymentPlan::load(std::istream& in,
     }
     pl.assign.groups_per_col = r.scalar<std::int64_t>();
     r.require(pl.assign.groups_per_col ==
-                  groups_per_column(pl.lq.rows, opt.offsets.m),
+                  groups_per_column(pl.lq.rows, pl.m),
               "group count does not match geometry");
     pl.assign.total_objective = r.finite_double();
+    pl.dead_cols = r.array<std::uint8_t>(
+        static_cast<std::uint64_t>(pl.lq.cols));
+    r.require(pl.dead_cols.empty() ||
+                  pl.dead_cols.size() ==
+                      static_cast<std::size_t>(pl.lq.cols),
+              "dead-column mask size mismatch");
+    for (std::int64_t c = 0;
+         c < static_cast<std::int64_t>(pl.dead_cols.size()); ++c) {
+      const std::uint8_t flag = pl.dead_cols[static_cast<std::size_t>(c)];
+      r.require(flag <= 1, "dead-column flag out of range");
+      if (flag == 0) continue;
+      // A marked column must actually be canonically dead: backends skip
+      // its programming, so believing a hostile flag would silently zero
+      // live weights.
+      for (std::int64_t row = 0; row < pl.lq.rows; ++row) {
+        const auto e = static_cast<std::size_t>(row * pl.lq.cols + c);
+        r.require(pl.lq.q[e] == pl.lq.zero && pl.assign.ctw[e] == pl.lq.zero,
+                  "dead-column flag over a live weight");
+      }
+      for (std::int64_t g = 0; g < pl.assign.groups_per_col; ++g) {
+        const auto gi = static_cast<std::size_t>(g * pl.lq.cols + c);
+        r.require(pl.assign.offsets[gi] == 0.0f &&
+                      pl.assign.complemented[gi] == 0,
+                  "dead-column flag over a nonzero offset");
+      }
+    }
   }
 
   const auto n_calib = r.scalar<std::uint32_t>();
@@ -471,6 +541,25 @@ std::optional<DeploymentPlan> DeploymentPlan::load(std::istream& in,
     plan.act_calib[i].max_abs = r.finite_float();
     r.require(plan.act_calib[i].max_abs >= 0.0f,
               "negative calibration range");
+  }
+
+  const auto n_passes = r.scalar<std::uint32_t>();
+  r.require(n_passes <= kMaxPasses, "applied-pass count out of range");
+  plan.passes_applied.reserve(n_passes);
+  for (std::uint32_t i = 0; i < n_passes; ++i) {
+    const auto len = r.scalar<std::uint64_t>();
+    r.require(len >= 1 && len <= kMaxPassSpec, "pass name length out of range");
+    std::string name(static_cast<std::size_t>(len), '\0');
+    r.raw(name.data(), name.size());
+    bool known = false;
+    for (const std::string& reg : opt::registered_passes()) {
+      if (reg == name) {
+        known = true;
+        break;
+      }
+    }
+    r.require(known, "unregistered pass in provenance record");
+    plan.passes_applied.push_back(std::move(name));
   }
 
   r.require(r.remaining() == 0, "trailing bytes");

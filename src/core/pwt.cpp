@@ -75,7 +75,7 @@ void EffectiveWeightBackend::run_pwt(const rdo::nn::DataView& train) {
         // dL/db per group (Eq. 8 with the dequantization scale folded in).
         std::vector<float> gb(static_cast<std::size_t>(groups * cols), 0.0f);
         for (std::int64_t r = 0; r < pl.lq.rows; ++r) {
-          const std::int64_t g = group_of_row(r, plan_.opt.offsets.m);
+          const std::int64_t g = group_of_row(r, pl.m);
           for (std::int64_t c = 0; c < cols; ++c) {
             gb[static_cast<std::size_t>(g * cols + c)] +=
                 ls.op->weight_grad_at(r, c);

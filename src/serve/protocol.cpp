@@ -3,6 +3,8 @@
 #include <cmath>
 #include <limits>
 
+#include "core/opt/pipeline.h"
+
 namespace rdo::serve {
 
 namespace {
@@ -113,6 +115,11 @@ void apply_config_key(rdo::core::DeployOptions& o, const std::string& key,
     const std::int64_t n = as_int(v, "pwt_epochs");
     if (n < 0 || n > 1024) bad("pwt_epochs out of range [0, 1024]");
     o.pwt.epochs = static_cast<int>(n);
+  } else if (key == "opt_passes") {
+    const std::string& s = as_str(v, "opt_passes");
+    std::string err;
+    if (!rdo::core::opt::parse_pass_list(s, &err)) bad(err);
+    o.opt_passes = s;
   } else {
     bad("unknown config key \"" + key + '"');
   }

@@ -1,10 +1,17 @@
 // ISAAC tile cost model (Table II) and pipeline latency.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "arch/isaac_cost.h"
 #include "arch/energy.h"
 #include "arch/pipeline.h"
 #include "core/offset.h"
+#include "core/opt/pipeline.h"
+#include "core/plan.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
 
 using namespace rdo::arch;
 
@@ -101,6 +108,81 @@ TEST(Arch, OffsetHardwareCostAccounting) {
                                        100 * g.sram_bit_area_um2);
   EXPECT_DOUBLE_EQ(hw.power_uw(g), 10 * g.fa_power_uw +
                                        100 * g.sram_bit_power_uw);
+}
+
+TEST(Arch, LayerOffsetRegistersMatchesEq9) {
+  // Eq. 9 specialized to a layer matrix: ceil(rows/m) groups per column.
+  EXPECT_EQ(layer_offset_registers(128, 32, 16), 256);
+  EXPECT_EQ(layer_offset_registers(128, 32, 128), 32);
+  EXPECT_EQ(layer_offset_registers(130, 1, 16), 9);  // ragged last group
+  EXPECT_EQ(layer_offset_registers(6, 4, 8), 4);     // m larger than rows
+  EXPECT_THROW(layer_offset_registers(0, 4, 2), std::invalid_argument);
+  EXPECT_THROW(layer_offset_registers(6, 4, 0), std::invalid_argument);
+}
+
+TEST(Arch, PlanAccountingAgreesWithCostModel) {
+  // The cost model and core::DeploymentPlan::total_offset_registers()
+  // must never drift apart: before any optimizer pass the plan's count
+  // is exactly the per-layer Eq. 9 sum, and after the passes it is
+  // exactly what plan_overhead() prices.
+  namespace core = rdo::core;
+  namespace nn = rdo::nn;
+  nn::Rng rng(11);
+  auto net = std::make_unique<nn::Sequential>();
+  net->emplace<nn::Dense>(6, 4, rng);
+  nn::Tensor images({12, 6});
+  for (std::int64_t i = 0; i < images.size(); ++i) {
+    images[i] = 0.2f * static_cast<float>(i % 7) - 0.6f;
+  }
+  std::vector<int> labels;
+  for (int i = 0; i < 12; ++i) labels.push_back(i % 4);
+  const nn::DataView train{&images, &labels};
+  core::DeployOptions opt;
+  opt.scheme = core::Scheme::VAWOStar;
+  opt.weight_bits = 4;
+  opt.offsets.m = 2;
+  opt.offsets.offset_bits = 4;
+  opt.lut_k_sets = 2;
+  opt.lut_j_cycles = 2;
+  opt.grad_samples = 12;
+  opt.seed = 11;
+
+  core::DeploymentPlan plan = core::compile_plan(*net, opt, train);
+  long long eq9 = 0;
+  for (const core::PlanLayer& pl : plan.layers) {
+    eq9 += layer_offset_registers(pl.lq.rows, pl.lq.cols, pl.m);
+  }
+  EXPECT_EQ(eq9, plan.total_offset_registers());
+
+  core::opt::run_pipeline(
+      plan, {"tune_group_size", "color_offset_registers"});
+  std::vector<LayerOffsetCost> lc;
+  for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+    const core::PlanLayer& pl = plan.layers[li];
+    lc.push_back({pl.m,
+                  static_cast<long long>(
+                      plan.layer_tiling(li).total_crossbars()),
+                  static_cast<long long>(pl.offset_registers)});
+  }
+  const PlanOverhead pov = plan_overhead(lc, opt.offsets.offset_bits, 1.0);
+  EXPECT_EQ(pov.registers, plan.total_offset_registers());
+  EXPECT_LT(pov.registers, eq9);  // the passes actually shared registers
+  EXPECT_EQ(pov.register_bits, pov.registers * opt.offsets.offset_bits);
+  EXPECT_GT(pov.tiles_used, 0);
+}
+
+TEST(Arch, PlanOverheadPricesKeptRegistersOnly) {
+  // Two identical plans except for shared registers: fewer registers
+  // must mean strictly less area and digital power, same tile count.
+  const std::vector<LayerOffsetCost> full = {{16, 4, 256}};
+  const std::vector<LayerOffsetCost> shared = {{16, 4, 32}};
+  const PlanOverhead a = plan_overhead(full, 8, 1.0);
+  const PlanOverhead b = plan_overhead(shared, 8, 1.0);
+  EXPECT_LT(b.area_mm2, a.area_mm2);
+  EXPECT_LT(b.power_mw, a.power_mw);
+  EXPECT_EQ(a.tiles_used, b.tiles_used);
+  EXPECT_THROW(plan_overhead(full, 0, 1.0), std::invalid_argument);
+  EXPECT_THROW(plan_overhead({{0, 4, 1}}, 8, 1.0), std::invalid_argument);
 }
 
 TEST(Pipeline, ReadCyclesFollowGeometry) {

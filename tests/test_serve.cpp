@@ -370,6 +370,10 @@ TEST(Serve, MalformedRequestsGetTypedBadRequestErrors) {
       R"({"op": "evaluate", "data": {"shape": [2, 6], "images": [0.0],)"
       R"( "labels": [0, 1]}})",
       R"({"op": "evaluate", "batch": 0})",
+      R"({"op": "evaluate", "config": {"opt_passes": "bogus_pass"}})",
+      R"({"op": "evaluate", "config": {"opt_passes": 3}})",
+      R"({"op": "evaluate", "config": )"
+      R"({"opt_passes": "tune_group_size,tune_group_size"}})",
   };
   for (const std::string& line : bad) {
     expect_bad_request(reply(svc, line), line);
@@ -380,6 +384,23 @@ TEST(Serve, MalformedRequestsGetTypedBadRequestErrors) {
   // Nothing malformed ever reached the pipeline.
   EXPECT_EQ(c.plan_misses, 0);
   EXPECT_EQ(svc.cached_plans(), 0u);
+}
+
+TEST(Serve, OptPassesOverrideCompilesDistinctPlan) {
+  const ServeFixture f;
+  serve::InferenceService svc = f.make_service();
+  const Json plain = reply(
+      svc, R"({"op": "evaluate", "data": {"split": "test", "count": 4}})");
+  ASSERT_TRUE(plain.find("ok")->as_bool()) << plain.dump();
+  const Json opt = reply(
+      svc,
+      R"({"op": "evaluate", "config": {"opt_passes": )"
+      R"("color_offset_registers"}, "data": {"split": "test", "count": 4}})");
+  ASSERT_TRUE(opt.find("ok")->as_bool()) << opt.dump();
+  // The pass list is part of the plan cache key: the override compiled
+  // (and cached) a second, distinct plan.
+  EXPECT_EQ(svc.cached_plans(), 2u);
+  EXPECT_EQ(svc.counters().plan_misses, 2);
 }
 
 TEST(Serve, BackendPoolIsKeyedByCycle) {

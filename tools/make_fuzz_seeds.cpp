@@ -166,12 +166,46 @@ void make_plan_seeds(const fs::path& dir) {
 
   // Embedded-LUT blob length far beyond the file: must be rejected by
   // the byte budget before any allocation. The length field sits right
-  // after the fixed-width options block (magic 4 + fingerprint 8 +
-  // options 123 bytes — see plan_io.cpp write_options).
+  // after the options block (magic 4 + fingerprint 8 + 123 fixed-width
+  // option bytes + the 8-byte length prefix of the empty optimizer pass
+  // list — see plan_io.cpp write_options).
   std::vector<char> huge_lut = valid;
   const std::uint64_t huge = 1ull << 40;
-  std::memcpy(huge_lut.data() + 135, &huge, sizeof(huge));
+  std::memcpy(huge_lut.data() + 143, &huge, sizeof(huge));
   spit(dir / "plan_huge_lut.bin", huge_lut);
+
+  // RDP2 fixtures: a plan carrying the full optimizer pipeline (tuned
+  // per-layer m, colored registers, provenance record), its corrupt
+  // variants, and pass-list rejection cases.
+  rdo::core::DeployOptions topt = opt;
+  topt.opt_passes =
+      "tune_group_size,color_offset_registers,eliminate_dead_tiles,"
+      "canonicalize_complement";
+  const rdo::core::DeploymentPlan tuned =
+      rdo::core::compile_plan(net, topt, train);
+  const std::uint64_t tuned_fp =
+      rdo::core::plan_fingerprint(net, topt, train);
+  tuned.save((dir / "valid_tuned.bin").string(), tuned_fp);
+  const std::vector<char> tuned_bytes = slurp(dir / "valid_tuned.bin");
+  corrupt_variants(dir, "tuned", tuned_bytes);
+
+  // Stale-fingerprint path over the tuned format.
+  std::vector<char> tuned_stale = tuned_bytes;
+  const std::uint64_t tuned_other = tuned_fp ^ 0xDEADBEEFull;
+  std::memcpy(tuned_stale.data() + 4, &tuned_other, sizeof(tuned_other));
+  spit(dir / "tuned_stale_fp.bin", tuned_stale);
+
+  // Unregistered name in the trailing pass-provenance record (the file
+  // ends with the last pass name's bytes): must raise PlanError.
+  std::vector<char> bad_prov = tuned_bytes;
+  bad_prov.back() ^= 0x01;
+  spit(dir / "tuned_bad_provenance.bin", bad_prov);
+
+  // Unparseable optimizer pass list in the options block: the loader
+  // must reject it before anything downstream consumes the options.
+  rdo::core::DeploymentPlan bad_list = plan;
+  bad_list.opt.opt_passes = "bogus_pass";
+  bad_list.save((dir / "plan_bad_passlist.bin").string(), fp);
 }
 
 void make_json_seeds(const fs::path& dir) {

@@ -14,11 +14,14 @@
 // malformed input exits 2). With --json the run also writes the same
 // schema-versioned document the bench harnesses emit (see EXPERIMENTS.md).
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
+#include "core/opt/pipeline.h"
 #include "core/plan.h"
 #include "data/synthetic.h"
 #include "experiment_args.h"
@@ -45,6 +48,19 @@ int main(int argc, char** argv) {
   if (a.help) {
     std::fputs(tools::experiment_usage(), stdout);
     return 0;
+  }
+
+  // Optimizer pass pipeline (core/opt): validated up front so a typo in
+  // the environment fails fast like a malformed flag, before any training.
+  std::string opt_passes;
+  if (const char* passes = std::getenv("RDO_OPT_PASSES")) {
+    std::string err;
+    if (!core::opt::parse_pass_list(passes, &err)) {
+      std::fprintf(stderr, "rdo_experiment: RDO_OPT_PASSES: %s\n",
+                   err.c_str());
+      return 2;
+    }
+    opt_passes = passes;
   }
 
   obs::BenchReport rep("rdo_experiment", a.seed);
@@ -111,6 +127,7 @@ int main(int argc, char** argv) {
                           ? rram::VariationScope::PerCell
                           : rram::VariationScope::PerWeight;
   o.seed = a.seed;
+  o.opt_passes = opt_passes;
 
   std::printf("deploying: scheme=%s cell=%s sigma=%.2f ddv=%.2f m=%d "
               "bits=%d scope=%s repeats=%d\n",
@@ -184,6 +201,40 @@ int main(int argc, char** argv) {
     hw["read_power_ratio"] = ratio;
     hw["tile_area_mm2"] = ov.area_mm2;
     hw["tile_power_mw"] = ov.power_mw;
+
+    // Plan-aware overhead, only with an optimizer pipeline configured:
+    // the default run's stdout and JSON stay byte-identical to builds
+    // without the optimizer (the bench-json CI gate diffs them).
+    if (!o.opt_passes.empty()) {
+      std::vector<arch::LayerOffsetCost> lc;
+      for (std::size_t li = 0; li < plan.layers.size(); ++li) {
+        const core::PlanLayer& pl = plan.layers[li];
+        lc.push_back({pl.m,
+                      static_cast<long long>(
+                          plan.layer_tiling(li).total_crossbars()),
+                      static_cast<long long>(pl.offset_registers)});
+      }
+      const arch::PlanOverhead pov =
+          arch::plan_overhead(lc, a.offset_bits, ratio);
+      std::printf("optimized plan (passes: %s):\n", o.opt_passes.c_str());
+      std::printf("  offset registers after passes: %lld\n",
+                  static_cast<long long>(pov.registers));
+      std::printf("  plan overhead: +%.3f mm^2 (%.1f%%), %+.2f mW (%.1f%%)\n",
+                  pov.area_mm2, pov.area_pct, pov.power_mw, pov.power_pct);
+      rep.results()["config"]["opt_passes"] = o.opt_passes;
+      obs::Json applied = obs::Json::array();
+      for (const std::string& name : plan.passes_applied) {
+        applied.push_back(name);
+      }
+      hw["opt_passes_applied"] = std::move(applied);
+      hw["plan_area_mm2"] = pov.area_mm2;
+      hw["plan_power_mw"] = pov.power_mw;
+      obs::Json per_layer_m = obs::Json::array();
+      for (const core::PlanLayer& pl : plan.layers) {
+        per_layer_m.push_back(static_cast<std::int64_t>(pl.m));
+      }
+      hw["per_layer_m"] = std::move(per_layer_m);
+    }
   } catch (const std::exception& e) {
     rep.add_failure("deployment", e.what());
     std::fprintf(stderr, "rdo_experiment: deployment failed: %s\n", e.what());
