@@ -9,6 +9,7 @@
 
 #include "core/check.h"
 #include "core/opt/pipeline.h"
+#include "obs/envvar.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/stopwatch.h"
@@ -32,7 +33,7 @@ rdo::rram::RLut make_lut(const rdo::rram::WeightProgrammer& prog,
   span.arg("k_sets", opt.lut_k_sets);
   span.arg("j_cycles", opt.lut_j_cycles);
   const rdo::nn::Rng lut_rng = rdo::nn::Rng(opt.seed).split(0x11A7);
-  const char* dir = std::getenv("RDO_LUT_CACHE_DIR");
+  const char* dir = rdo::obs::env_knob("RDO_LUT_CACHE_DIR");
   std::string path;
   std::uint64_t fp = 0;
   if (dir != nullptr && dir[0] != '\0') {
@@ -258,7 +259,7 @@ DeploymentPlan compile_plan(const rdo::nn::Layer& net,
   // reject hostile offset geometry before anything derives ranges from it.
   opt.offsets.validate();
 
-  const char* dir = std::getenv("RDO_PLAN_CACHE_DIR");
+  const char* dir = rdo::obs::env_knob("RDO_PLAN_CACHE_DIR");
   if (dir == nullptr || dir[0] == '\0') {
     return compile_plan_uncached(net, opt, train);
   }

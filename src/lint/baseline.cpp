@@ -1,0 +1,111 @@
+#include "lint/baseline.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "obs/json.h"
+
+namespace rdo::lint {
+
+namespace {
+
+using Key = std::tuple<std::string, std::string, std::string>;
+
+Key key_of(const BaselineEntry& e) { return {e.file, e.rule, e.context}; }
+Key key_of(const Finding& f) { return {f.file, f.rule, f.context}; }
+
+}  // namespace
+
+Baseline load_baseline(const std::string& path) {
+  const rdo::obs::Json doc = rdo::obs::read_json_file(path);
+  const auto* version = doc.find("version");
+  if (version == nullptr || !version->is_int() || version->as_int() != 1) {
+    throw std::runtime_error("rdo_lint: " + path +
+                             ": baseline version must be 1");
+  }
+  const auto* entries = doc.find("entries");
+  if (entries == nullptr || !entries->is_array()) {
+    throw std::runtime_error("rdo_lint: " + path +
+                             ": baseline needs an \"entries\" array");
+  }
+  Baseline b;
+  for (std::size_t i = 0; i < entries->size(); ++i) {
+    const rdo::obs::Json& e = entries->at(i);
+    const auto* file = e.find("file");
+    const auto* rule = e.find("rule");
+    const auto* context = e.find("context");
+    const auto* count = e.find("count");
+    if (file == nullptr || !file->is_string() || rule == nullptr ||
+        !rule->is_string() || context == nullptr || !context->is_string() ||
+        count == nullptr || !count->is_int() || count->as_int() < 1) {
+      throw std::runtime_error(
+          "rdo_lint: " + path +
+          ": baseline entries need string file/rule/context and count >= 1");
+    }
+    b.entries.push_back(BaselineEntry{file->as_string(), rule->as_string(),
+                                      context->as_string(),
+                                      static_cast<int>(count->as_int())});
+  }
+  return b;
+}
+
+void save_baseline(const Baseline& b, const std::string& path) {
+  Baseline sorted = b;
+  std::sort(sorted.entries.begin(), sorted.entries.end(),
+            [](const BaselineEntry& a, const BaselineEntry& c) {
+              return key_of(a) < key_of(c);
+            });
+  rdo::obs::Json doc = rdo::obs::Json::object();
+  doc["version"] = 1;
+  rdo::obs::Json entries = rdo::obs::Json::array();
+  for (const BaselineEntry& e : sorted.entries) {
+    rdo::obs::Json j = rdo::obs::Json::object();
+    j["file"] = e.file;
+    j["rule"] = e.rule;
+    j["context"] = e.context;
+    j["count"] = e.count;
+    entries.push_back(std::move(j));
+  }
+  doc["entries"] = std::move(entries);
+  rdo::obs::write_json_file(doc, path);
+}
+
+Baseline make_baseline(const std::vector<Finding>& findings) {
+  std::map<Key, int> counts;
+  for (const Finding& f : findings) ++counts[key_of(f)];
+  Baseline b;
+  for (const auto& [k, n] : counts) {
+    b.entries.push_back(BaselineEntry{std::get<0>(k), std::get<1>(k),
+                                      std::get<2>(k), n});
+  }
+  return b;
+}
+
+BaselineResult apply_baseline(std::vector<Finding>& findings,
+                              const Baseline& b) {
+  std::map<Key, int> budget;
+  for (const BaselineEntry& e : b.entries) budget[key_of(e)] += e.count;
+
+  BaselineResult r;
+  for (Finding& f : findings) {
+    const auto it = budget.find(key_of(f));
+    if (it != budget.end() && it->second > 0) {
+      --it->second;
+      f.baselined = true;
+      ++r.absorbed;
+    } else {
+      ++r.fresh;
+    }
+  }
+  for (const auto& [k, remaining] : budget) {
+    if (remaining > 0) {
+      r.stale.push_back(BaselineEntry{std::get<0>(k), std::get<1>(k),
+                                      std::get<2>(k), remaining});
+    }
+  }
+  return r;
+}
+
+}  // namespace rdo::lint

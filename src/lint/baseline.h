@@ -1,0 +1,58 @@
+// Baseline ratchet for rdo_lint (lint_baseline.json at the repo root).
+//
+// The baseline is the committed debt ledger: every entry is one known
+// finding, keyed by (file, rule, trimmed source line) with a count, so
+// entries survive unrelated line-number churn. The ratchet is two-sided:
+//
+//   * a finding NOT absorbed by the baseline is NEW -> exit 1;
+//   * a baseline entry NOT matched by any finding is STALE -> exit 1
+//     with instructions to run --update-baseline, which rewrites the
+//     file from the current findings and can therefore only shrink debt
+//     (growing it again would fail as new findings first).
+//
+// Policy (ISSUE 10): only tests/ and bench/ noise may be baselined;
+// findings in src/ are fixed or carry an inline suppression with a
+// reason.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace rdo::lint {
+
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string context;  ///< trimmed source line at the finding
+  int count = 1;        ///< identical findings absorbed on that key
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Outcome of matching findings against a baseline.
+struct BaselineResult {
+  int fresh = 0;      ///< findings not absorbed (these fail the gate)
+  int absorbed = 0;   ///< findings marked .baselined
+  std::vector<BaselineEntry> stale;  ///< entries with unmatched count
+};
+
+/// Parse a baseline document. Throws std::runtime_error on I/O or
+/// schema problems (a broken ledger must fail loudly, exit 2).
+[[nodiscard]] Baseline load_baseline(const std::string& path);
+
+/// Write `b` deterministically (entries sorted by file/rule/context).
+void save_baseline(const Baseline& b, const std::string& path);
+
+/// Build the baseline that would absorb exactly `findings`.
+[[nodiscard]] Baseline make_baseline(const std::vector<Finding>& findings);
+
+/// Mark findings absorbed by `b` (sets Finding::baselined) and report
+/// what was fresh and what went stale.
+[[nodiscard]] BaselineResult apply_baseline(std::vector<Finding>& findings,
+                                            const Baseline& b);
+
+}  // namespace rdo::lint

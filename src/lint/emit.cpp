@@ -1,0 +1,138 @@
+#include "lint/emit.h"
+
+#include <cstdio>
+
+namespace rdo::lint {
+
+std::string format_text(const std::vector<Finding>& findings,
+                        int files_scanned) {
+  std::string out;
+  std::size_t shown = 0;
+  for (const Finding& f : findings) {
+    if (f.baselined) continue;
+    out += f.file;
+    out += ':';
+    out += std::to_string(f.line);
+    out += ": [";
+    out += f.rule;
+    out += "] ";
+    out += f.message;
+    out += '\n';
+    ++shown;
+  }
+  out += "rdo_lint: " + std::to_string(files_scanned) + " file(s), " +
+         std::to_string(shown) + " violation(s)\n";
+  return out;
+}
+
+rdo::obs::Json findings_json(const std::vector<Finding>& findings) {
+  rdo::obs::Json doc = rdo::obs::Json::object();
+  doc["version"] = 1;
+  rdo::obs::Json arr = rdo::obs::Json::array();
+  for (const Finding& f : findings) {
+    rdo::obs::Json j = rdo::obs::Json::object();
+    j["file"] = f.file;
+    j["line"] = f.line;
+    j["col"] = f.col;
+    j["rule"] = f.rule;
+    j["message"] = f.message;
+    j["context"] = f.context;
+    j["baselined"] = f.baselined;
+    arr.push_back(std::move(j));
+  }
+  doc["findings"] = std::move(arr);
+  return doc;
+}
+
+rdo::obs::Json sarif_document(const Engine& engine,
+                              const std::vector<Finding>& findings,
+                              bool baseline_used) {
+  using rdo::obs::Json;
+
+  Json rules = Json::array();
+  const auto rule_meta = [](const char* id, const char* desc) {
+    Json r = Json::object();
+    r["id"] = id;
+    Json short_desc = Json::object();
+    short_desc["text"] = desc;
+    r["shortDescription"] = std::move(short_desc);
+    Json cfg = Json::object();
+    cfg["level"] = "error";
+    r["defaultConfiguration"] = std::move(cfg);
+    return r;
+  };
+  std::vector<std::string> rule_ids;
+  for (const auto& r : engine.rules()) {
+    rules.push_back(rule_meta(r->name(), r->description()));
+    rule_ids.emplace_back(r->name());
+  }
+  rules.push_back(rule_meta(kUnusedSuppression,
+                            "a rdo-lint suppression comment that "
+                            "suppressed no finding"));
+  rule_ids.emplace_back(kUnusedSuppression);
+  rules.push_back(rule_meta(kMalformedSuppression,
+                            "a rdo-lint suppression comment the engine "
+                            "could not parse"));
+  rule_ids.emplace_back(kMalformedSuppression);
+
+  Json driver = Json::object();
+  driver["name"] = "rdo_lint";
+  driver["informationUri"] =
+      "https://github.com/rram-digital-offset/reproduction";
+  driver["version"] = "2.0.0";
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+
+  Json results = Json::array();
+  for (const Finding& f : findings) {
+    Json res = Json::object();
+    res["ruleId"] = f.rule;
+    // ruleIndex lets viewers join results to the rule table without a
+    // linear scan.
+    for (std::size_t k = 0; k < rule_ids.size(); ++k) {
+      if (rule_ids[k] == f.rule) {
+        res["ruleIndex"] = static_cast<std::int64_t>(k);
+        break;
+      }
+    }
+    res["level"] = "error";
+    Json msg = Json::object();
+    msg["text"] = f.message;
+    res["message"] = std::move(msg);
+    Json artifact = Json::object();
+    artifact["uri"] = f.file;
+    Json region = Json::object();
+    region["startLine"] = f.line;
+    region["startColumn"] = f.col;
+    Json physical = Json::object();
+    physical["artifactLocation"] = std::move(artifact);
+    physical["region"] = std::move(region);
+    Json loc = Json::object();
+    loc["physicalLocation"] = std::move(physical);
+    Json locs = Json::array();
+    locs.push_back(std::move(loc));
+    res["locations"] = std::move(locs);
+    if (baseline_used) {
+      res["baselineState"] = f.baselined ? "unchanged" : "new";
+    }
+    results.push_back(std::move(res));
+  }
+
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["columnKind"] = "utf16CodeUnits";
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+
+  Json doc = Json::object();
+  doc["$schema"] =
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = std::move(runs);
+  return doc;
+}
+
+}  // namespace rdo::lint

@@ -1,0 +1,35 @@
+// Finding emitters: the human text form (byte-compatible with the old
+// PR 5 tool so diffs against its output stay meaningful), a structured
+// JSON form, and SARIF 2.1.0 for CI annotation upload.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/engine.h"
+#include "lint/rule.h"
+#include "obs/json.h"
+
+namespace rdo::lint {
+
+/// One `file:line: [rule] message` line per finding (baselined findings
+/// skipped) followed by the `rdo_lint: N file(s), M violation(s)`
+/// summary — exactly the old tool's stderr format.
+[[nodiscard]] std::string format_text(const std::vector<Finding>& findings,
+                                      int files_scanned);
+
+/// {"version": 1, "findings": [{file, line, col, rule, message, context,
+/// baselined} ...]} — every finding, baselined ones marked.
+[[nodiscard]] rdo::obs::Json findings_json(
+    const std::vector<Finding>& findings);
+
+/// SARIF 2.1.0 document: one run, the engine's rule catalogue as
+/// tool.driver.rules, one result per finding with a physical location.
+/// When `baseline_used` is true every result carries a baselineState
+/// ("unchanged" for absorbed findings, "new" otherwise) so CI viewers
+/// can separate debt from regressions.
+[[nodiscard]] rdo::obs::Json sarif_document(
+    const Engine& engine, const std::vector<Finding>& findings,
+    bool baseline_used);
+
+}  // namespace rdo::lint

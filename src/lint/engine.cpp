@@ -1,0 +1,322 @@
+#include "lint/engine.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rdo::lint {
+
+// ---------------------------------------------------------------------------
+// FileContext
+
+namespace {
+
+const Token& sentinel() {
+  static const Token t{TokKind::Punct, "", 0, 0};
+  return t;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t' || s[b] == '\r')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) {
+    --e;
+  }
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+FileContext::FileContext(std::string path, const std::string& source)
+    : path_(std::move(path)), tokens_(lex(source)) {
+  code_.reserve(tokens_.size());
+  for (int i = 0; i < static_cast<int>(tokens_.size()); ++i) {
+    if (tokens_[static_cast<std::size_t>(i)].kind != TokKind::Comment) {
+      code_.push_back(i);
+    }
+  }
+  std::string line;
+  std::istringstream ls(source);
+  while (std::getline(ls, line)) lines_.push_back(std::move(line));
+}
+
+const Token& FileContext::code(int i) const {
+  if (i < 0 || i >= ncode()) return sentinel();
+  return tokens_[static_cast<std::size_t>(code_[static_cast<std::size_t>(i)])];
+}
+
+bool FileContext::ident(int i, const char* text) const {
+  const Token& t = code(i);
+  return t.kind == TokKind::Identifier && t.text == text;
+}
+
+bool FileContext::punct(int i, const char* text) const {
+  const Token& t = code(i);
+  return t.kind == TokKind::Punct && t.text == text;
+}
+
+int FileContext::matching(int open) const {
+  const std::string& o = code(open).text;
+  const char* close = o == "(" ? ")" : o == "{" ? "}" : o == "[" ? "]" : "";
+  int depth = 0;
+  for (int i = open; i < ncode(); ++i) {
+    if (punct(i, o.c_str())) {
+      ++depth;
+    } else if (punct(i, close)) {
+      if (--depth == 0) return i;
+    }
+  }
+  return ncode();
+}
+
+std::string FileContext::line_text(int line) const {
+  if (line < 1 || line > static_cast<int>(lines_.size())) return "";
+  return trim(lines_[static_cast<std::size_t>(line - 1)]);
+}
+
+void FileContext::report(std::vector<Finding>& out, const char* rule,
+                         const std::string& message, int i) const {
+  const Token& t = code(i);
+  out.push_back(Finding{rule, message, path_, line_text(t.line), t.line,
+                        t.col, false});
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+namespace {
+
+struct Suppression {
+  int comment_line = 0;
+  int target_line = 0;  ///< 0 when the comment governs no code line
+  std::vector<std::string> rules;
+  bool used = false;
+};
+
+/// Parse one comment for the `rdo-lint:` marker. Returns true when the
+/// marker is present; fills `sup` on success or `error` on a malformed
+/// directive. The marker must be the first thing in the comment (after
+/// the // or /* opener and whitespace) — prose that merely *mentions*
+/// the directive syntax, including a doc line quoting a suppression
+/// inside another comment, is not a directive.
+bool parse_suppression(const Engine& eng, const Token& comment,
+                       Suppression* sup, std::string* error) {
+  const std::string& text = comment.text;
+  std::size_t marker = 0;
+  if (text.compare(0, 2, "//") == 0 || text.compare(0, 2, "/*") == 0) {
+    marker = 2;
+    // Tolerate exactly one doc-comment opener char: ///, //!, /**, /*!.
+    if (marker < text.size() &&
+        (text[marker] == '/' || text[marker] == '*' || text[marker] == '!')) {
+      ++marker;
+    }
+    while (marker < text.size() &&
+           (text[marker] == ' ' || text[marker] == '\t')) {
+      ++marker;
+    }
+  }
+  if (text.compare(marker, 9, "rdo-lint:") != 0) return false;
+  std::size_t p = marker + 9;
+  while (p < text.size() && text[p] == ' ') ++p;
+  if (text.compare(p, 6, "allow(") != 0) {
+    *error = "expected \"allow(rule[, rule]) reason\" after rdo-lint:";
+    return true;
+  }
+  p += 6;
+  const std::size_t close = text.find(')', p);
+  if (close == std::string::npos) {
+    *error = "unterminated allow( list";
+    return true;
+  }
+  std::string names = text.substr(p, close - p);
+  std::size_t start = 0;
+  while (start <= names.size()) {
+    std::size_t comma = names.find(',', start);
+    if (comma == std::string::npos) comma = names.size();
+    const std::string name = trim(names.substr(start, comma - start));
+    if (name.empty()) {
+      *error = "empty rule name in allow( list";
+      return true;
+    }
+    if (eng.find_rule(name) == nullptr) {
+      *error = "unknown rule \"" + name + "\" in allow( list";
+      return true;
+    }
+    sup->rules.push_back(name);
+    start = comma + 1;
+    if (comma == names.size()) break;
+  }
+  std::string reason = text.substr(close + 1);
+  // Block comments keep their terminator in the token text.
+  const std::size_t term = reason.rfind("*/");
+  if (term != std::string::npos) reason = reason.substr(0, term);
+  if (trim(reason).empty()) {
+    *error = "suppression needs a reason after allow(...)";
+    return true;
+  }
+  sup->comment_line = comment.line;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engine
+
+const Rule* Engine::find_rule(const std::string& name) const {
+  for (const auto& r : rules_) {
+    if (name == r->name()) return r.get();
+  }
+  return nullptr;
+}
+
+void Engine::set_enabled(const std::vector<std::string>& names) {
+  enabled_.clear();
+  for (const std::string& n : names) {
+    const Rule* r = find_rule(n);
+    if (r == nullptr) {
+      throw std::invalid_argument("rdo_lint: unknown rule \"" + n + '"');
+    }
+    enabled_.push_back(r);
+  }
+}
+
+std::vector<Finding> Engine::lint_source(const std::string& path,
+                                         const std::string& source) const {
+  const FileContext ctx(path, source);
+
+  std::vector<Finding> findings;
+  if (enabled_.empty()) {
+    for (const auto& r : rules_) r->run(ctx, findings);
+  } else {
+    for (const Rule* r : enabled_) r->run(ctx, findings);
+  }
+
+  // Lines that hold at least one code token, for suppression targeting.
+  std::vector<int> code_lines;
+  for (int i = 0; i < ctx.ncode(); ++i) {
+    if (code_lines.empty() || code_lines.back() != ctx.code(i).line) {
+      code_lines.push_back(ctx.code(i).line);
+    }
+  }
+  const auto first_code_line_after = [&](int line) {
+    for (const int l : code_lines) {
+      if (l > line) return l;
+    }
+    return 0;
+  };
+  const auto line_has_code = [&](int line) {
+    return std::binary_search(code_lines.begin(), code_lines.end(), line);
+  };
+
+  std::vector<Suppression> sups;
+  for (const Token& t : ctx.tokens()) {
+    if (t.kind != TokKind::Comment) continue;
+    Suppression s;
+    std::string error;
+    if (!parse_suppression(*this, t, &s, &error)) continue;
+    if (!error.empty()) {
+      findings.push_back(Finding{kMalformedSuppression, error, ctx.path(),
+                                 ctx.line_text(t.line), t.line, t.col,
+                                 false});
+      continue;
+    }
+    // Trailing comment governs its own line; a standalone comment line
+    // governs the next line that holds code.
+    s.target_line = line_has_code(t.line) ? t.line
+                                          : first_code_line_after(t.line);
+    sups.push_back(std::move(s));
+  }
+
+  if (!sups.empty()) {
+    std::vector<Finding> kept;
+    kept.reserve(findings.size());
+    for (Finding& f : findings) {
+      bool drop = false;
+      for (Suppression& s : sups) {
+        if (s.target_line == f.line &&
+            std::find(s.rules.begin(), s.rules.end(), f.rule) !=
+                s.rules.end()) {
+          s.used = true;
+          drop = true;
+          break;
+        }
+      }
+      if (!drop) kept.push_back(std::move(f));
+    }
+    findings = std::move(kept);
+    for (const Suppression& s : sups) {
+      if (s.used) continue;
+      findings.push_back(Finding{
+          kUnusedSuppression,
+          "suppression does not match any finding; delete it or fix the "
+          "rule list",
+          ctx.path(), ctx.line_text(s.comment_line), s.comment_line, 1,
+          false});
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              if (a.col != b.col) return a.col < b.col;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<Finding> Engine::lint_file(const std::filesystem::path& file,
+                                       const std::string& report_path) const {
+  std::ifstream f(file, std::ios::binary);
+  if (!f) {
+    throw std::runtime_error("rdo_lint: cannot read " + file.string());
+  }
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return lint_source(report_path, ss.str());
+}
+
+// ---------------------------------------------------------------------------
+// File collection
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+}
+
+std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots,
+    const std::vector<std::string>& excludes) {
+  namespace fs = std::filesystem;
+  const auto excluded = [&](const fs::path& p) {
+    const std::string s = p.generic_string();
+    for (const std::string& e : excludes) {
+      if (s.find(e) != std::string::npos) return true;
+    }
+    return false;
+  };
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    if (fs::is_directory(root)) {
+      std::vector<fs::path> batch;
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (entry.is_regular_file() && lintable(entry.path()) &&
+            !excluded(entry.path())) {
+          batch.push_back(entry.path());
+        }
+      }
+      std::sort(batch.begin(), batch.end());
+      files.insert(files.end(), batch.begin(), batch.end());
+    } else if (fs::is_regular_file(root)) {
+      if (!excluded(root)) files.push_back(root);
+    } else {
+      throw std::runtime_error("rdo_lint: no such file or directory: " +
+                               root.string());
+    }
+  }
+  return files;
+}
+
+}  // namespace rdo::lint

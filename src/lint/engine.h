@@ -1,0 +1,73 @@
+// Analyzer engine: owns the rule set, runs rules over files, applies
+// inline suppressions.
+//
+// Suppression contract (DESIGN.md §5):
+//
+//   // rdo-lint: allow(rule-a, rule-b) reason text
+//
+// A trailing comment suppresses matching findings on its own line; a
+// comment alone on a line suppresses them on the next line that holds
+// any code. The reason is mandatory, the rule names must be registered,
+// and a suppression that suppressed nothing is itself a finding
+// (`unused-suppression`) — so stale allowances can never accumulate.
+// Malformed suppressions (no reason, unknown rule, bad syntax) are
+// reported as `malformed-suppression` rather than silently ignored.
+#pragma once
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/rule.h"
+
+namespace rdo::lint {
+
+/// Pseudo-rules emitted by the engine itself (not in rules(), not
+/// suppressible).
+inline constexpr const char* kUnusedSuppression = "unused-suppression";
+inline constexpr const char* kMalformedSuppression = "malformed-suppression";
+
+class Engine {
+ public:
+  /// Registers every built-in rule (see rules.cpp).
+  Engine();
+
+  /// The registered rules, in catalogue order.
+  [[nodiscard]] const std::vector<std::unique_ptr<Rule>>& rules() const {
+    return rules_;
+  }
+  /// nullptr when no rule has that name.
+  [[nodiscard]] const Rule* find_rule(const std::string& name) const;
+
+  /// Restrict analysis to the named rules (driver --rules). Unknown
+  /// names throw std::invalid_argument. An empty list restores all.
+  void set_enabled(const std::vector<std::string>& names);
+
+  /// Lint one translation unit given as text. `path` is the spelling
+  /// used in findings. Returns findings sorted by (line, col, rule),
+  /// suppressions already applied.
+  [[nodiscard]] std::vector<Finding> lint_source(
+      const std::string& path, const std::string& source) const;
+
+  /// Lint a file on disk, reporting it as `report_path`. Throws
+  /// std::runtime_error when the file cannot be read.
+  [[nodiscard]] std::vector<Finding> lint_file(
+      const std::filesystem::path& file, const std::string& report_path) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> rules_;
+  std::vector<const Rule*> enabled_;
+};
+
+/// True for the extensions the analyzer understands (.cpp/.h/.hpp/.cc).
+[[nodiscard]] bool lintable(const std::filesystem::path& p);
+
+/// Expand files/directories into a sorted list of lintable files,
+/// skipping any path whose generic string contains an `exclude`
+/// substring. Throws std::runtime_error on a nonexistent root.
+[[nodiscard]] std::vector<std::filesystem::path> collect_files(
+    const std::vector<std::filesystem::path>& roots,
+    const std::vector<std::string>& excludes);
+
+}  // namespace rdo::lint

@@ -1,0 +1,239 @@
+#include "lint/token.h"
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace rdo::lint {
+
+namespace {
+
+bool ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+bool ident_char(char c) { return ident_start(c) || (c >= '0' && c <= '9'); }
+bool digit(char c) { return c >= '0' && c <= '9'; }
+
+/// True when `id` is one of the encoding prefixes that can glue onto a
+/// string/char literal (L"", u8"", uR"(...)", ...). The raw flavours end
+/// in R; [raw] selects which family to test.
+bool literal_prefix(std::string_view id, bool raw) {
+  if (raw) {
+    return id == "R" || id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+  }
+  return id == "L" || id == "u" || id == "U" || id == "u8";
+}
+
+/// Multi-character operators, longest first within each leading char.
+constexpr std::array<std::string_view, 21> kOperators = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=",
+    "|=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (c == '\n') {
+        advance();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        advance();
+        continue;
+      }
+      if (c == '\\' && peek(1) == '\n') {  // line continuation
+        advance();
+        advance();
+        continue;
+      }
+      Token t;
+      t.line = line_;
+      t.col = col_;
+      if (c == '/' && peek(1) == '/') {
+        t.kind = TokKind::Comment;
+        t.text = take_while([](char ch) { return ch != '\n'; });
+      } else if (c == '/' && peek(1) == '*') {
+        t.kind = TokKind::Comment;
+        t.text = block_comment();
+      } else if (c == '"') {
+        t.kind = TokKind::String;
+        t.text = cooked_literal('"');
+      } else if (c == '\'') {
+        t.kind = TokKind::CharLit;
+        t.text = cooked_literal('\'');
+      } else if (ident_start(c)) {
+        std::string id = take_while(ident_char);
+        if (peek(0) == '"' && literal_prefix(id, /*raw=*/true)) {
+          t.kind = TokKind::RawString;
+          t.text = id + raw_literal();
+        } else if (peek(0) == '"' && literal_prefix(id, /*raw=*/false)) {
+          t.kind = TokKind::String;
+          t.text = id + cooked_literal('"');
+        } else if (peek(0) == '\'' && literal_prefix(id, /*raw=*/false)) {
+          t.kind = TokKind::CharLit;
+          t.text = id + cooked_literal('\'');
+        } else {
+          t.kind = TokKind::Identifier;
+          t.text = std::move(id);
+        }
+      } else if (digit(c) || (c == '.' && digit(peek(1)))) {
+        t.kind = TokKind::Number;
+        t.text = number();
+      } else {
+        t.kind = TokKind::Punct;
+        t.text = punct();
+      }
+      out.push_back(std::move(t));
+    }
+    return out;
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t ahead) const {
+    return i_ + ahead < src_.size() ? src_[i_ + ahead] : '\0';
+  }
+
+  void advance() {
+    if (src_[i_] == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    ++i_;
+  }
+
+  template <typename Pred>
+  std::string take_while(Pred keep) {
+    std::string s;
+    while (i_ < src_.size() && keep(src_[i_])) {
+      s += src_[i_];
+      advance();
+    }
+    return s;
+  }
+
+  std::string block_comment() {
+    std::string s = "/*";
+    advance();
+    advance();
+    while (i_ < src_.size()) {
+      if (src_[i_] == '*' && peek(1) == '/') {
+        s += "*/";
+        advance();
+        advance();
+        return s;
+      }
+      s += src_[i_];
+      advance();
+    }
+    return s;  // unterminated: closed at EOF
+  }
+
+  /// "..." or '...' with backslash escapes. An unescaped newline ends
+  /// the token (error tolerance — real literals never span lines).
+  std::string cooked_literal(char quote) {
+    std::string s(1, quote);
+    advance();
+    while (i_ < src_.size() && src_[i_] != '\n') {
+      const char c = src_[i_];
+      if (c == '\\' && i_ + 1 < src_.size()) {
+        s += c;
+        advance();
+        s += src_[i_];
+        advance();
+        continue;
+      }
+      s += c;
+      advance();
+      if (c == quote) break;
+    }
+    return s;
+  }
+
+  /// R"delim( ... )delim" — payload consumed verbatim to the exact
+  /// terminator, so embedded quotes and backslashes never desync the
+  /// token stream (the strip_non_code bug this lexer replaces).
+  std::string raw_literal() {
+    std::string s = "\"";
+    advance();  // the opening quote
+    std::string delim;
+    while (i_ < src_.size() && src_[i_] != '(' && src_[i_] != '\n' &&
+           delim.size() < 16) {
+      delim += src_[i_];
+      s += src_[i_];
+      advance();
+    }
+    if (i_ >= src_.size() || src_[i_] != '(') return s;  // malformed
+    s += '(';
+    advance();
+    const std::string terminator = ")" + delim + "\"";
+    std::string tail;
+    while (i_ < src_.size()) {
+      tail += src_[i_];
+      s += src_[i_];
+      advance();
+      if (tail.size() >= terminator.size() &&
+          tail.compare(tail.size() - terminator.size(), terminator.size(),
+                       terminator) == 0) {
+        return s;
+      }
+    }
+    return s;  // unterminated: closed at EOF
+  }
+
+  /// Numeric literal: pp-number rules, approximately — digits, letters,
+  /// dots, digit separators, and exponent signs after e/E/p/P.
+  std::string number() {
+    std::string s;
+    while (i_ < src_.size()) {
+      const char c = src_[i_];
+      if (ident_char(c) || c == '.') {
+        s += c;
+        advance();
+      } else if (c == '\'' && !s.empty() && ident_char(peek(1))) {
+        s += c;  // digit separator 1'000'000
+        advance();
+      } else if ((c == '+' || c == '-') && !s.empty() &&
+                 (s.back() == 'e' || s.back() == 'E' || s.back() == 'p' ||
+                  s.back() == 'P')) {
+        s += c;
+        advance();
+      } else {
+        break;
+      }
+    }
+    return s;
+  }
+
+  std::string punct() {
+    for (const std::string_view op : kOperators) {
+      if (src_.compare(i_, op.size(), op) == 0) {
+        for (std::size_t k = 0; k < op.size(); ++k) advance();
+        return std::string(op);
+      }
+    }
+    std::string s(1, src_[i_]);
+    advance();
+    return s;
+  }
+
+  const std::string& src_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).run();
+}
+
+}  // namespace rdo::lint

@@ -1,0 +1,75 @@
+// Rule interface for the rdo_lint analyzer.
+//
+// A rule is a named check over one file's token stream. Rules see the
+// full stream (comments included) plus a code-only index, and report
+// Findings with exact positions. They never do I/O and never look across
+// files — cross-file policy (the baseline ratchet, path allowlists) is
+// the engine's and driver's job, which keeps every rule a pure function
+// of (path, tokens) and therefore trivially deterministic.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/token.h"
+
+namespace rdo::lint {
+
+struct Finding {
+  std::string rule;
+  std::string message;
+  std::string file;     ///< path as reported (driver may relativize)
+  std::string context;  ///< trimmed source line — the baseline match key
+  int line = 0;
+  int col = 0;
+  bool baselined = false;  ///< true when absorbed by a baseline entry
+};
+
+/// One file, lexed, with the derived views every rule wants.
+class FileContext {
+ public:
+  FileContext(std::string path, const std::string& source);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Every token, comments included, in source order.
+  [[nodiscard]] const std::vector<Token>& tokens() const { return tokens_; }
+
+  /// Number of non-comment tokens.
+  [[nodiscard]] int ncode() const { return static_cast<int>(code_.size()); }
+  /// i-th non-comment token. Out-of-range indices return a sentinel
+  /// empty Punct token so neighbour checks never need bounds tests.
+  [[nodiscard]] const Token& code(int i) const;
+  /// True when code(i) is an identifier spelled `text`.
+  [[nodiscard]] bool ident(int i, const char* text) const;
+  /// True when code(i) is punctuation spelled `text`.
+  [[nodiscard]] bool punct(int i, const char* text) const;
+  /// Index of the `)`/`}`/`]` matching the opener at code index i, or
+  /// ncode() when unbalanced.
+  [[nodiscard]] int matching(int open) const;
+
+  /// Trimmed text of a 1-based source line ("" when out of range).
+  [[nodiscard]] std::string line_text(int line) const;
+
+  /// Convenience: append a finding for `rule` at code token i.
+  void report(std::vector<Finding>& out, const char* rule,
+              const std::string& message, int i) const;
+
+ private:
+  std::string path_;
+  std::vector<Token> tokens_;
+  std::vector<int> code_;  ///< indices of non-comment tokens
+  std::vector<std::string> lines_;
+};
+
+class Rule {
+ public:
+  virtual ~Rule() = default;
+  /// Stable rule name: the spelling used in findings, suppression
+  /// comments, the baseline and the SARIF rule table.
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// One-line contract statement for --list-rules and SARIF metadata.
+  [[nodiscard]] virtual const char* description() const = 0;
+  virtual void run(const FileContext& ctx, std::vector<Finding>& out) const = 0;
+};
+
+}  // namespace rdo::lint

@@ -1,0 +1,43 @@
+// Token model for the rdo_lint static analyzer (src/lint/).
+//
+// Unlike the PR 5 textual lint — which *stripped* comments and literals
+// to spaces before running regexes — the lexer keeps every token,
+// classified, with its exact source position. That is what makes the
+// rest of the analyzer possible: rules match token sequences instead of
+// text (so a pattern named inside a diagnostic string can never trip a
+// checker), and suppression comments (`// rdo-lint: allow(rule) reason`)
+// stay readable because comments survive lexing as first-class tokens.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace rdo::lint {
+
+enum class TokKind {
+  Identifier,  ///< identifiers and keywords (rules match by spelling)
+  Number,      ///< numeric literals, including hex/float/digit-separator
+  String,      ///< cooked string literal, prefix included ("...", u8"...")
+  RawString,   ///< raw string literal, full R"delim(...)delim" spelling
+  CharLit,     ///< character literal ('a', '\n', u'x')
+  Comment,     ///< // or /* */ comment, delimiters included
+  Punct,       ///< operators and punctuation, longest-match (`->`, `+=`)
+};
+
+struct Token {
+  TokKind kind = TokKind::Punct;
+  std::string text;  ///< exact source spelling
+  int line = 1;      ///< 1-based line of the first character
+  int col = 1;       ///< 1-based column of the first character
+};
+
+/// Lex a C++ translation unit. Never throws on malformed input — an
+/// unterminated literal or comment is closed at end of file so rules can
+/// still run over fuzzer corpora and half-written code. Raw string
+/// literals are consumed to their exact `)delim"` terminator: the old
+/// strip_non_code desynced on a `"` inside an R"(...)" payload and
+/// misclassified everything after it (regression pinned by
+/// tests/data/lint/rules and LexerRawString* in tests/test_lint.cpp).
+[[nodiscard]] std::vector<Token> lex(const std::string& source);
+
+}  // namespace rdo::lint

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/envvar.h"
 #include "obs/trace.h"
 
 namespace rdo::nn {
@@ -22,7 +23,7 @@ namespace {
 thread_local bool tls_in_parallel = false;
 
 int default_thread_count() {
-  if (const char* s = std::getenv("RDO_THREADS")) {
+  if (const char* s = rdo::obs::env_knob("RDO_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(s, &end, 10);
     if (end != s && v >= 1) {
@@ -59,11 +60,9 @@ struct ForLoop {
   void work(bool helper) {
     const bool was_in_parallel = tls_in_parallel;
     tls_in_parallel = true;
-    std::int64_t executed = 0;
     for (;;) {
       const std::int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_chunks) break;
-      ++executed;
       const std::int64_t begin = i * chunk;
       const std::int64_t end = std::min(n, begin + chunk);
       rdo::obs::TraceSpan span("pool:chunk", "pool");
@@ -75,18 +74,19 @@ struct ForLoop {
         std::lock_guard<std::mutex> lock(mu);
         if (!error) error = std::current_exception();
       }
+      // Stats are bumped per chunk, sequenced before this chunk's `done`
+      // increment: once the waiter has observed every chunk retire, every
+      // stats increment happened-before it as well, so a
+      // reset_pool_stats() issued after the loop returns can never race a
+      // straggler's deferred flush and leak counts into the next window.
+      g_chunks_executed.fetch_add(1, std::memory_order_relaxed);
+      if (helper) g_chunks_stolen.fetch_add(1, std::memory_order_relaxed);
       if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == num_chunks) {
         std::lock_guard<std::mutex> lock(mu);  // pairs with the waiter
         cv.notify_all();
       }
     }
     tls_in_parallel = was_in_parallel;
-    if (executed > 0) {
-      g_chunks_executed.fetch_add(executed, std::memory_order_relaxed);
-      if (helper) {
-        g_chunks_stolen.fetch_add(executed, std::memory_order_relaxed);
-      }
-    }
   }
 };
 

@@ -45,7 +45,9 @@ EpochStats train_epoch(Layer& net, SGD& opt, const DataView& data,
     opt.step();
     ++batches;
   }
-  return {static_cast<float>(total_loss / std::max<std::int64_t>(1, batches)),
+  return {static_cast<float>(total_loss /
+                             static_cast<double>(std::max<std::int64_t>(
+                                 1, batches))),
           static_cast<float>(total_correct) / static_cast<float>(n)};
 }
 
@@ -67,7 +69,9 @@ EpochStats evaluate(Layer& net, const DataView& data,
     total_correct += loss.correct();
     ++batches;
   }
-  return {static_cast<float>(total_loss / std::max<std::int64_t>(1, batches)),
+  return {static_cast<float>(total_loss /
+                             static_cast<double>(std::max<std::int64_t>(
+                                 1, batches))),
           static_cast<float>(total_correct) / static_cast<float>(n)};
 }
 

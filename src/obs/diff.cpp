@@ -136,7 +136,8 @@ struct Differ {
       const std::int64_t a = bval.as_int();
       const std::int64_t b = cval->as_int();
       if (a == b) continue;
-      const double scale = std::max(std::llabs(a), std::llabs(b));
+      const double scale =
+          static_cast<double>(std::max(std::llabs(a), std::llabs(b)));
       if (std::fabs(static_cast<double>(a - b)) <=
           opt.counter_rel_tol * scale) {
         tolerated(path, static_cast<double>(a), static_cast<double>(b));

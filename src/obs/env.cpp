@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "nn/parallel.h"
+#include "obs/envvar.h"
 
 #ifndef RDO_GIT_SHA
 #define RDO_GIT_SHA "unknown"
@@ -21,7 +22,7 @@ const char* build_type() { return RDO_BUILD_TYPE; }
 Json capture_env(std::uint64_t seed) {
   Json env = Json::object();
   env["threads"] = rdo::nn::thread_count();
-  const char* raw = std::getenv("RDO_THREADS");
+  const char* raw = rdo::obs::env_knob("RDO_THREADS");
   env["rdo_threads_env"] = raw != nullptr ? raw : "";
   env["hardware_concurrency"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());

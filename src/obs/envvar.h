@@ -1,0 +1,18 @@
+// The one blessed std::getenv choke point.
+//
+// Every environment knob in the codebase (RDO_THREADS, RDO_TRACE,
+// RDO_PLAN_CACHE_DIR, ...) is read through env_knob() so the whole knob
+// surface is greppable in one place and the `naked-getenv` lint rule
+// (src/lint/rules.cpp) can ban direct getenv everywhere else. Lives in
+// rdo_obs_base so even the lowest layers (the nn thread pool, tracing,
+// logging) can use it without dependency cycles.
+#pragma once
+
+namespace rdo::obs {
+
+/// std::getenv, verbatim: nullptr when the variable is unset. The
+/// returned pointer has getenv's lifetime rules — copy it out before
+/// anything can modify the environment.
+[[nodiscard]] const char* env_knob(const char* name) noexcept;
+
+}  // namespace rdo::obs

@@ -1,5 +1,7 @@
 #include "obs/log.h"
 
+#include "obs/envvar.h"
+
 #include <cctype>
 #include <chrono>
 #include <cstdlib>
@@ -50,7 +52,7 @@ double uptime_locked(State& s) {
 LogFormat format_locked(State& s) {
   if (!s.format_resolved) {
     s.format_resolved = true;
-    if (const char* f = std::getenv("RDO_LOG_FORMAT")) {
+    if (const char* f = rdo::obs::env_knob("RDO_LOG_FORMAT")) {
       std::string v(f);
       for (char& c : v) c = static_cast<char>(std::tolower(c));
       if (v == "json") s.format = LogFormat::JsonLines;
@@ -67,7 +69,7 @@ int resolve_level_from_env() {
   const int cur = g_level.load(std::memory_order_relaxed);
   if (cur != 0) return cur;
   LogLevel lv = LogLevel::Info;
-  if (const char* p = std::getenv("RDO_LOG_LEVEL")) {
+  if (const char* p = rdo::obs::env_knob("RDO_LOG_LEVEL")) {
     lv = log_level_from_string(p, LogLevel::Info);
   }
   const int encoded = static_cast<int>(lv) + 1;

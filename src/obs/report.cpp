@@ -8,6 +8,7 @@
 
 #include "nn/parallel.h"
 #include "obs/env.h"
+#include "obs/envvar.h"
 #include "obs/log.h"
 
 namespace rdo::obs {
@@ -66,7 +67,7 @@ std::string BenchReport::deterministic_dump() const {
 
 std::string BenchReport::write() const {
   std::string dir = ".";
-  if (const char* d = std::getenv("RDO_BENCH_DIR")) {
+  if (const char* d = rdo::obs::env_knob("RDO_BENCH_DIR")) {
     if (d[0] != '\0') {
       dir = d;
       std::error_code ec;

@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/envvar.h"
 #include "obs/log.h"
 
 namespace rdo::obs {
@@ -160,7 +161,7 @@ bool resolve_from_env() {
   std::lock_guard<std::mutex> lock(s.mu);
   const int cur = g_state.load(std::memory_order_relaxed);
   if (cur != 0) return cur == 2;
-  const char* p = std::getenv("RDO_TRACE");
+  const char* p = rdo::obs::env_knob("RDO_TRACE");
   if (p != nullptr && p[0] != '\0') {
     s.path = p;
     s.epoch_ns = wall_ns();

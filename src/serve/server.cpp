@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/envvar.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -62,7 +63,7 @@ InferenceService::InferenceService(const rdo::nn::Layer& net,
       base_(base),
       cfg_(cfg),
       gate_(cfg.max_active, cfg.max_queued) {
-  if (const char* p = std::getenv("RDO_SLOW_REQUEST_MS")) {
+  if (const char* p = rdo::obs::env_knob("RDO_SLOW_REQUEST_MS")) {
     char* end = nullptr;
     const double ms = std::strtod(p, &end);
     if (end != p && *end == '\0' && ms >= 0.0) {

@@ -1,0 +1,17 @@
+#include <vector>
+double f(const std::vector<double>& xs, std::vector<double>& per_chunk) {
+  rdo::nn::parallel_for_chunked(xs.size(), [&](std::size_t c, std::size_t i) {
+    double local = 0.0;  // declared inside the body: chunk-local
+    local += xs[i];
+    per_chunk[c] += xs[i];  // element access, one writer per chunk index
+  });
+  double total = 0.0;
+  for (const double v : per_chunk) total += v;  // serial reduce is fine
+  return total;
+}
+struct Stats {
+  double sum = 0.0;
+  void serial(const std::vector<double>& xs) {
+    for (const double v : xs) sum += v;  // no parallel_for in sight
+  }
+};

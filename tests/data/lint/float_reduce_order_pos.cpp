@@ -1,0 +1,8 @@
+#include <vector>
+double f(const std::vector<double>& xs) {
+  double total = 0.0;
+  rdo::nn::parallel_for(xs.size(), [&](std::size_t i) {
+    total += xs[i];
+  });
+  return total;
+}

@@ -1,0 +1,15 @@
+// Frozen parity fixture: unordered-iter positives and negatives.
+#pragma once
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Tables {
+  std::unordered_map<std::string, int> bad_map;
+  std::unordered_set<int> bad_set;
+  std::map<std::string, int> fine_ordered;
+};
+
+// Mentioning unordered_map<int> in a comment is fine in both tools.
+inline const char* doc() { return "std::unordered_map<K, V> is banned"; }

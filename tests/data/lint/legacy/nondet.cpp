@@ -1,0 +1,29 @@
+// Frozen parity fixture: nondeterminism positives and negatives.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_rand() { return rand(); }
+
+void bad_srand() { srand(42); }
+
+long bad_time() { return std::time(nullptr); }
+
+int bad_device() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}
+
+int fine_qualified_elsewhere() { return mylib::time(); }
+
+int fine_member_rand(Widget& w) { return w.rand(); }
+
+int fine_identifier() {
+  int randomize = 3;
+  return randomize;
+}
+
+int fine_in_string() {
+  const char* s = "rand() and time() and random_device";
+  return use(s);  // stripped/classified away in both tools
+}

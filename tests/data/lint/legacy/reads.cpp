@@ -1,0 +1,49 @@
+// Frozen parity fixture: naked-read positives and negatives. Both the
+// retired regex tool (PR 5) and the token analyzer must report exactly
+// the same findings here, byte for byte.
+#include <fstream>
+
+void unchecked_read(std::ifstream& f, char* buf) {
+  f.read(buf, 64);
+  use(buf);
+  more(buf);
+  even_more(buf);
+  done(buf);
+}
+
+void checked_with_gcount(std::ifstream& f, char* buf) {
+  f.read(buf, 64);
+  if (f.gcount() != 64) fail();
+}
+
+void checked_with_bang(std::ifstream& f, char* buf) {
+  f.read(buf, 64);
+  if (!f) fail();
+}
+
+void checked_with_macro(std::ifstream& f, char* buf) {
+  f.read(buf, 64);
+  RDO_CHECK(f.good(), "short read");
+}
+
+void pointer_receiver(std::ifstream* f, char* buf) {
+  f->read(buf, 64);
+  use(buf);
+  more(buf);
+  even_more(buf);
+  done(buf);
+}
+
+void check_arrives_too_late(std::ifstream& f, char* buf) {
+  f.read(buf, 64);
+  one(buf);
+  two(buf);
+  three(buf);
+  if (!f) fail();  // line 4 after the read: outside the window
+}
+
+void not_a_stream_read() {
+  // A comment saying f.read(buf, 64) must not trip the checker.
+  const char* s = "f.read(buf, 64)";
+  consume(s);
+}

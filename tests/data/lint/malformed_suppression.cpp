@@ -1,0 +1,8 @@
+// rdo-lint: allow(no-such-rule) reason present but the rule is unknown
+int a() { return 1; }
+
+// rdo-lint: allow(nondeterminism)
+int missing_reason() { return 2; }
+
+// rdo-lint: suppress(nondeterminism) wrong verb
+int wrong_verb() { return 3; }

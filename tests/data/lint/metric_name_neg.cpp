@@ -1,0 +1,7 @@
+void f(rdo::obs::MetricsRegistry& reg) {
+  reg.counter("serve_requests_total").inc();
+  reg.gauge("serve_queue_depth").set(3);
+  reg.histogram("deploy_compile_seconds").observe(1.0);
+  reg.counter("pool_alloc_bytes").inc();
+  reg.counter(dynamic_name).inc();  // non-literal names are out of scope
+}

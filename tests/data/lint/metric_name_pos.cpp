@@ -1,0 +1,8 @@
+void f(rdo::obs::MetricsRegistry& reg) {
+  reg.counter("requests").inc();
+  reg.counter("rdo_serve_requests_total").inc();
+  reg.gauge("serve_latency_ms").set(3);
+  reg.gauge("Serve_Queue_Depth").set(1);
+  reg.histogram("serve_enqueue_wait").observe(1.0);
+  reg.counter("pool_bytes_mb").inc();
+}

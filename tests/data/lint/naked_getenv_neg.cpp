@@ -1,0 +1,5 @@
+#include "obs/envvar.h"
+const char* f() { return rdo::obs::env_knob("RDO_THREADS"); }
+// Naming getenv in a comment or string is fine.
+const char* doc() { return "std::getenv is banned outside envvar.cpp"; }
+int my_getenv_cache_size() { return 4; }

@@ -1,0 +1,4 @@
+#include <cstdlib>
+const char* f() { return std::getenv("RDO_THREADS"); }
+const char* g() { return getenv("RDO_TRACE"); }
+const char* h() { return secure_getenv("RDO_TRACE"); }

@@ -1,0 +1,18 @@
+#include <fstream>
+void f(std::ifstream& in, char* buf) {
+  in.read(buf, 32);
+  if (in.gcount() != 32) fail();
+}
+void g(std::ifstream& in, char* buf) {
+  in.read(buf, 32);
+  RDO_CHECK(in.good(), "short read");
+}
+void h(std::ifstream& in, char* buf) {
+  in.read(buf, 32);
+  if (!in) fail();
+}
+void not_a_read() {
+  // in.read(buf, 32) named in a comment is not a read.
+  const char* s = "in.read(buf, 32)";
+  consume(s);
+}

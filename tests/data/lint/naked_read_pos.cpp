@@ -1,0 +1,8 @@
+#include <fstream>
+void f(std::ifstream& in, char* buf) {
+  in.read(buf, 32);
+  touch(buf);
+  touch(buf);
+  touch(buf);
+  touch(buf);
+}

@@ -1,0 +1,8 @@
+int a() { return mylib::time(); }
+int b(Widget& w) { return w.rand(); }
+int c() {
+  int randomize = 3;  // merely contains "rand"
+  return randomize;
+}
+const char* d() { return "rand() time() random_device"; }
+int my_srandom_helper(int x) { return x; }

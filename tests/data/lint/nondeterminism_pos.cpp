@@ -1,0 +1,10 @@
+#include <cstdlib>
+#include <ctime>
+#include <random>
+int a() { return rand(); }
+void b() { srand(7); }
+long c() { return std::time(nullptr); }
+int d() {
+  std::random_device rd;
+  return static_cast<int>(rd());
+}

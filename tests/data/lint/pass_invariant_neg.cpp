@@ -1,0 +1,13 @@
+class GoodPass final : public Pass {
+ public:
+  const char* name() const override { return "good"; }
+  void run(Plan& plan) const override { mutate(plan); }
+  void check(const Plan& plan) const override {
+    RDO_CHECK(!plan.layers.empty(), "pass must keep at least one layer");
+    RDO_CHECK_EQ(plan.total_rows(), expected_rows(plan), "row count drift");
+  }
+};
+class NotAPass {  // no Pass base: the rule must not care
+ public:
+  void run() {}
+};

@@ -1,0 +1,11 @@
+class SilentPass final : public Pass {
+ public:
+  const char* name() const override { return "silent"; }
+  void run(Plan& plan) const override { mutate(plan); }
+  void check(const Plan& plan) const override { (void)plan; }
+};
+class NoCheckPass final : public Pass {
+ public:
+  const char* name() const override { return "nocheck"; }
+  void run(Plan& plan) const override { mutate(plan); }
+};

@@ -1,0 +1,17 @@
+// Regression fixture for the PR 5 stripper bug: a raw string literal
+// containing a plain `"` desynchronised strip_non_code, which then
+// treated real code as string contents (or vice versa). The lexer must
+// consume the raw literal to its exact )delim" terminator, keep scanning
+// the code after it, and flag the real violations below.
+#include <cstdlib>
+#include <string>
+
+const char* kDoc = R"(a raw string with an embedded " quote and rand() text)";
+
+int real_violation_after_raw() { return rand(); }
+
+const char* kRegex = R"re(pattern with )" and "( inside)re";
+
+long second_violation() { return std::time(nullptr); }
+
+const char* kFine = R"(std::unordered_map<int, int> named in data only)";

@@ -1,0 +1,16 @@
+#include <cstdlib>
+#include <unordered_map>
+
+// Trailing form: governs its own line.
+long t() { return std::time(nullptr); }  // rdo-lint: allow(nondeterminism) wall-clock for a log banner only
+
+// Standalone form: governs the next line that holds code.
+// rdo-lint: allow(unordered-iter) order never observed, keys are dumped sorted
+std::unordered_map<int, int> lookaside;
+
+/* rdo-lint: allow(nondeterminism) block-comment form, same contract */
+int r() { return rand(); }
+
+// Multi-rule allowance on one line.
+// rdo-lint: allow(nondeterminism, naked-read) fixture exercising two rules at once
+long both(std::ifstream& f, char* b) { f.read(b, 8); return std::time(nullptr); }

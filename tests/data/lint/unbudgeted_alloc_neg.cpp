@@ -1,0 +1,22 @@
+#include <vector>
+void f(Reader& r, std::vector<int>& v) {
+  const std::uint32_t n = r.scalar<std::uint32_t>("count");
+  r.require(n <= kMaxLayers, "layer count");
+  v.resize(n);
+}
+void g(std::istream& in, std::vector<int>& v) {
+  std::uint32_t n = 0;
+  read_u32(in, &n);
+  RDO_CHECK(n <= 1024, "count out of range");
+  v.reserve(n);
+}
+void h(std::istream& in, std::vector<int>& v) {
+  std::uint32_t n = 0;
+  read_u32(in, &n);
+  if (n > 1024) throw std::runtime_error("count");
+  v.resize(n);
+}
+void untainted(std::vector<int>& v) {
+  const std::size_t n = v.size() * 2;  // not parsed from input
+  v.resize(n);
+}

@@ -1,0 +1,10 @@
+#include <vector>
+void f(Reader& r, std::vector<int>& v) {
+  const std::uint32_t n = r.scalar<std::uint32_t>("count");
+  v.resize(n);
+}
+void g(std::istream& in, std::vector<int>& v) {
+  std::uint32_t n = 0;
+  read_u32(in, &n);
+  v.reserve(n);
+}

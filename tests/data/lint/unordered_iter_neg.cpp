@@ -1,0 +1,6 @@
+#include <map>
+#include <set>
+std::map<int, int> fine_map;
+std::set<int> fine_set;
+// std::unordered_map<int, int> in a comment is fine.
+const char* doc() { return "std::unordered_set<int> is banned"; }

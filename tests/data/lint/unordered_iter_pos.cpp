@@ -1,0 +1,4 @@
+#include <unordered_map>
+#include <unordered_set>
+std::unordered_map<int, int> bad_map;
+std::unordered_set<int> bad_set;

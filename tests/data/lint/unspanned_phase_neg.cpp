@@ -1,0 +1,12 @@
+void f(rdo::core::DeployStats& stats) {
+  rdo::obs::TraceSpan span("deploy.pack");
+  rdo::obs::ScopedTimer timer(&stats.pack_seconds);
+  pack_one();
+  pack_two();
+}
+void g(rdo::core::DeployStats& stats) {
+  rdo::obs::ScopedTimer timer(&stats.map_seconds);
+  rdo::obs::TraceSpan span("deploy.map");
+  map_one();
+  map_two();
+}

@@ -1,0 +1,9 @@
+void f(rdo::core::DeployStats& stats) {
+  rdo::obs::ScopedTimer timer(&stats.pack_seconds);
+  pack_one();
+  pack_two();
+  pack_three();
+  pack_four();
+  pack_five();
+  pack_six();
+}

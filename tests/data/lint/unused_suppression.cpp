@@ -1,0 +1,2 @@
+// rdo-lint: allow(nondeterminism) nothing below actually draws randomness
+int perfectly_deterministic() { return 4; }

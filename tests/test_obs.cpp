@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include "core/deploy.h"
+#include "obs/envvar.h"
 #include "data/synthetic.h"
 #include "nn/activations.h"
 #include "nn/dense.h"
@@ -412,7 +413,7 @@ TEST(BenchReport, WriteSurfacesUnusableBenchDirWithPath) {
       fs::temp_directory_path() / "rdo_bench_dir_blocker";
   { std::ofstream f(blocker); }
   const std::string dir = (blocker / "sub").string();
-  const char* old = std::getenv("RDO_BENCH_DIR");
+  const char* old = rdo::obs::env_knob("RDO_BENCH_DIR");
   const std::string saved = old != nullptr ? old : "";
   ::setenv("RDO_BENCH_DIR", dir.c_str(), 1);
 

@@ -16,6 +16,7 @@
 
 #include "core/backend.h"
 #include "core/plan.h"
+#include "obs/envvar.h"
 #include "core/tmpfile.h"
 #include "nn/dense.h"
 #include "nn/sequential.h"
@@ -33,7 +34,7 @@ namespace fs = std::filesystem;
 class EnvGuard {
  public:
   EnvGuard(const char* name, const std::string& value) : name_(name) {
-    const char* old = std::getenv(name);
+    const char* old = rdo::obs::env_knob(name);
     had_old_ = old != nullptr;
     if (had_old_) old_ = old;
     ::setenv(name, value.c_str(), 1);

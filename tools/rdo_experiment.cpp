@@ -22,6 +22,7 @@
 #include "arch/isaac_cost.h"
 #include "core/deploy.h"
 #include "core/opt/pipeline.h"
+#include "obs/envvar.h"
 #include "core/plan.h"
 #include "data/synthetic.h"
 #include "experiment_args.h"
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
   // Optimizer pass pipeline (core/opt): validated up front so a typo in
   // the environment fails fast like a malformed flag, before any training.
   std::string opt_passes;
-  if (const char* passes = std::getenv("RDO_OPT_PASSES")) {
+  if (const char* passes = rdo::obs::env_knob("RDO_OPT_PASSES")) {
     std::string err;
     if (!core::opt::parse_pass_list(passes, &err)) {
       std::fprintf(stderr, "rdo_experiment: RDO_OPT_PASSES: %s\n",

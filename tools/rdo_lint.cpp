@@ -1,212 +1,229 @@
-// rdo_lint — project-invariant checker for the deployment stack.
+// rdo_lint — driver for the src/lint/ determinism & contract analyzer.
 //
-//   rdo_lint <dir-or-file>...     exit 0 clean, 1 violations, 2 usage/IO
+// The analysis itself (lexer, rules, suppressions, baseline, emitters)
+// lives in rdo_lint_lib so tests can drive it in-process; this file only
+// parses flags, expands roots, and routes findings to an emitter.
 //
-// Three repo invariants that neither the compiler nor clang-tidy enforce,
-// checked textually over every .cpp/.h under the given roots (comments,
-// string and character literals are stripped first, so naming a pattern
-// in a diagnostic or a regex does not trip the checker):
-//
-//   naked-read        every raw `stream.read(...)` must be followed
-//                     within three lines by a stream-state check
-//                     (`gcount`, `if (!f ...`, or an RDO_CHECK) — in
-//                     practice: route binary reads through a read_exact
-//                     helper. A read whose success is never examined is
-//                     how a truncated file becomes silent garbage.
-//   nondeterminism    `rand()`, `srand()`, `time()` and
-//                     `std::random_device` are banned: every random
-//                     draw must come from a seeded rdo::nn::Rng, or
-//                     deterministic BENCH sections and the cross-backend
-//                     parity gate break.
-//   unordered-iter    `std::unordered_map` / `std::unordered_set` are
-//                     banned: their iteration order is
-//                     implementation-defined, and hashed containers have
-//                     repeatedly leaked that order into "deterministic"
-//                     output. Use std::map or a sorted vector.
-#include <algorithm>
+// Exit codes (a contract CI asserts on):
+//   0  clean — no fresh findings, no stale baseline entries
+//   1  fresh findings, or baseline entries no longer matched (ratchet)
+//   2  usage error or I/O failure (unreadable file, broken baseline)
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <regex>
-#include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "lint/baseline.h"
+#include "lint/emit.h"
+#include "lint/engine.h"
+#include "lint/rule.h"
+
 namespace {
 
 namespace fs = std::filesystem;
+using rdo::lint::Baseline;
+using rdo::lint::BaselineResult;
+using rdo::lint::Engine;
+using rdo::lint::Finding;
 
-/// Replace comments, string literals and char literals with spaces,
-/// preserving newlines so reported line numbers stay exact.
-std::string strip_non_code(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  enum class State { Code, LineComment, BlockComment, String, Char };
-  State st = State::Code;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    const char next = i + 1 < text.size() ? text[i + 1] : '\0';
-    switch (st) {
-      case State::Code:
-        if (c == '/' && next == '/') {
-          st = State::LineComment;
-          out += "  ";
-          ++i;
-        } else if (c == '/' && next == '*') {
-          st = State::BlockComment;
-          out += "  ";
-          ++i;
-        } else if (c == '"') {
-          st = State::String;
-          out += ' ';
-        } else if (c == '\'') {
-          st = State::Char;
-          out += ' ';
-        } else {
-          out += c;
-        }
-        break;
-      case State::LineComment:
-        if (c == '\n') {
-          st = State::Code;
-          out += '\n';
-        } else {
-          out += ' ';
-        }
-        break;
-      case State::BlockComment:
-        if (c == '*' && next == '/') {
-          st = State::Code;
-          out += "  ";
-          ++i;
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      case State::String:
-      case State::Char: {
-        const char quote = st == State::String ? '"' : '\'';
-        if (c == '\\') {
-          out += "  ";
-          ++i;
-        } else if (c == quote) {
-          st = State::Code;
-          out += ' ';
-        } else {
-          out += c == '\n' ? '\n' : ' ';
-        }
-        break;
-      }
-    }
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: rdo_lint [options] <dir-or-file>...\n"
+               "\n"
+               "options:\n"
+               "  --format text|json|sarif  output format (default text)\n"
+               "  --output FILE             write the report to FILE instead of\n"
+               "                            stderr (text) / stdout (json, sarif)\n"
+               "  --baseline FILE           absorb findings listed in FILE; fresh\n"
+               "                            findings and stale entries exit 1\n"
+               "  --update-baseline         rewrite --baseline FILE from the\n"
+               "                            current findings, then exit 0\n"
+               "  --relative-to DIR         report paths relative to DIR so the\n"
+               "                            baseline is checkout-independent\n"
+               "  --exclude SUBSTRING       skip paths containing SUBSTRING\n"
+               "                            (repeatable)\n"
+               "  --rules a,b,c             run only the named rules\n"
+               "  --list-rules              print the rule catalogue and exit\n");
+}
+
+/// Path as spelled in findings: relative to --relative-to when given
+/// (and the file is under it), the original spelling otherwise.
+std::string report_path(const fs::path& file, const fs::path& rel_base) {
+  if (rel_base.empty()) return file.generic_string();
+  std::error_code ec;
+  const fs::path rel = fs::relative(file, rel_base, ec);
+  if (ec || rel.empty() || *rel.begin() == "..") return file.generic_string();
+  return rel.generic_string();
+}
+
+std::vector<std::string> split_commas(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    std::string piece = s.substr(start, comma - start);
+    while (!piece.empty() && piece.front() == ' ') piece.erase(0, 1);
+    while (!piece.empty() && piece.back() == ' ') piece.pop_back();
+    if (!piece.empty()) out.push_back(std::move(piece));
+    start = comma + 1;
   }
   return out;
 }
 
-struct Violation {
-  fs::path file;
-  std::size_t line;
-  std::string rule;
-  std::string message;
-};
+int run(int argc, char** argv) {
+  std::string format = "text";
+  std::string output;
+  std::string baseline_path;
+  bool update_baseline = false;
+  fs::path rel_base;
+  std::vector<std::string> excludes;
+  std::vector<std::string> only_rules;
+  std::vector<fs::path> roots;
 
-void lint_file(const fs::path& path, std::vector<Violation>& out) {
-  std::ifstream f(path);
-  if (!f) {
-    throw std::runtime_error("cannot read " + path.string());
-  }
-  std::ostringstream ss;
-  ss << f.rdbuf();
-  const std::string stripped = strip_non_code(ss.str());
-
-  std::vector<std::string> lines;
-  std::string line;
-  std::istringstream ls(stripped);
-  while (std::getline(ls, line)) lines.push_back(line);
-
-  static const std::regex naked_read(R"((^|[^\w])\w+(\.|->)read\s*\()");
-  static const std::regex state_check(
-      R"(gcount|RDO_CHECK|if\s*\(\s*!|\|\|\s*!)");
-  static const std::regex nondet(
-      R"((^|[^\w:.])(rand|srand|time)\s*\(|std\s*::\s*(rand|srand|time)\s*\(|random_device)");
-  static const std::regex unordered(R"(unordered_(map|set)\s*<)");
-
-  for (std::size_t i = 0; i < lines.size(); ++i) {
-    if (std::regex_search(lines[i], naked_read)) {
-      bool checked = false;
-      for (std::size_t j = i; j < lines.size() && j <= i + 3; ++j) {
-        if (std::regex_search(lines[j], state_check)) {
-          checked = true;
-          break;
-        }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "rdo_lint: %s needs a value\n", flag);
+        usage(stderr);
+        std::exit(2);
       }
-      if (!checked) {
-        out.push_back({path, i + 1, "naked-read",
-                       "stream read without a state check within 3 lines; "
-                       "route binary reads through a read_exact helper"});
+      return argv[++i];
+    };
+    if (arg == "--format") {
+      format = need_value("--format");
+      if (format != "text" && format != "json" && format != "sarif") {
+        std::fprintf(stderr, "rdo_lint: unknown format: %s\n", format.c_str());
+        return 2;
       }
-    }
-    if (std::regex_search(lines[i], nondet)) {
-      out.push_back({path, i + 1, "nondeterminism",
-                     "rand()/srand()/time()/random_device are banned; draw "
-                     "from a seeded rdo::nn::Rng instead"});
-    }
-    if (std::regex_search(lines[i], unordered)) {
-      out.push_back({path, i + 1, "unordered-iter",
-                     "hashed-container iteration order is nondeterministic "
-                     "and leaks into BENCH sections; use std::map or a "
-                     "sorted vector"});
+    } else if (arg == "--output") {
+      output = need_value("--output");
+    } else if (arg == "--baseline") {
+      baseline_path = need_value("--baseline");
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--relative-to") {
+      rel_base = fs::path(need_value("--relative-to"));
+    } else if (arg == "--exclude") {
+      excludes.push_back(need_value("--exclude"));
+    } else if (arg == "--rules") {
+      only_rules = split_commas(need_value("--rules"));
+    } else if (arg == "--list-rules") {
+      const Engine engine;
+      for (const auto& r : engine.rules()) {
+        std::printf("%-18s %s\n", r->name(), r->description());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      return 0;
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      std::fprintf(stderr, "rdo_lint: unknown option: %s\n", arg.c_str());
+      usage(stderr);
+      return 2;
+    } else {
+      roots.emplace_back(arg);
     }
   }
-}
+  if (roots.empty()) {
+    usage(stderr);
+    return 2;
+  }
+  if (update_baseline && baseline_path.empty()) {
+    std::fprintf(stderr, "rdo_lint: --update-baseline needs --baseline\n");
+    return 2;
+  }
 
-bool lintable(const fs::path& p) {
-  const std::string ext = p.extension().string();
-  return ext == ".cpp" || ext == ".h" || ext == ".hpp" || ext == ".cc";
+  Engine engine;
+  engine.set_enabled(only_rules);  // throws std::invalid_argument -> exit 2
+
+  const std::vector<fs::path> files =
+      rdo::lint::collect_files(roots, excludes);
+
+  std::vector<Finding> findings;
+  for (const fs::path& file : files) {
+    std::vector<Finding> f =
+        engine.lint_file(file, report_path(file, rel_base));
+    findings.insert(findings.end(), std::make_move_iterator(f.begin()),
+                    std::make_move_iterator(f.end()));
+  }
+
+  if (update_baseline) {
+    rdo::lint::save_baseline(rdo::lint::make_baseline(findings),
+                             baseline_path);
+    std::fprintf(stderr,
+                 "rdo_lint: wrote %s (%zu finding(s) across %zu file(s))\n",
+                 baseline_path.c_str(), findings.size(), files.size());
+    return 0;
+  }
+
+  const bool baseline_used = !baseline_path.empty();
+  BaselineResult ratchet;
+  if (baseline_used) {
+    const Baseline b = rdo::lint::load_baseline(baseline_path);
+    ratchet = rdo::lint::apply_baseline(findings, b);
+  } else {
+    ratchet.fresh = static_cast<int>(findings.size());
+  }
+
+  // Emit. Text defaults to stderr (the PR 5 tool's stream, so existing
+  // `2>&1 | grep` habits keep working); structured formats to stdout.
+  std::string report;
+  if (format == "text") {
+    report = rdo::lint::format_text(findings, static_cast<int>(files.size()));
+  } else if (format == "json") {
+    report = rdo::lint::findings_json(findings).dump(2) + "\n";
+  } else {
+    report =
+        rdo::lint::sarif_document(engine, findings, baseline_used).dump(2) +
+        "\n";
+  }
+  if (!output.empty()) {
+    std::ofstream out(output, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "rdo_lint: cannot write %s\n", output.c_str());
+      return 2;
+    }
+    out << report;
+    if (!out.flush()) {
+      std::fprintf(stderr, "rdo_lint: cannot write %s\n", output.c_str());
+      return 2;
+    }
+  } else if (format == "text") {
+    std::fputs(report.c_str(), stderr);
+  } else {
+    std::fputs(report.c_str(), stdout);
+  }
+
+  // The ratchet's stale side: entries the codebase no longer triggers
+  // must leave the ledger, so debt can only shrink.
+  for (const auto& e : ratchet.stale) {
+    std::fprintf(stderr,
+                 "rdo_lint: stale baseline entry (%d unmatched): %s [%s] %s\n",
+                 e.count, e.file.c_str(), e.rule.c_str(), e.context.c_str());
+  }
+  if (!ratchet.stale.empty()) {
+    std::fprintf(stderr,
+                 "rdo_lint: baseline is stale; rerun with --update-baseline "
+                 "to shrink it\n");
+  }
+  return (ratchet.fresh > 0 || !ratchet.stale.empty()) ? 1 : 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::fprintf(stderr, "usage: rdo_lint <dir-or-file>...\n");
-    return 2;
-  }
-  std::vector<Violation> violations;
-  int files = 0;
   try {
-    for (int i = 1; i < argc; ++i) {
-      const fs::path root(argv[i]);
-      if (fs::is_directory(root)) {
-        std::vector<fs::path> paths;
-        for (const auto& entry : fs::recursive_directory_iterator(root)) {
-          if (entry.is_regular_file() && lintable(entry.path())) {
-            paths.push_back(entry.path());
-          }
-        }
-        std::sort(paths.begin(), paths.end());
-        for (const auto& p : paths) {
-          lint_file(p, violations);
-          ++files;
-        }
-      } else if (fs::is_regular_file(root)) {
-        lint_file(root, violations);
-        ++files;
-      } else {
-        std::fprintf(stderr, "rdo_lint: no such file or directory: %s\n",
-                     argv[i]);
-        return 2;
-      }
-    }
+    return run(argc, argv);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "rdo_lint: %s\n", e.what());
+    return 2;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "rdo_lint: %s\n", e.what());
     return 2;
   }
-  for (const Violation& v : violations) {
-    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.string().c_str(), v.line,
-                 v.rule.c_str(), v.message.c_str());
-  }
-  std::fprintf(stderr, "rdo_lint: %d file(s), %zu violation(s)\n", files,
-               violations.size());
-  return violations.empty() ? 0 : 1;
 }

@@ -46,6 +46,7 @@
 #include <thread>
 
 #include "core/deploy.h"
+#include "obs/envvar.h"
 #include "data/synthetic.h"
 #include "models/lenet.h"
 #include "nn/activations.h"
@@ -89,7 +90,7 @@ class MetricsDumper {
  public:
   explicit MetricsDumper(serve::InferenceService& svc) {
     double interval_s = 0.0;
-    if (const char* p = std::getenv("RDO_METRICS_INTERVAL_S")) {
+    if (const char* p = rdo::obs::env_knob("RDO_METRICS_INTERVAL_S")) {
       char* end = nullptr;
       const double v = std::strtod(p, &end);
       if (end != p && *end == '\0' && v > 0.0) interval_s = v;
